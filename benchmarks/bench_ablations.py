@@ -1,0 +1,91 @@
+"""Benchmarks: design-choice ablations called out by the paper.
+
+* §IV-B speculative prefetch — latency and bandwidth with and without;
+* §V host-side transfer batching for small 4 KB pages.
+(The short/long format and TLB-size ablations are covered by
+bench_table3 / bench_figure7.)
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.harness import (
+    ablation_batching,
+    ablation_eviction,
+    ablation_future_hw,
+    ablation_io_preemption,
+    ablation_prefetch,
+    ablation_registers,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_prefetch_ablation(benchmark):
+    result = run_experiment(benchmark, ablation_prefetch, scale="quick")
+    ptx = result.row_by(variant="optimized_ptx")
+    pf = result.row_by(variant="prefetching")
+    # Prefetching reduces fault-free read latency (282 -> 271 in the
+    # paper) and never hurts throughput.
+    assert pf["read_latency_cycles"] < ptx["read_latency_cycles"]
+    assert pf["memcpy_pct_peak"] >= ptx["memcpy_pct_peak"] - 1.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_register_pressure_ablation(benchmark):
+    result = run_experiment(benchmark, ablation_registers, scale="quick")
+    r64 = result.row_by(regs_per_thread=64)
+    r128 = result.row_by(regs_per_thread=128)
+    # §VII: doubling registers/thread halves occupancy and hurts the
+    # latency hiding the apointer layer depends on.
+    assert r128["blocks_per_sm"] == r64["blocks_per_sm"] // 2
+    assert r128["slowdown_vs_64"] > 1.2
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_future_hw_ablation(benchmark):
+    result = run_experiment(benchmark, ablation_future_hw, scale="quick")
+    sw = result.row_by(variant="prefetching")
+    hw = result.row_by(variant="hw_assisted")
+    # §VII: dedicated instructions cut both latency and the issue
+    # pressure that caps 4-byte copy bandwidth.
+    assert hw["read_latency_cycles"] < sw["read_latency_cycles"]
+    assert hw["inc_latency_cycles"] < sw["inc_latency_cycles"] / 2
+    assert hw["memcpy_4B_pct_peak"] > sw["memcpy_4B_pct_peak"] + 10
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_eviction_policy_ablation(benchmark):
+    result = run_experiment(benchmark, ablation_eviction, scale="quick")
+    cycles = [row["cycles"] for row in result.rows]
+    # Policies are within a modest band on the cyclic sweep; all are
+    # functional (majors bounded by rounds x pages).
+    assert max(cycles) < 1.5 * min(cycles)
+    for row in result.rows:
+        assert row["major_faults"] >= row["evictions"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_io_preemption_ablation(benchmark):
+    result = run_experiment(benchmark, ablation_io_preemption,
+                            scale="quick")
+    host_on = result.row_by(io_path="host-mediated", io_preemption=True)
+    p2p_on = result.row_by(io_path="p2p-dma", io_preemption=True)
+    p2p_off = result.row_by(io_path="p2p-dma", io_preemption=False)
+    # Host-mediated faults are host-bound: preemption cannot help.
+    assert host_on["speedup_vs_no_preempt"] < 1.05
+    # With peer-to-peer DMA the stall is pure latency: preemption wins.
+    assert p2p_on["cycles"] < p2p_off["cycles"]
+    assert p2p_on["speedup_vs_no_preempt"] > 1.08
+    assert p2p_on["preemptions"] > 0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_batching_ablation(benchmark):
+    result = run_experiment(benchmark, ablation_batching, scale="quick")
+    on = result.row_by(batching=True)
+    off = result.row_by(batching=False)
+    # §V: batching is the difference between one fixed PCIe cost per
+    # page and one per ~32 pages.
+    assert on["batches"] < off["batches"] / 4
+    assert on["cycles"] < off["cycles"] / 2
+    assert on["mean_batch"] > 4

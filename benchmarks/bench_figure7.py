@@ -1,0 +1,30 @@
+"""Benchmark: Figure 7 — software TLB size vs page reuse."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.harness import figure7
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_tlb_crossover(benchmark):
+    result = run_experiment(benchmark, figure7, scale="quick")
+
+    def row(tlb):
+        return result.row_by(tlb=tlb)
+
+    low, high = "pages=8", "pages=128"
+
+    # The TLB is effective at high reuse (few unique pages), provided
+    # its capacity comfortably exceeds the working set (a 16-entry
+    # direct-mapped TLB already conflicts on 8 hot pages).
+    for tlb in (32, 64):
+        assert row(tlb)[low] < row("none")[low], f"TLB={tlb} at {low}"
+    # ...but costs more than no TLB once the working set exceeds it.
+    assert row(16)[high] > row("none")[high]
+    # TLB curves degrade as unique pages grow; no-TLB stays flat(ish).
+    for tlb in (16, 32, 64):
+        assert row(tlb)[high] > row(tlb)[low]
+    none = row("none")
+    values = [none[c] for c in result.columns[1:]]
+    assert max(values) < 2.0 * min(values)

@@ -1,0 +1,40 @@
+"""Benchmark: Figure 9 — end-to-end image collage, four implementations.
+
+Also covers the §VI-E unaligned-access experiment: 3 KB records with no
+page alignment, read through unmodified apointer code.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.harness import figure9, unaligned_access
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_collage(benchmark):
+    result = run_experiment(benchmark, figure9, scale="quick")
+
+    # Correctness is enforced inside the experiment (all four runners
+    # must produce identical collages); here we check the shape.
+    for row in result.rows:
+        # Apointers add little over plain GPUfs (paper: <1%).
+        assert row["ap_overhead_pct"] < 10, row["input"]
+        # The GPU-centric designs beat the CPU+GPU split.
+        assert row["GPUfs"] < row["CPU+GPU"], row["input"]
+
+    # The GPU advantage grows with data reuse (larger inputs).
+    rows = sorted(result.rows, key=lambda r: r["reuse"])
+    assert rows[-1]["GPUfs"] < rows[0]["GPUfs"] * 1.5
+    # On the highest-reuse input, GPUfs beats the CPU baseline.
+    assert rows[-1]["GPUfs"] < 1.0
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_unaligned_records(benchmark):
+    result = run_experiment(benchmark, unaligned_access, scale="quick")
+    for row in result.rows:
+        assert row["correct"], row["layout"]
+    aligned = result.row_by(layout="aligned (4 KB)")
+    unaligned = result.row_by(layout="unaligned (3 KB)")
+    assert unaligned["record_bytes"] == 3072
+    assert aligned["record_bytes"] == 4096

@@ -1,0 +1,29 @@
+"""Benchmark: Table I — apointer operation latency in GPU cycles."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.harness import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_latencies(benchmark):
+    result = run_experiment(benchmark, table1, scale="quick")
+
+    # Every cell within 10% of the paper's measurement.
+    for row in result.rows:
+        assert row["measured"] == pytest.approx(row["paper"], rel=0.10), \
+            f"{row['implementation']}/{row['op']}"
+
+    # Qualitative orderings the paper reports.
+    def cell(impl, op):
+        return result.row_by(implementation=impl, op=op)["measured"]
+
+    assert cell("Raw access", "read") < cell("Prefetching", "read") \
+        < cell("Optimized PTX", "read") < cell("Compiler", "read")
+    # Permission checks are nearly free under prefetching (435 vs 423).
+    pf_cost = (cell("Prefetching", "read+inc+rw")
+               - cell("Prefetching", "read+inc"))
+    compiler_cost = (cell("Compiler", "read+inc+rw")
+                     - cell("Compiler", "read+inc"))
+    assert pf_cost < compiler_cost

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures at ``quick`` scale, attaches the reproduced rows (paper value
+vs. measured value) to ``benchmark.extra_info``, and asserts the shape
+properties the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The timed quantity is the wall time of the simulation itself; the
+scientific payload is in ``extra_info`` and in the assertions.
+"""
+
+import json
+
+import pytest
+
+
+def run_experiment(benchmark, fn, **kwargs):
+    """Time one experiment run and attach its rows to the report."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1,
+                                iterations=1, warmup_rounds=0)
+    benchmark.extra_info["experiment"] = result.exp_id
+    benchmark.extra_info["rows"] = json.loads(json.dumps(result.rows))
+    return result

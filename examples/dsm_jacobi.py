@@ -1,0 +1,127 @@
+"""Distributed shared memory across two GPUs: a Jacobi stencil.
+
+The paper's introduction points at DSM as a direction ActivePointers
+enable: page fault interposition has long powered software DSM on CPU
+clusters, and apointers provide the same hook on GPUs.
+
+Two simulated GPUs share one grid through `repro.dsm`.  Each device owns
+half the rows and sweeps a 1-D Jacobi update; the halo row it needs from
+its neighbour arrives automatically — reading it page-faults, the
+directory flushes the neighbour's dirty copy, and the page migrates.
+No explicit communication code, no staging buffers: just pointers.
+
+Run:  python examples/dsm_jacobi.py
+"""
+
+import numpy as np
+
+from repro.core import APConfig, AVM
+from repro.dsm import DSMCluster
+from repro.gpu.multigpu import ClusterLaunch, launch_cluster
+
+PAGE = 4096
+ROW_FLOATS = PAGE // 4              # one grid row per page
+ROWS = 16                           # total rows (8 per device)
+ITERS = 4
+
+
+def reference(grid: np.ndarray) -> np.ndarray:
+    g = grid.astype(np.float64).copy()
+    for _ in range(ITERS):
+        nxt = g.copy()
+        nxt[1:-1] = (g[:-2] + 2 * g[1:-1] + g[2:]) / 4.0
+        g = nxt
+    return g
+
+
+def main():
+    rng = np.random.RandomState(9)
+    initial = rng.uniform(-1, 1, (ROWS, ROW_FLOATS)).astype(np.float32)
+
+    cluster = DSMCluster(num_devices=2, region_bytes=2 * ROWS * PAGE)
+    # Region layout: rows 0..15 = current grid, rows 16..31 = next grid.
+    cluster.ramfs.open("dsm").pwrite(0, initial.astype(np.float32))
+    avms = [AVM(APConfig()), AVM(APConfig())]
+    half = ROWS // 2
+
+    def make_kernel(dev, src_base_row, dst_base_row):
+        backend = cluster.backend_for(dev)
+        my_rows = range(dev * half, (dev + 1) * half)
+
+        def kernel(ctx):
+            ptr = avms[dev].map_backend(
+                ctx, backend, 2 * ROWS * PAGE, write=True)
+            for row in my_rows:
+                if row in (0, ROWS - 1):        # boundary rows copy over
+                    continue
+                # Read the three stencil rows; the neighbour's halo row
+                # page-faults across the device boundary transparently.
+                acc = np.zeros(ctx.warp_size, dtype=np.float64)
+                for dr, w in ((-1, 1.0), (0, 2.0), (1, 1.0)):
+                    yield from ptr.seek(
+                        ctx, (src_base_row + row + dr) * PAGE
+                        + ctx.warp_in_block * 128 + ctx.lane * 4)
+                    vals = yield from ptr.read(ctx, "f4")
+                    ctx.charge(2, chain=2)
+                    acc += w * vals.astype(np.float64)
+                yield from ptr.seek(
+                    ctx, (dst_base_row + row) * PAGE
+                    + ctx.warp_in_block * 128 + ctx.lane * 4)
+                yield from ptr.write(ctx, (acc / 4.0).astype(np.float32),
+                                     "f4")
+            # Boundary rows are copied unchanged by warp 0.
+            for row in my_rows:
+                if row not in (0, ROWS - 1):
+                    continue
+                for chunk in range(ctx.warp_in_block,
+                                   ROW_FLOATS // 32, 32):
+                    yield from ptr.seek(
+                        ctx, (src_base_row + row) * PAGE
+                        + chunk * 128 + ctx.lane * 4)
+                    vals = yield from ptr.read(ctx, "f4")
+                    yield from ptr.seek(
+                        ctx, (dst_base_row + row) * PAGE
+                        + chunk * 128 + ctx.lane * 4)
+                    yield from ptr.write(ctx, vals, "f4")
+            yield from ptr.destroy(ctx)
+            yield from cluster.gpufs[dev].flush(ctx)
+
+        return kernel
+
+    total_seconds = 0.0
+    src, dst = 0, ROWS
+    for it in range(ITERS):
+        # Both GPUs sweep their halves *concurrently* (true multi-GPU
+        # co-simulation); a barrier separates iterations.  Within an
+        # iteration the devices only read src rows and write their own
+        # dst rows, so the halo reads are safe shared accesses.
+        res = launch_cluster([
+            ClusterLaunch(cluster.devices[0],
+                          make_kernel(0, src, dst), 1, 1024),
+            ClusterLaunch(cluster.devices[1],
+                          make_kernel(1, src, dst), 1, 1024),
+        ])
+        total_seconds += res.seconds
+        src, dst = dst, src
+
+    result = cluster.region_array()[
+        src * PAGE:(src + ROWS) * PAGE].view(np.float32).reshape(
+        ROWS, ROW_FLOATS)
+    expect = reference(initial)
+    err = np.abs(result.astype(np.float64) - expect).max()
+    print(f"grid {ROWS}x{ROW_FLOATS}, {ITERS} Jacobi iterations on "
+          f"2 GPUs via DSM")
+    print(f"max |error| vs numpy reference: {err:.2e}")
+    print(f"coherence events: {cluster.stats.flushes} flushes, "
+          f"{cluster.stats.invalidations} invalidations, "
+          f"{cluster.stats.read_faults}/{cluster.stats.write_faults} "
+          f"read/write faults")
+    print(f"directory still coherent: {cluster.check_coherent()}")
+    print(f"simulated time: {total_seconds * 1e3:.2f} ms")
+    assert err < 1e-5, "DSM Jacobi diverged from the reference"
+    assert cluster.stats.flushes > 0, "halo exchange never happened"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

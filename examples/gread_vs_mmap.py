@@ -1,0 +1,124 @@
+"""gread()/gwrite() vs. memory-mapped apointers, side by side.
+
+The paper motivates memory-mapped files against the classic GPUfs
+read/write API: mmap "eliminate[s] buffer allocation, read/write system
+calls, and file pointer arithmetics, as well as enable[s] seamless
+serialization/deserialization of in-memory data structures", plus
+zero-copy.  This example performs the same task both ways — summing
+scattered 256-byte records from a file — and reports the difference in
+code shape, data movement, and simulated time.
+
+Run:  python examples/gread_vs_mmap.py
+"""
+
+import numpy as np
+
+from repro.core import APConfig, AVM
+from repro.gpu import Device
+from repro.host import HostFileSystem
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+from repro.paging.fileapi import gopen
+from repro.workloads.filebench import warm_page_cache
+
+PAGE = 4096
+RECORD = 256                       # one 64-float record
+NUM_RECORDS = 2048
+LOOKUPS = 128                      # random records each warp sums
+
+
+def build(seed=11):
+    rng = np.random.RandomState(seed)
+    data = rng.uniform(-1, 1, NUM_RECORDS * RECORD // 4).astype(np.float32)
+    fs = RamFS()
+    fs.create("records.bin", data.view(np.uint8))
+    device = Device(memory_bytes=64 * 1024 * 1024)
+    npages = NUM_RECORDS * RECORD // PAGE
+    gpufs = GPUfs(device, HostFileSystem(fs),
+                  GPUfsConfig(page_size=PAGE, num_frames=npages + 8))
+    # Warm the page cache so the comparison isolates the access paths
+    # (buffer copies vs zero-copy) rather than host transfers.
+    fid_tmp = gpufs.open("records.bin")
+    warm_page_cache(device, gpufs, fid_tmp, npages)
+    picks = rng.randint(0, NUM_RECORDS, size=LOOKUPS)
+    return device, gpufs, data, picks
+
+
+NWARPS = 8
+FILE_BYTES = NUM_RECORDS * RECORD
+
+
+def main():
+    stripe = FILE_BYTES // NWARPS          # each warp scans one stripe
+
+    # ---------------- gread: explicit buffers and calls ---------------
+    device, gpufs, data, picks = build()
+    gfile = gopen(gpufs, "records.bin")
+    bufs = device.alloc(NWARPS * PAGE)     # explicit per-warp buffers
+    out_gread = []
+
+    def gread_kernel(ctx):
+        buf = bufs + ctx.warp_id * PAGE
+        total = np.zeros(ctx.warp_size, dtype=np.float64)
+        base = ctx.warp_id * stripe
+        for off in range(0, stripe, PAGE):
+            # read() a page-sized chunk into the buffer...
+            yield from gfile.gread(ctx, base + off, PAGE, buf)
+            # ...then consume the buffer.
+            for line in range(PAGE // (16 * 32)):
+                vals = yield from ctx.load_wide(
+                    buf + line * 512 + ctx.lane * 16, "f4", 4)
+                ctx.charge(6, chain=6)
+                total += vals.sum(axis=1)
+        out_gread.append(total)
+
+    r1 = device.launch(gread_kernel, grid=1, block_threads=NWARPS * 32)
+
+    # ---------------- mmap: just a pointer ----------------------------
+    device2, gpufs2, _, _ = build()
+    avm = AVM(APConfig(), gpufs=gpufs2)
+    fid = gpufs2.open("records.bin")
+    out_mmap = []
+
+    def mmap_kernel(ctx):
+        ptr = avm.gvmmap(ctx, FILE_BYTES, fid)
+        total = np.zeros(ctx.warp_size, dtype=np.float64)
+        yield from ptr.seek(ctx, ctx.warp_id * stripe + ctx.lane * 16)
+        for _ in range(stripe // 512):
+            vals = yield from ptr.read_wide(ctx, 4, "f4")  # zero-copy
+            ctx.charge(6, chain=6)
+            total += vals.sum(axis=1)
+            yield from ptr.add(ctx, 512)
+        yield from ptr.destroy(ctx)
+        out_mmap.append(total)
+
+    r2 = device2.launch(mmap_kernel, grid=1, block_threads=NWARPS * 32)
+
+    per_warp = data.reshape(NWARPS, -1, 32, 4).sum(axis=(1, 3))
+    for outs in (out_gread, out_mmap):
+        got = np.stack(outs)
+        assert np.allclose(np.sort(got.sum(axis=1)),
+                           np.sort(per_warp.sum(axis=1)), rtol=1e-5)
+
+    print(f"sequential scan of a {FILE_BYTES // 1024} KB file, "
+          f"both results correct")
+    print(f"  gread:  {r1.cycles:9.0f} cycles  "
+          f"{r1.stats.dram_bytes:8d} DRAM bytes "
+          f"(page copied to a buffer, then consumed)")
+    print(f"  mmap:   {r2.cycles:9.0f} cycles  "
+          f"{r2.stats.dram_bytes:8d} DRAM bytes "
+          f"(zero-copy reads from the page cache)")
+    saving = 100 * (1 - r2.stats.dram_bytes / r1.stats.dram_bytes)
+    print(f"  mmap moves {saving:.0f}% less DRAM traffic at comparable "
+          f"time ({r1.cycles / r2.cycles:.2f}x), with no buffer "
+          f"management in the kernel")
+    # Zero-copy: the buffer round-trip disappears from the traffic.
+    assert r2.stats.dram_bytes < 0.75 * r1.stats.dram_bytes
+    # Per-access translation costs roughly offset the copy savings in
+    # cycles on this workload; neither should dominate.
+    assert 0.7 < r2.cycles / r1.cycles < 1.3
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

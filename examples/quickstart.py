@@ -1,0 +1,71 @@
+"""Quickstart: memory-mapped files on a (simulated) GPU.
+
+Mirrors the paper's Figure 3: open a host file, ``gvmmap`` it from GPU
+code, and use the returned active pointer like a plain pointer — reads,
+writes, and pointer arithmetic.  The first access to each page triggers
+a page fault handled *on the GPU*; the data moves from the host file
+into the GPU page cache on demand.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import APConfig, AVM
+from repro.gpu import Device
+from repro.host import HostFileSystem, O_RDWR
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+
+PAGE = 4096
+FILE_PAGES = 64
+
+
+def main():
+    # --- Host side: a file in the (RAM) file system -------------------
+    ramfs = RamFS()
+    payload = np.arange(FILE_PAGES * PAGE // 4, dtype=np.uint32)
+    ramfs.create("numbers.bin", payload.view(np.uint8))
+
+    # --- GPU side: device + GPUfs paging layer + AVM ------------------
+    device = Device(memory_bytes=64 * 1024 * 1024)
+    gpufs = GPUfs(device, HostFileSystem(ramfs),
+                  GPUfsConfig(page_size=PAGE, num_frames=16))
+    avm = AVM(APConfig(), gpufs=gpufs)
+    fid = gpufs.open("numbers.bin", O_RDWR)
+
+    seen = []
+
+    def kernel(ctx):
+        # ptr starts unlinked; the first dereference page-faults.
+        ptr = avm.gvmmap(ctx, FILE_PAGES * PAGE, fid, write=True)
+        yield from ptr.seek(ctx, ctx.lane * 4)      # one element per lane
+
+        first = yield from ptr.read(ctx, "u4")      # major page fault
+        seen.append(("page 0", first.copy()))
+
+        yield from ptr.add(ctx, 10 * PAGE)          # pointer arithmetic
+        tenth = yield from ptr.read(ctx, "u4")      # faults page 10 in
+        seen.append(("page 10", tenth.copy()))
+
+        yield from ptr.write(ctx, tenth + 1, "u4")  # fault-free write
+        yield from ptr.destroy(ctx)                 # drop page references
+        yield from gpufs.flush(ctx)                 # write-back to host
+
+    result = device.launch(kernel, grid=1, block_threads=32)
+
+    for label, values in seen:
+        print(f"{label}: lanes read {values[:4]} ...")
+    back = ramfs.open("numbers.bin").pread(10 * PAGE, 16).view(np.uint32)
+    print(f"host file after write-back: {back}")
+    print(f"kernel time: {result.seconds * 1e6:.1f} us simulated "
+          f"({result.cycles:.0f} cycles)")
+    print(f"paging: {gpufs.stats.major_faults} major / "
+          f"{gpufs.stats.minor_faults} minor faults")
+    assert np.array_equal(seen[0][1], payload[:32])
+    assert np.array_equal(back, payload[10 * 1024:10 * 1024 + 4] + 1)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

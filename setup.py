@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works on
+offline machines that lack the ``wheel`` package required for PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""The image-collage application of §VI-E.
+
+Replaces blocks of an input image with the most "similar" images from a
+large dataset, where similarity is the Euclidean distance between image
+color histograms, and candidate images are found through
+Locality-Sensitive Hashing (LSH).
+
+Four implementations (:mod:`repro.collage.runners`) reproduce Figure 9:
+
+1. **CPU-only** — 12 cores with 256-bit AVX (analytic CPU timing model);
+2. **CPU+GPU** — the GPU computes LSH keys, the CPU gathers candidate
+   histograms and ships them over PCIe, the GPU searches;
+3. **GPUfs** — everything on the GPU, candidates read through the
+   page-cache ``gmmap`` API;
+4. **GPUfs + ActivePointers** — the whole dataset file mapped into GPU
+   memory with ``gvmmap`` and accessed through apointers.
+
+All four produce identical collages (verified against a numpy
+reference).  The 80-million-tiny-images dataset is replaced by a seeded
+synthetic generator (:mod:`repro.collage.dataset`) with the same layout:
+one histogram per 4 KB page (or unaligned 3 KB records for the §VI-E
+unaligned-access experiment) — see DESIGN.md for the substitution note.
+"""
+
+from repro.collage.histogram import (
+    HIST_BINS,
+    HIST_FLOATS,
+    block_histograms,
+    histogram_of_block,
+)
+from repro.collage.lsh import LSHIndex, LSHParams
+from repro.collage.dataset import CollageDataset, DatasetParams
+from repro.collage.collage import (
+    CollageProblem,
+    CollageResult,
+    make_problem,
+    reference_solution,
+)
+from repro.collage.runners import (
+    RunOutcome,
+    run_cpu,
+    run_cpu_gpu,
+    run_gpufs,
+    run_gpufs_apointers,
+)
+
+__all__ = [
+    "HIST_BINS",
+    "HIST_FLOATS",
+    "block_histograms",
+    "histogram_of_block",
+    "LSHIndex",
+    "LSHParams",
+    "CollageDataset",
+    "DatasetParams",
+    "CollageProblem",
+    "CollageResult",
+    "make_problem",
+    "reference_solution",
+    "RunOutcome",
+    "run_cpu",
+    "run_cpu_gpu",
+    "run_gpufs",
+    "run_gpufs_apointers",
+]

@@ -1,0 +1,117 @@
+"""The collage problem definition and its numpy reference solution.
+
+A *problem* is an input image (synthetic, with controllable block
+diversity — the data-reuse knob of Figure 9) plus a dataset.  The
+*solution* is, per 32x32 input block, the id of the dataset image whose
+histogram is nearest (L2) among the block's LSH candidates.  Every
+runner in :mod:`repro.collage.runners` must reproduce
+:func:`reference_solution` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collage.dataset import CollageDataset
+from repro.collage.histogram import (
+    BLOCK_SIDE,
+    block_histograms,
+    euclidean_distances,
+)
+
+
+@dataclass
+class CollageProblem:
+    """One Figure 9 input: an image over a dataset."""
+
+    name: str
+    image: np.ndarray                  # (H, W, 3) uint8
+    dataset: CollageDataset
+    block_hists: np.ndarray = field(init=False)
+    candidates: list = field(init=False)
+
+    def __post_init__(self):
+        self.block_hists = block_histograms(self.image)
+        self.candidates = [self.dataset.candidates_for(h)
+                           for h in self.block_hists]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_hists)
+
+    def total_candidate_refs(self) -> int:
+        return int(sum(c.size for c in self.candidates))
+
+    def unique_candidates(self) -> int:
+        if not self.candidates:
+            return 0
+        return int(np.unique(np.concatenate(self.candidates)).size)
+
+    def data_reuse(self) -> float:
+        """Candidate references per unique candidate (Figure 9 labels)."""
+        uniq = self.unique_candidates()
+        return self.total_candidate_refs() / uniq if uniq else 0.0
+
+
+@dataclass
+class CollageResult:
+    """Chosen dataset image per block."""
+
+    choices: np.ndarray
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - convenience
+        return np.array_equal(self.choices, other.choices)
+
+
+def make_problem(dataset: CollageDataset, *, name: str = "input",
+                 blocks_x: int = 16, blocks_y: int = 16,
+                 cluster_spread: int = 8,
+                 seed: int = 5) -> CollageProblem:
+    """Generate a synthetic input image.
+
+    ``cluster_spread`` controls how many dataset clusters the image's
+    blocks resemble: few clusters mean many visually similar blocks and
+    therefore high data reuse — the paper observes that "in larger
+    images more visually similar blocks are available".
+    """
+    rng = np.random.RandomState(seed)
+    p = dataset.params
+    spread = min(cluster_spread, p.num_clusters)
+    h, w = blocks_y * BLOCK_SIDE, blocks_x * BLOCK_SIDE
+    image = np.empty((h, w, 3), dtype=np.uint8)
+    chosen = rng.randint(0, spread, size=blocks_y * blocks_x)
+    for b, cluster in enumerate(chosen):
+        by, bx = divmod(b, blocks_x)
+        block = _block_from_center(dataset.centers[cluster], rng)
+        image[by * BLOCK_SIDE:(by + 1) * BLOCK_SIDE,
+              bx * BLOCK_SIDE:(bx + 1) * BLOCK_SIDE] = block
+    return CollageProblem(name=name, image=image, dataset=dataset)
+
+
+def _block_from_center(center: np.ndarray, rng) -> np.ndarray:
+    """Sample a 32x32 RGB block whose histogram resembles ``center``."""
+    block = np.empty((BLOCK_SIDE, BLOCK_SIDE, 3), dtype=np.uint8)
+    pixels = BLOCK_SIDE * BLOCK_SIDE
+    for c in range(3):
+        weights = center[c * 256:(c + 1) * 256].astype(np.float64)
+        weights = weights + 1e-9
+        weights /= weights.sum()
+        vals = rng.choice(256, size=pixels, p=weights)
+        block[:, :, c] = vals.reshape(BLOCK_SIDE, BLOCK_SIDE)
+    return block
+
+
+def reference_solution(problem: CollageProblem) -> CollageResult:
+    """Exhaustive numpy search among each block's LSH candidates."""
+    dataset = problem.dataset
+    choices = np.empty(problem.num_blocks, dtype=np.int64)
+    for b, (query, cands) in enumerate(zip(problem.block_hists,
+                                           problem.candidates)):
+        if cands.size == 0:
+            choices[b] = -1
+            continue
+        dists = euclidean_distances(query, dataset.histograms[cands])
+        choices[b] = cands[int(np.argmin(dists))]
+    return CollageResult(choices=choices)

@@ -1,0 +1,55 @@
+"""Color histograms of image blocks.
+
+Following the paper's dataset layout: a histogram has 256 bins per RGB
+channel, 768 float32 values = 3072 bytes, padded to one 4 KB page in the
+aligned dataset file (and stored back-to-back at 3 KB in the unaligned
+variant).  Distance between histograms is plain Euclidean distance [20].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+HIST_BINS = 256
+CHANNELS = 3
+HIST_FLOATS = HIST_BINS * CHANNELS           # 768 floats
+HIST_BYTES = HIST_FLOATS * 4                 # 3072 B (the unaligned record)
+HIST_BYTES_PADDED = 4096                     # one page (the aligned record)
+BLOCK_SIDE = 32                              # 32x32 input blocks
+
+
+def histogram_of_block(block: np.ndarray) -> np.ndarray:
+    """Histogram of one ``(side, side, 3)`` uint8 image block."""
+    if block.ndim != 3 or block.shape[2] != CHANNELS:
+        raise ValueError(f"expected (h, w, 3) block, got {block.shape}")
+    out = np.empty(HIST_FLOATS, dtype=np.float32)
+    for c in range(CHANNELS):
+        counts = np.bincount(block[:, :, c].ravel(), minlength=HIST_BINS)
+        out[c * HIST_BINS:(c + 1) * HIST_BINS] = counts[:HIST_BINS]
+    return out
+
+
+def block_histograms(image: np.ndarray,
+                     block_side: int = BLOCK_SIDE) -> np.ndarray:
+    """Histograms of every ``block_side`` square block of an image.
+
+    The image is cropped to whole blocks.  Returns shape
+    ``(num_blocks, HIST_FLOATS)``.
+    """
+    h, w = image.shape[0] // block_side, image.shape[1] // block_side
+    if h == 0 or w == 0:
+        raise ValueError("image smaller than one block")
+    hists = np.empty((h * w, HIST_FLOATS), dtype=np.float32)
+    for by in range(h):
+        for bx in range(w):
+            block = image[by * block_side:(by + 1) * block_side,
+                          bx * block_side:(bx + 1) * block_side]
+            hists[by * w + bx] = histogram_of_block(block)
+    return hists
+
+
+def euclidean_distances(query: np.ndarray,
+                        candidates: np.ndarray) -> np.ndarray:
+    """L2 distances from one query histogram to each candidate row."""
+    diff = candidates.astype(np.float64) - query.astype(np.float64)
+    return np.sqrt((diff * diff).sum(axis=1))

@@ -1,0 +1,46 @@
+"""ActivePointers: the paper's primary contribution.
+
+A software address translation layer for GPUs.  An *active pointer*
+(:class:`APtr`) behaves like a regular pointer — dereference, arithmetic,
+assignment — but accesses *avirtual* memory: a contiguous address space
+layered over scattered page-cache pages.  Under the hood it
+
+* caches the avirtual-to-aphysical mapping of its current page in the
+  pointer value itself (a hardware register), so linked accesses are
+  page-fault free and need no table lookup;
+* triggers page faults handled **on the GPU** by warp-level translation
+  aggregation (deadlock-free leader election, Listing 1 of the paper);
+* maintains per-page reference counts so the paging layer never evicts a
+  page any linked apointer can reach (the fixed-mapping guarantee);
+* optionally consults a per-threadblock software TLB that aggregates
+  reference counts, sloppy-counter style.
+
+Entry point: create an :class:`AVM` over a GPUfs instance (or over raw
+device memory for fault-free microbenchmarks) and call
+:meth:`AVM.gvmmap` from GPU code.
+"""
+
+from repro.core.config import APConfig, ImplVariant, PtrFormat
+from repro.core.calibration import CostModel, cost_model_for
+from repro.core.apointer import APtr, APtrState, ProtectionError
+from repro.core.aarray import AArray
+from repro.core.mmap import AVM, DirectBackend, GPUfsBackend
+from repro.core.tlb import SoftwareTLB
+from repro.core.metrics import APStats
+
+__all__ = [
+    "APConfig",
+    "ImplVariant",
+    "PtrFormat",
+    "CostModel",
+    "cost_model_for",
+    "APtr",
+    "AArray",
+    "APtrState",
+    "ProtectionError",
+    "AVM",
+    "DirectBackend",
+    "GPUfsBackend",
+    "SoftwareTLB",
+    "APStats",
+]

@@ -1,0 +1,111 @@
+"""AArray: a typed-array view over an active pointer.
+
+The paper's pitch for memory-mapped files is the "intuitive pointer
+interface" — and what most kernels actually want on top of a pointer is
+array indexing.  :class:`AArray` wraps an :class:`~repro.core.apointer.
+APtr` as an array of fixed-size elements:
+
+    arr = AArray(ptr, dtype="f4")            # ptr from gvmmap
+    vals = yield from arr.get(ctx, idx)      # idx per-lane or scalar
+    yield from arr.set(ctx, idx, vals)
+    row = yield from arr.get_block(ctx, base, 4)   # vectorised rows
+
+Indexing seeks the underlying pointer, so page faults, reference
+counting, and unaligned layouts all behave exactly as for raw apointer
+code — this is sugar, not a new mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.apointer import APtr
+from repro.gpu.kernel import WarpContext
+
+#: Index-to-offset arithmetic (shift + add) per access.
+INDEX_INSTRS = 2
+
+
+class AArray:
+    """Array of ``dtype`` elements over a mapped region."""
+
+    def __init__(self, ptr: APtr, dtype: str = "f4",
+                 offset: int = 0, length: Optional[int] = None):
+        self.ptr = ptr
+        self.dtype = dtype
+        self.itemsize = int(np.dtype(dtype).itemsize)
+        self.offset = int(offset)
+        max_len = (ptr.size - self.offset) // self.itemsize
+        self.length = max_len if length is None else int(length)
+        if self.length < 0 or self.length > max_len:
+            raise ValueError(
+                f"length {length} exceeds the mapping "
+                f"({max_len} elements available)")
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------------
+    def _positions(self, ctx: WarpContext, index) -> np.ndarray:
+        idx = np.asarray(index, dtype=np.int64)
+        if idx.ndim == 0:
+            idx = np.full(ctx.warp_size, int(idx), dtype=np.int64)
+        if idx.size and (int(idx.min()) < 0
+                         or int(idx.max()) >= self.length):
+            raise IndexError(
+                f"index out of range [0, {self.length}): "
+                f"[{idx.min()}, {idx.max()}]")
+        return self.offset + idx * self.itemsize
+
+    # ------------------------------------------------------------------
+    def get(self, ctx: WarpContext, index):
+        """Timed: ``arr[index]`` — one element per lane.
+
+        ``index`` may be a scalar (all lanes read the same element) or
+        a per-lane vector.
+        """
+        ctx.charge(INDEX_INSTRS)
+        yield from self.ptr.seek(ctx, self._positions(ctx, index))
+        return (yield from self.ptr.read(ctx, self.dtype))
+
+    def set(self, ctx: WarpContext, index, values):
+        """Timed: ``arr[index] = values`` — one element per lane."""
+        ctx.charge(INDEX_INSTRS)
+        yield from self.ptr.seek(ctx, self._positions(ctx, index))
+        yield from self.ptr.write(ctx, values, self.dtype)
+
+    def get_block(self, ctx: WarpContext, base: int, elems_per_lane: int):
+        """Timed: read ``32 * elems_per_lane`` consecutive elements
+        starting at ``base``, one wide vector access per lane.  Returns
+        shape ``(lanes, elems_per_lane)``."""
+        if base < 0 or base + 32 * elems_per_lane > self.length:
+            raise IndexError("block out of range")
+        ctx.charge(INDEX_INSTRS)
+        lane_base = base + ctx.lane * elems_per_lane
+        yield from self.ptr.seek(ctx, self.offset
+                                 + lane_base * self.itemsize)
+        return (yield from self.ptr.read_wide(ctx, elems_per_lane,
+                                              self.dtype))
+
+    def set_block(self, ctx: WarpContext, base: int, values):
+        """Timed: write ``(lanes, elems_per_lane)`` consecutive values
+        starting at ``base``."""
+        values = np.asarray(values)
+        elems = values.shape[1]
+        if base < 0 or base + 32 * elems > self.length:
+            raise IndexError("block out of range")
+        ctx.charge(INDEX_INSTRS)
+        lane_base = base + ctx.lane * elems
+        yield from self.ptr.seek(ctx, self.offset
+                                 + lane_base * self.itemsize)
+        yield from self.ptr.write_wide(ctx, values, self.dtype)
+
+    # ------------------------------------------------------------------
+    def view(self, offset_elems: int, length: Optional[int] = None
+             ) -> "AArray":
+        """A sub-array sharing the same pointer (like a slice)."""
+        return AArray(self.ptr, self.dtype,
+                      offset=self.offset + offset_elems * self.itemsize,
+                      length=length)

@@ -1,0 +1,378 @@
+"""The ActivePointer: a pointer with software address translation.
+
+An :class:`APtr` is a *warp-level* object holding per-lane pointer state,
+matching how the real implementation lives in each thread's registers
+while executing in SIMT lockstep.  Each lane has its own position, valid
+bit, and cached aphysical address; lanes may point into different pages.
+
+State machine (paper Figure 4):
+
+* **uninitialized** — fresh object before a mapping is attached (here:
+  construction via ``AVM.gvmmap`` initializes immediately);
+* **unlinked** — the lane holds an xAddress (backing-store position);
+  dereferencing triggers a page fault handled on the GPU;
+* **linked** — the lane holds an aphysical address and a reference to an
+  *active page* whose mapping cannot change; dereferencing is page-fault
+  free and needs no table lookup.
+
+Transitions: first access links (page fault); pointer arithmetic that
+leaves the current page unlinks (proactively dropping the reference —
+the paper's heuristic for keeping pinned pages few); assignment from
+another apointer copies the position but stays unlinked; destruction
+unlinks everything.
+
+Page faults use the warp-level *translation aggregation* of Listing 1:
+subgroups of lanes that fault on the same page elect a leader with
+``__ballot``/``__ffs``, broadcast the backing address with ``__shfl``,
+aggregate the reference count with ``__popc``, and the leader alone
+touches shared data structures — which is what makes the handler
+deadlock-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.core import translation as tr
+from repro.core.calibration import CostModel, cost_model_for
+from repro.core.config import APConfig, ImplVariant, PtrFormat
+from repro.gpu import warp_primitives as wp
+from repro.gpu.kernel import WarpContext
+
+
+class APtrState(enum.Enum):
+    UNINITIALIZED = "uninitialized"
+    UNLINKED = "unlinked"
+    LINKED = "linked"
+    MIXED = "mixed"          # some lanes linked, some not
+
+
+class ProtectionError(Exception):
+    """An access violated the mapping's page permissions."""
+
+
+class BoundsError(IndexError):
+    """An access fell outside the mapped region."""
+
+
+class APtr:
+    """An active pointer over one mapped region (one per warp)."""
+
+    def __init__(self, ctx: WarpContext, avm, backend, base_offset: int,
+                 size: int, write: bool):
+        # -- metadata (local memory; only touched on faults, §IV-A) --
+        self.avm = avm
+        self.backend = backend
+        self.base_offset = int(base_offset)
+        self.size = int(size)
+        self.readable = True
+        self.writable = bool(write)
+        self.config: APConfig = avm.config
+        self.cost: CostModel = cost_model_for(avm.config)
+        n = ctx.warp_size
+        # -- per-lane translation state (hardware registers) --
+        self.pos = np.zeros(n, dtype=np.int64)
+        self.valid = np.zeros(n, dtype=bool)
+        self.frame_addr = np.zeros(n, dtype=np.int64)
+        self.linked_xpage = np.full(n, -1, dtype=np.int64)
+        self.tlb_backed = np.zeros(n, dtype=bool)
+        # Whether each lane's link was established by a write fault; a
+        # write through a read-only link must re-fault (the upgrade
+        # fault that lets paging backends observe S->M transitions).
+        self.linked_write = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return self.backend.page_size
+
+    @property
+    def state(self) -> APtrState:
+        if self.valid.all():
+            return APtrState.LINKED
+        if self.valid.any():
+            return APtrState.MIXED
+        return APtrState.UNLINKED
+
+    def xpage_vec(self) -> np.ndarray:
+        """Backing-store page number each lane currently points into."""
+        return (self.base_offset + self.pos) // self.page_size
+
+    def in_page_vec(self) -> np.ndarray:
+        return (self.base_offset + self.pos) % self.page_size
+
+    def encoded_word(self) -> np.ndarray:
+        """The packed 64-bit translation field per lane (§IV-A)."""
+        perms = tr.perm_bits(self.readable, self.writable)
+        if self.config.fmt is PtrFormat.LONG:
+            addr = np.where(self.valid,
+                            self.frame_addr.astype(np.uint64),
+                            (self.base_offset
+                             + self.pos).astype(np.uint64))
+            return tr.encode_long(self.valid, perms, addr)
+        return tr.encode_short(self.valid, perms,
+                               self.frame_addr.astype(np.uint64),
+                               self.xpage_vec().astype(np.uint64))
+
+    def clone(self, ctx: WarpContext) -> "APtr":
+        """Assignment: the copy points at the same positions, *unlinked*
+        (a fresh copy must not pin pages it may never touch, §III-C)."""
+        twin = APtr(ctx, self.avm, self.backend, self.base_offset,
+                    self.size, self.writable)
+        twin.pos = self.pos.copy()
+        return twin
+
+    # ------------------------------------------------------------------
+    # Pointer arithmetic
+    # ------------------------------------------------------------------
+    def add(self, ctx: WarpContext, delta):
+        """Timed: advance each lane by ``delta`` bytes (scalar or
+        per-lane).  Lanes that leave their linked page unlink, dropping
+        their page references — the paper's proactive-decrement
+        heuristic."""
+        cm = self.cost
+        ctx.charge(cm.arith_count + cm.fmt_extra_count,
+                   chain=cm.arith_chain + cm.fmt_extra_chain)
+        self.avm.stats.arith_ops += 1
+        new_pos = self.pos + np.asarray(delta, dtype=np.int64)
+        new_xpage = (self.base_offset + new_pos) // self.page_size
+        crossing = self.valid & (new_xpage != self.linked_xpage)
+        self.pos = new_pos
+        if crossing.any():
+            yield from self._unlink(ctx, crossing)
+
+    def seek(self, ctx: WarpContext, pos):
+        """Timed: set each lane's absolute position in the mapping."""
+        delta = np.asarray(pos, dtype=np.int64) - self.pos
+        yield from self.add(ctx, delta)
+
+    # ------------------------------------------------------------------
+    # Dereference
+    # ------------------------------------------------------------------
+    def read(self, ctx: WarpContext, dtype: str = "f4",
+             mask: Optional[np.ndarray] = None):
+        """Timed: ``*ptr`` — load one ``dtype`` element per active lane."""
+        width = int(np.dtype(dtype).itemsize)
+        addrs = yield from self._deref(ctx, width, write=False, mask=mask)
+        cm = self.cost
+        self.avm.stats.reads += 1
+        ctx.charge(cm.deref_count + cm.fmt_extra_count,
+                   chain=cm.deref_chain + cm.fmt_extra_chain)
+        overlap, post = cm.deref_overlap, cm.deref_post
+        if self.config.perm_checks:
+            self.avm.stats.perm_checks += 1
+            ctx.charge(cm.perm_count, chain=cm.perm_chain)
+            post += cm.perm_post
+        return (yield from ctx.load(addrs, dtype, mask=mask,
+                                    overlap_chain=overlap,
+                                    post_chain=post))
+
+    def read_wide(self, ctx: WarpContext, elems: int,
+                  dtype: str = "f4",
+                  mask: Optional[np.ndarray] = None,
+                  nonblocking: bool = False):
+        """Timed: vector dereference — ``elems`` consecutive elements per
+        lane in one access (the 16-byte loads of §VI-B, which amortise
+        the translation cost over more data).
+
+        ``nonblocking`` overlaps the load with later work (memory-level
+        parallelism); pair with ``ctx.fence()``.
+        """
+        width = int(np.dtype(dtype).itemsize) * elems
+        addrs = yield from self._deref(ctx, width, write=False, mask=mask)
+        cm = self.cost
+        self.avm.stats.reads += 1
+        ctx.charge(cm.deref_count + cm.fmt_extra_count + elems,
+                   chain=cm.deref_chain + cm.fmt_extra_chain)
+        overlap, post = cm.deref_overlap, cm.deref_post
+        if self.config.perm_checks:
+            self.avm.stats.perm_checks += 1
+            ctx.charge(cm.perm_count, chain=cm.perm_chain)
+            post += cm.perm_post
+        return (yield from ctx.load_wide(addrs, dtype, elems, mask=mask,
+                                         overlap_chain=overlap,
+                                         post_chain=post,
+                                         nonblocking=nonblocking))
+
+    def write(self, ctx: WarpContext, values, dtype: str = "f4",
+              mask: Optional[np.ndarray] = None):
+        """Timed: ``*ptr = v`` — store one element per active lane."""
+        width = int(np.dtype(dtype).itemsize)
+        addrs = yield from self._deref(ctx, width, write=True, mask=mask)
+        cm = self.cost
+        self.avm.stats.writes += 1
+        ctx.charge(cm.deref_count + cm.fmt_extra_count,
+                   chain=cm.deref_chain + cm.fmt_extra_chain)
+        if self.config.perm_checks:
+            self.avm.stats.perm_checks += 1
+            ctx.charge(cm.perm_count, chain=cm.perm_chain + cm.perm_post)
+        yield from ctx.store(addrs, values, dtype, mask=mask)
+
+    def write_wide(self, ctx: WarpContext, values, dtype: str = "f4",
+                   mask: Optional[np.ndarray] = None):
+        """Timed: vector store — ``values`` of shape (lanes, elems)
+        written through one dereference per lane."""
+        values = np.asarray(values)
+        elems = values.shape[1]
+        width = int(np.dtype(dtype).itemsize) * elems
+        addrs = yield from self._deref(ctx, width, write=True, mask=mask)
+        cm = self.cost
+        self.avm.stats.writes += 1
+        ctx.charge(cm.deref_count + cm.fmt_extra_count + elems,
+                   chain=cm.deref_chain + cm.fmt_extra_chain)
+        if self.config.perm_checks:
+            self.avm.stats.perm_checks += 1
+            ctx.charge(cm.perm_count, chain=cm.perm_chain + cm.perm_post)
+        yield from ctx.store_wide(addrs, values, dtype, mask=mask)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def destroy(self, ctx: WarpContext):
+        """Timed: drop all references (scope exit in Figure 3)."""
+        if self.valid.any():
+            yield from self._unlink(ctx, self.valid.copy())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deref(self, ctx: WarpContext, width: int, write: bool,
+               mask: Optional[np.ndarray]):
+        active = ctx.active if mask is None else (ctx.active & mask)
+        self.avm.stats.derefs += 1
+        self._check_bounds(width, active)
+        if write and not self.writable:
+            raise ProtectionError("write through a read-only apointer")
+        if write:
+            # Upgrade fault: lanes linked read-only must re-fault so the
+            # paging backend sees the write (dirty marking, coherence).
+            upgrade = self.valid & ~self.linked_write & active
+            if upgrade.any():
+                yield from self._unlink(ctx, upgrade)
+        # Joint valid-bit vote across the warp (one instruction): the
+        # fault-free path has no divergent control flow.  Under
+        # speculative prefetch the vote overlaps the memory access
+        # (§IV-B), so it adds no serial latency.
+        all_valid = wp.all_sync(self.valid, active)
+        prefetching = self.config.variant is ImplVariant.PREFETCH
+        ctx.charge(1, chain=0 if prefetching else 1)
+        if not all_valid:
+            yield from self._page_fault(ctx, active, write)
+        elif write:
+            self._mark_dirty(active)
+        return self.frame_addr + self.in_page_vec()
+
+    def _page_fault(self, ctx: WarpContext, active: np.ndarray,
+                    write: bool):
+        """Listing 1: aggregated, leader-driven fault handling."""
+        cm = self.cost
+        xpages = self.xpage_vec()
+        faulting = (~self.valid) & active
+        self.avm.stats.translation_faults += int(faulting.sum())
+        while True:
+            ballot = wp.ballot(~self.valid, active)
+            ctx.charge(2)                      # __ballot + __ffs
+            leader = wp.ffs(ballot) - 1
+            if leader < 0:
+                break
+            self.avm.stats.fault_groups += 1
+            # Broadcast the leader's backing-store address; lanes bound
+            # for the same page are handled together.
+            leader_xpage = int(wp.shfl(xpages, leader)[0])
+            same = (~self.valid) & active & (xpages == leader_xpage)
+            refs = wp.popc(wp.ballot(same))
+            ctx.charge(cm.fault_setup_count)
+            frame_addr, via_tlb = yield from self._resolve(
+                ctx, leader_xpage, refs, write)
+            self.frame_addr[same] = frame_addr
+            self.linked_xpage[same] = leader_xpage
+            self.tlb_backed[same] = via_tlb
+            self.linked_write[same] = write
+            self.valid |= same
+            ctx.charge(cm.fault_link_count)
+            self.avm.stats.links += refs
+        if write:
+            self._mark_dirty(active)
+
+    def _resolve(self, ctx: WarpContext, xpage: int, refs: int,
+                 write: bool):
+        """Leader-only: obtain the frame address for one page.
+
+        Consults the block TLB when configured; otherwise (or on a
+        bypass) goes to the paging backend.  Returns
+        ``(frame_addr, via_tlb)``.
+        """
+        backend = self.backend
+        tlb = self.avm.tlb_for(ctx)
+        if tlb is None or not getattr(backend, "paged", True):
+            frame = yield from backend.fault(ctx, xpage, refs, write)
+            return frame, False
+        fid = backend.file_id
+        frame = yield from tlb.lookup_and_ref(ctx, fid, xpage, refs)
+        if frame is not None:
+            return frame, True
+        frame = yield from backend.fault(ctx, xpage, refs, write)
+        installed, evicted = yield from tlb.install(
+            ctx, fid, xpage, frame, refs)
+        if evicted is not None:
+            (_, old_xpage), held = evicted
+            if held:
+                yield from backend.release(ctx, old_xpage, held)
+        return frame, installed
+
+    def _unlink(self, ctx: WarpContext, mask: np.ndarray):
+        """Drop references for ``mask`` lanes, grouped per page and per
+        backing path (TLB-tracked vs. direct)."""
+        cm = self.cost
+        remaining = mask.copy()
+        tlb = self.avm.tlb_for(ctx)
+        while remaining.any():
+            leader = int(np.argmax(remaining))
+            xpage = int(self.linked_xpage[leader])
+            via_tlb = bool(self.tlb_backed[leader])
+            group = (remaining & (self.linked_xpage == xpage)
+                     & (self.tlb_backed == via_tlb))
+            refs = int(group.sum())
+            ctx.charge(cm.fault_setup_count)
+            if via_tlb and tlb is not None:
+                found = yield from tlb.unref(
+                    ctx, self.backend.file_id, xpage, refs)
+                if not found:
+                    raise RuntimeError(
+                        "TLB-backed lane lost its TLB entry")
+            else:
+                yield from self.backend.release(ctx, xpage, refs)
+            self.valid &= ~group
+            self.tlb_backed &= ~group
+            self.linked_write &= ~group
+            self.avm.stats.unlinks += refs
+            remaining &= ~group
+
+    def _mark_dirty(self, active: np.ndarray) -> None:
+        backend = self.backend
+        gpufs = getattr(backend, "gpufs", None)
+        if gpufs is None:
+            return
+        for xpage in np.unique(self.linked_xpage[active & self.valid]):
+            entry = gpufs.cache.table.get(backend.file_id, int(xpage))
+            if entry is not None:
+                entry.dirty = True
+
+    def _check_bounds(self, width: int, active: np.ndarray) -> None:
+        pos = self.pos[active]
+        if pos.size == 0:
+            return
+        if int(pos.min()) < 0 or int(pos.max()) + width > self.size:
+            raise BoundsError(
+                f"access at [{pos.min()}, {pos.max()} + {width}) outside "
+                f"mapping of {self.size} bytes")
+        in_page = (self.base_offset + pos) % self.page_size
+        if int((in_page % width).max()) != 0:
+            raise BoundsError(
+                f"{width}-byte access not {width}-aligned "
+                "(would straddle a page boundary)")

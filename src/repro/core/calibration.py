@@ -1,0 +1,121 @@
+"""Instruction-cost calibration of apointer operations.
+
+Python cannot count SASS instructions, so the *number* of simulated
+instructions each apointer code path costs is taken from the paper's own
+measurements and SASS inspection (§VI-A):
+
+* a raw pointer increment is **2** instructions, the apointer increment
+  is **18** ("the most efficient apointer implementation uses 18
+  instructions vs. only 2 for a simple pointer increment");
+* one apointer access in the memcpy loop is about **105/4 ≈ 26-35**
+  instructions ("the apointer access involves 105 instructions" for an
+  iteration with two reads and two writes plus increments);
+* the dependent-chain lengths are fitted once to reproduce Table I's
+  latency column with the engine's latency model
+  (``latency = 14 + 7.6 * chain + 195·[is-load]`` cycles) and are then
+  used unchanged by every other experiment.
+
+``chain`` is the dependent-instruction chain length (determines the
+latency the issuing warp sees); ``count`` is the total instructions
+issued (determines occupancy of the SM issue pipelines).  The prefetch
+variant splits its chain into a part overlapped with the memory access
+and a short post-load tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import APConfig, ImplVariant, PtrFormat
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Instruction costs of one apointer implementation variant."""
+
+    # Dereference of a linked apointer (valid-bit vote + address compose).
+    deref_count: float        # instructions issued
+    deref_chain: float        # serialized chain before the load
+    deref_overlap: float      # chain overlapped with the load (prefetch)
+    deref_post: float         # chain after the data arrives
+
+    # Pointer arithmetic (+=, ++): boundary check + offset update.
+    arith_count: float
+    arith_chain: float
+
+    # Page permission checking (added to the deref when enabled).
+    perm_count: float
+    perm_chain: float         # serialized (compiler/PTX)
+    perm_post: float          # post-load (prefetch hides it, §VI-A)
+
+    # Fault-path costs (per Listing 1 loop iteration, converged warp).
+    fault_setup_count: float = 12.0
+    fault_link_count: float = 10.0
+
+    # Extra packing cost of the short format (two fields in one word).
+    fmt_extra_count: float = 0.0
+    fmt_extra_chain: float = 0.0
+
+
+_RAW = CostModel(
+    deref_count=2, deref_chain=2, deref_overlap=0, deref_post=0,
+    arith_count=2, arith_chain=2,
+    perm_count=0, perm_chain=0, perm_post=0,
+)
+
+_COMPILER = CostModel(
+    deref_count=34, deref_chain=20, deref_overlap=0, deref_post=0,
+    arith_count=18, arith_chain=18,
+    perm_count=9, perm_chain=9, perm_post=0,
+)
+
+_OPTIMIZED_PTX = CostModel(
+    deref_count=28, deref_chain=9, deref_overlap=0, deref_post=0,
+    arith_count=18, arith_chain=18,
+    perm_count=14, perm_chain=14, perm_post=0,
+)
+
+_PREFETCH = CostModel(
+    deref_count=28, deref_chain=0, deref_overlap=9, deref_post=8,
+    arith_count=18, arith_chain=18,
+    perm_count=9, perm_chain=0, perm_post=2,
+)
+
+# §VII what-if: dedicated boundary-check/increment instructions and
+# fused shuffle+arithmetic collapse the deref to a handful of
+# instructions and the increment to a bounds-checked add.  Speculative
+# prefetch is assumed retained.
+_HW_ASSISTED = CostModel(
+    deref_count=8, deref_chain=0, deref_overlap=3, deref_post=2,
+    arith_count=4, arith_chain=4,
+    perm_count=1, perm_chain=0, perm_post=1,
+    fault_setup_count=8.0, fault_link_count=6.0,
+)
+
+_BY_VARIANT = {
+    ImplVariant.COMPILER: _COMPILER,
+    ImplVariant.OPTIMIZED_PTX: _OPTIMIZED_PTX,
+    ImplVariant.PREFETCH: _PREFETCH,
+    ImplVariant.HW_ASSISTED: _HW_ASSISTED,
+}
+
+#: Extra per-operation cost of the short format: packing/unpacking the
+#: two sub-fields of the 64-bit word.
+_SHORT_EXTRA_COUNT = 2.0
+_SHORT_EXTRA_CHAIN = 1.0
+
+
+def raw_cost_model() -> CostModel:
+    """Cost of a plain C pointer (the baseline in every experiment)."""
+    return _RAW
+
+
+def cost_model_for(config: APConfig) -> CostModel:
+    """The cost model selected by an :class:`APConfig`."""
+    base = _BY_VARIANT[config.variant]
+    if config.fmt is PtrFormat.SHORT:
+        return CostModel(
+            **{**base.__dict__,
+               "fmt_extra_count": _SHORT_EXTRA_COUNT,
+               "fmt_extra_chain": _SHORT_EXTRA_CHAIN})
+    return base

@@ -1,0 +1,64 @@
+"""Configuration of the ActivePointers translation layer.
+
+The paper evaluates several implementation variants and design
+alternatives; :class:`APConfig` selects among them:
+
+* ``variant`` — how aggressively the dereference path is optimised:
+  the straightforward *compiler* code, the hand-tuned *optimized PTX*
+  version, or PTX plus *speculative prefetching* (§IV-B, Table I);
+* ``fmt`` — *long* apointers (one 60-bit field holding either an
+  aphysical address or an xAddress) vs. *short* apointers (32-bit
+  aphysical + 40-bit xAddress packed together), §IV-B;
+* ``use_tlb`` / ``tlb_entries`` — the per-threadblock software TLB of
+  §III-E / §IV-D, or the TLB-less design that the paper finds fastest;
+* ``perm_checks`` — page permission checking on access (§VI-A measures
+  its cost and then disables it, which is the default here too).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ImplVariant(enum.Enum):
+    """Dereference code generation level (Table I rows).
+
+    ``HW_ASSISTED`` is not in the paper's evaluation: it models the
+    hardware extensions its Discussion proposes (§VII) — instructions
+    for page-boundary checking and pointer increment, and fused
+    shuffle+integer ops — as a what-if cost model.
+    """
+
+    COMPILER = "compiler"
+    OPTIMIZED_PTX = "optimized_ptx"
+    PREFETCH = "prefetching"
+    HW_ASSISTED = "hw_assisted"
+
+
+class PtrFormat(enum.Enum):
+    """Translation-field layout (§IV-B design alternatives)."""
+
+    LONG = "long"
+    SHORT = "short"
+
+
+@dataclass(frozen=True)
+class APConfig:
+    """Tunable knobs of the translation layer."""
+
+    variant: ImplVariant = ImplVariant.PREFETCH
+    fmt: PtrFormat = PtrFormat.LONG
+    use_tlb: bool = False
+    tlb_entries: int = 32
+    perm_checks: bool = False
+
+    def tlb_entry_bytes(self) -> int:
+        """Per-entry TLB footprint (§IV-D): 12 B short / 20 B long,
+        plus 4 B for the entry lock."""
+        payload = 12 if self.fmt is PtrFormat.SHORT else 20
+        return payload + 4
+
+    def tlb_bytes(self) -> int:
+        return self.tlb_entries * self.tlb_entry_bytes() if self.use_tlb \
+            else 0

@@ -1,0 +1,37 @@
+"""Counters for the translation layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class APStats:
+    """What the apointer layer did during a run.
+
+    Faults here are *translation* faults (valid-bit misses); whether one
+    is minor or major at the paging level is counted by
+    :class:`repro.paging.PagingStats`.
+    """
+
+    derefs: int = 0
+    reads: int = 0
+    writes: int = 0
+    arith_ops: int = 0
+    translation_faults: int = 0
+    fault_groups: int = 0          # Listing-1 loop iterations
+    links: int = 0
+    unlinks: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    tlb_bypasses: int = 0
+    tlb_evictions: int = 0
+    perm_checks: int = 0
+
+    def tlb_hit_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / total if total else 0.0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)

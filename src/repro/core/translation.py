@@ -1,0 +1,106 @@
+"""Translation-field encodings: the 64-bit word inside an apointer.
+
+The paper packs the whole translation state of an apointer into 64 bits
+so the compiler keeps it in one hardware register (§IV-A, Figure 5).
+Two layouts are evaluated (§IV-B):
+
+* **Long apointer** — the mapping field holds *either* a 60-bit
+  aphysical address (linked) *or* a 60-bit xAddress (unlinked), selected
+  by the valid bit.
+* **Short apointer** — the field holds *both* a 32-bit aphysical address
+  and a 40-bit xAddress page number at all times, at reduced address
+  range and some packing cost.
+
+This module implements real bit packing/unpacking: the per-lane encoded
+words are what a kernel would hold in registers, and tests verify that
+decoding recovers exactly what was encoded (or rejects out-of-range
+addresses, which is the short format's trade-off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PtrFormat
+
+VALID_BIT = np.uint64(1) << np.uint64(63)
+READ_BIT = np.uint64(1) << np.uint64(62)
+WRITE_BIT = np.uint64(1) << np.uint64(61)
+
+_LONG_ADDR_BITS = 60
+_LONG_MASK = np.uint64((1 << _LONG_ADDR_BITS) - 1)
+
+_SHORT_APHYS_BITS = 32
+_SHORT_XPAGE_BITS = 29  # page number of the xAddress (29 + 32 = 61 bits)
+_SHORT_APHYS_MASK = np.uint64((1 << _SHORT_APHYS_BITS) - 1)
+_SHORT_XPAGE_MASK = np.uint64((1 << _SHORT_XPAGE_BITS) - 1)
+
+
+class AddressRangeError(ValueError):
+    """An address does not fit the chosen translation-field layout."""
+
+
+def perm_bits(read: bool, write: bool) -> np.uint64:
+    bits = np.uint64(0)
+    if read:
+        bits |= READ_BIT
+    if write:
+        bits |= WRITE_BIT
+    return bits
+
+
+def encode_long(valid: np.ndarray, perms: np.uint64,
+                addr: np.ndarray) -> np.ndarray:
+    """Pack long-format words: one 60-bit field, aphys or xAddress."""
+    addr = np.asarray(addr, dtype=np.uint64)
+    if addr.size and int(addr.max()) >= (1 << _LONG_ADDR_BITS):
+        raise AddressRangeError("address exceeds 60 bits")
+    word = addr & _LONG_MASK
+    word = word | np.where(np.asarray(valid, bool), VALID_BIT, np.uint64(0))
+    return word | perms
+
+
+def decode_long(word: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(valid, addr)`` from long-format words."""
+    word = np.asarray(word, dtype=np.uint64)
+    return (word & VALID_BIT) != 0, word & _LONG_MASK
+
+
+def encode_short(valid: np.ndarray, perms: np.uint64, aphys: np.ndarray,
+                 xpage: np.ndarray) -> np.ndarray:
+    """Pack short-format words: 32-bit aphys plus 29-bit xAddress page."""
+    aphys = np.asarray(aphys, dtype=np.uint64)
+    xpage = np.asarray(xpage, dtype=np.uint64)
+    if aphys.size and int(aphys.max()) >= (1 << _SHORT_APHYS_BITS):
+        raise AddressRangeError("aphysical address exceeds 32 bits")
+    if xpage.size and int(xpage.max()) >= (1 << _SHORT_XPAGE_BITS):
+        raise AddressRangeError("xAddress page exceeds 29 bits")
+    word = (aphys & _SHORT_APHYS_MASK)
+    word = word | ((xpage & _SHORT_XPAGE_MASK)
+                   << np.uint64(_SHORT_APHYS_BITS))
+    word = word | np.where(np.asarray(valid, bool), VALID_BIT, np.uint64(0))
+    return word | perms
+
+
+def decode_short(word: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(valid, aphys, xpage)`` from short-format words."""
+    word = np.asarray(word, dtype=np.uint64)
+    valid = (word & VALID_BIT) != 0
+    aphys = word & _SHORT_APHYS_MASK
+    xpage = (word >> np.uint64(_SHORT_APHYS_BITS)) & _SHORT_XPAGE_MASK
+    return valid, aphys, xpage
+
+
+def has_perm(word: np.ndarray, write: bool) -> np.ndarray:
+    """Per-lane permission check against the packed word."""
+    word = np.asarray(word, dtype=np.uint64)
+    bit = WRITE_BIT if write else READ_BIT
+    return (word & bit) != 0
+
+
+def max_mappable_bytes(fmt: PtrFormat, page_size: int) -> int:
+    """Largest file region addressable by a format's xAddress field."""
+    if fmt is PtrFormat.LONG:
+        return 1 << _LONG_ADDR_BITS
+    return (1 << _SHORT_XPAGE_BITS) * page_size

@@ -1,0 +1,36 @@
+"""Distributed shared memory over a cluster of (simulated) GPUs.
+
+The paper's introduction names this as a direction ActivePointers open
+up: "page fault interposition has been useful for implementing software
+distributed shared memory in a CPU cluster.  ActivePointers pave the
+way to building a distributed shared memory system in a cluster of
+GPUs."  This package builds that system on top of the reproduction:
+
+* each GPU keeps its own page cache over a shared backing store
+  (host memory);
+* a host-side **directory** (:mod:`repro.dsm.directory`) runs an
+  MSI-style protocol — pages are Shared by many readers or Exclusive to
+  one writer, with flush/invalidate on transitions;
+* :class:`repro.dsm.cluster.DSMBackend` plugs into the apointer layer
+  as a mapping backend, so GPU kernels access the shared region through
+  ordinary active pointers and coherence happens inside their page
+  faults.
+
+Consistent with the paper's central invariant, the protocol **never
+revokes an active page**: invalidating a page that some apointer still
+references (refcount > 0) is an error, not a silent data race.
+Execution across devices is phased (bulk-synchronous): kernels on
+different GPUs run in turns, with coherence actions at fault time — the
+model of early software DSMs.
+"""
+
+from repro.dsm.directory import Directory, PageState
+from repro.dsm.cluster import DSMCluster, DSMBackend, DSMStats
+
+__all__ = [
+    "Directory",
+    "PageState",
+    "DSMCluster",
+    "DSMBackend",
+    "DSMStats",
+]

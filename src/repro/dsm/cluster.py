@@ -1,0 +1,199 @@
+"""The DSM cluster: devices, shared region, and the apointer backend.
+
+A :class:`DSMCluster` owns N simulated GPUs, a shared region backed by
+host memory (a RAMfs file), one GPUfs page cache per device over that
+file, and a :class:`~repro.dsm.directory.Directory`.  Kernels access
+the region through ordinary active pointers whose backend is a
+:class:`DSMBackend`; coherence happens inside their page faults:
+
+* **read fault** — if another device holds the page exclusively, its
+  dirty copy is flushed to the backing store (charged as a host RPC
+  plus a device-to-host DMA); then the page faults in locally.
+* **write fault** — the dirty owner (if any) is flushed and every other
+  cached copy is invalidated; the faulting device becomes the exclusive
+  holder.
+
+Invalidation removes the page from the victim device's page table.  If
+the victim still holds references (an apointer is linked to it), the
+protocol refuses: the paper's fixed-mapping guarantee — an active
+page's translation never changes — extends across the cluster.
+Execution is phased (kernels on different devices run in turns), so in
+correct programs invalidations only ever hit quiescent devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu import Device
+from repro.gpu.kernel import WarpContext
+from repro.host import HostFileSystem
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+
+#: Host-side cost of one directory RPC (lookup + state transition).
+DIRECTORY_RPC_S = 2e-6
+
+
+class ActivePageRevocationError(RuntimeError):
+    """A coherence action tried to invalidate a referenced page."""
+
+
+@dataclass
+class DSMStats:
+    read_faults: int = 0
+    write_faults: int = 0
+    flushes: int = 0
+    invalidations: int = 0
+
+
+class DSMCluster:
+    """N GPUs sharing one region through directory-based coherence."""
+
+    def __init__(self, num_devices: int, region_bytes: int,
+                 page_size: int = 4096, frames_per_device: int = 256,
+                 memory_bytes: int = 128 * 1024 * 1024):
+        from repro.dsm.directory import Directory
+
+        if region_bytes % page_size:
+            raise ValueError("region must be page-aligned")
+        self.page_size = page_size
+        self.region_bytes = region_bytes
+        self.ramfs = RamFS()
+        self.ramfs.create("dsm", np.zeros(region_bytes, dtype=np.uint8))
+        self.devices: list[Device] = []
+        self.gpufs: list[GPUfs] = []
+        self.fids: list[int] = []
+        for _ in range(num_devices):
+            device = Device(memory_bytes=memory_bytes)
+            fs = GPUfs(device, HostFileSystem(self.ramfs),
+                       GPUfsConfig(page_size=page_size,
+                                   num_frames=frames_per_device))
+            from repro.host.filesys import O_RDWR
+            fid = fs.open("dsm", O_RDWR)
+            self.devices.append(device)
+            self.gpufs.append(fs)
+            self.fids.append(fid)
+        self.directory = Directory(num_devices)
+        self.stats = DSMStats()
+
+    # ------------------------------------------------------------------
+    def backend_for(self, device_index: int) -> "DSMBackend":
+        return DSMBackend(self, device_index)
+
+    def region_array(self) -> np.ndarray:
+        """The backing store contents (host-side view)."""
+        return self.ramfs.open("dsm").data
+
+    # ------------------------------------------------------------------
+    # Coherence actions (called from fault paths)
+    # ------------------------------------------------------------------
+    def flush_page(self, ctx: WarpContext, owner: int, fpn: int):
+        """Timed: write the owner's dirty copy back to the backing
+        store and downgrade its entry to clean."""
+        gpufs = self.gpufs[owner]
+        entry = gpufs.cache.table.get(self.fids[owner], fpn)
+        if entry is None:
+            return
+        if not entry.ready:
+            # The owner's page-in is still in flight (concurrent
+            # co-simulation): wait for it before flushing.
+            while not entry.ready:
+                yield from ctx.sleep(200.0, io_wait=True)
+        self.stats.flushes += 1
+        frame_addr = gpufs.cache.frame_addr(entry.frame)
+        data = gpufs.device.memory.read(
+            frame_addr, self.page_size).copy()
+        self.ramfs.open("dsm").pwrite(fpn * self.page_size, data)
+        entry.dirty = False
+        # Charged to the faulting warp: directory RPC + the owner's
+        # device-to-host DMA on the shared interconnect.
+        yield from ctx.host_compute(DIRECTORY_RPC_S)
+        yield from ctx.pcie(self.page_size, to_device=False)
+
+    def invalidate_page(self, ctx: WarpContext, victim: int, fpn: int):
+        """Timed: drop ``victim``'s cached copy of ``fpn``."""
+        gpufs = self.gpufs[victim]
+        entry = gpufs.cache.table.get(self.fids[victim], fpn)
+        if entry is None:
+            self.directory.release(fpn, victim, flushed=False)
+            return
+        if entry.refcount > 0:
+            raise ActivePageRevocationError(
+                f"device {victim} holds {entry.refcount} references to "
+                f"page {fpn}; active pages cannot be revoked "
+                "(fixed-mapping guarantee)")
+        self.stats.invalidations += 1
+        removed = yield from gpufs.cache.table.remove_if_unreferenced(
+            ctx, entry)
+        if removed:
+            gpufs.cache._owner[entry.frame] = None
+            gpufs.cache._free.append(entry.frame)
+        self.directory.release(fpn, victim, flushed=False)
+
+    # ------------------------------------------------------------------
+    def check_coherent(self) -> bool:
+        """Host-side invariant check: clean cached copies match the
+        backing store; at most one exclusive holder per page."""
+        store = self.region_array()
+        for dev, gpufs in enumerate(self.gpufs):
+            for entry in gpufs.cache.table.entries():
+                if entry.dirty:
+                    continue
+                frame_addr = gpufs.cache.frame_addr(entry.frame)
+                cached = gpufs.device.memory.read(frame_addr,
+                                                  self.page_size)
+                ref = store[entry.fpn * self.page_size:
+                            (entry.fpn + 1) * self.page_size]
+                if not np.array_equal(cached, ref):
+                    return False
+        return True
+
+
+class DSMBackend:
+    """Apointer mapping backend over a DSM cluster, for one device."""
+
+    def __init__(self, cluster: DSMCluster, device_index: int):
+        self.cluster = cluster
+        self.device_index = device_index
+        self.page_size = cluster.page_size
+        self.file_id = cluster.fids[device_index]
+        self.paged = True
+        self.gpufs = cluster.gpufs[device_index]
+
+    @property
+    def device(self) -> Device:
+        return self.cluster.devices[self.device_index]
+
+    def fault(self, ctx: WarpContext, xpage: int, refs: int, write: bool):
+        """Timed: coherence transition, then the local page fault."""
+        cluster = self.cluster
+        directory = cluster.directory
+        me = self.device_index
+        yield from ctx.host_compute(DIRECTORY_RPC_S)
+        if write:
+            cluster.stats.write_faults += 1
+            actions = directory.acquire_write(xpage, me)
+            if "flush" in actions:
+                yield from cluster.flush_page(ctx, actions["flush"],
+                                              xpage)
+            for victim in actions["invalidate"]:
+                yield from cluster.invalidate_page(ctx, victim, xpage)
+        else:
+            cluster.stats.read_faults += 1
+            actions = directory.acquire_read(xpage, me)
+            if "flush" in actions:
+                yield from cluster.flush_page(ctx, actions["flush"],
+                                              xpage)
+        # A stale local copy (invalidated by a writer elsewhere between
+        # our kernels) was already removed by invalidate_page; whatever
+        # is resident now is current, so the normal fault path applies.
+        frame = yield from self.gpufs.handle_fault(
+            ctx, self.file_id, xpage, refs=refs, write=write)
+        return frame
+
+    def release(self, ctx: WarpContext, xpage: int, refs: int):
+        yield from self.gpufs.release_page(ctx, self.file_id, xpage,
+                                           refs=refs)

@@ -1,0 +1,115 @@
+"""The simulated GPU device: memory plus kernel launch.
+
+:class:`Device` owns global memory and launches kernels on the engine.
+A :class:`KernelLaunch` describes grid geometry and per-thread resource
+usage (registers, scratchpad), from which the occupancy calculator
+derives how many threadblocks are resident per SM — the knob Figure 6 of
+the paper sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.gpu.engine import Engine, EngineStats
+from repro.gpu.kernel import BlockContext, KernelFn, WarpContext
+from repro.gpu.memory import GlobalMemory, Scratchpad
+from repro.gpu.occupancy import OccupancyLimits, occupancy_limits
+from repro.gpu.specs import GPUSpec, K80_SPEC
+
+
+@dataclass
+class KernelLaunch:
+    """Launch configuration, mirroring ``kernel<<<grid, block>>>``."""
+
+    kernel: KernelFn
+    grid: int
+    block_threads: int
+    args: tuple = ()
+    regs_per_thread: int = 64
+    scratchpad_bytes: int = 0
+    block_init: Optional[Callable[[BlockContext], None]] = None
+
+    def __post_init__(self):
+        if self.grid <= 0:
+            raise ValueError("grid must contain at least one block")
+        if self.block_threads <= 0:
+            raise ValueError("block must contain at least one thread")
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    cycles: float
+    seconds: float
+    stats: EngineStats
+    occupancy: OccupancyLimits
+
+    def dram_bandwidth(self, spec: GPUSpec) -> float:
+        return self.stats.dram_bandwidth(spec)
+
+
+class Device:
+    """One simulated discrete GPU."""
+
+    def __init__(self, spec: GPUSpec = K80_SPEC,
+                 memory_bytes: int = 64 * 1024 * 1024):
+        self.spec = spec
+        self.memory = GlobalMemory(memory_bytes,
+                                   spec.dram_transaction_bytes)
+        self.total_cycles = 0.0
+        self.launches = 0
+
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = 256) -> int:
+        return self.memory.alloc(nbytes, align)
+
+    # ------------------------------------------------------------------
+    def launch(self, kernel: KernelFn, grid: int, block_threads: int,
+               args: tuple = (), regs_per_thread: int = 64,
+               scratchpad_bytes: int = 0,
+               block_init: Optional[Callable[[BlockContext], None]] = None,
+               tracer=None) -> LaunchResult:
+        """Run ``kernel`` over ``grid`` threadblocks and return timing."""
+        cfg = KernelLaunch(kernel, grid, block_threads, args,
+                           regs_per_thread, scratchpad_bytes, block_init)
+        return self.launch_cfg(cfg, tracer=tracer)
+
+    def launch_cfg(self, cfg: KernelLaunch, tracer=None) -> LaunchResult:
+        spec = self.spec
+        occ = occupancy_limits(spec, cfg.block_threads,
+                               cfg.regs_per_thread, cfg.scratchpad_bytes)
+        if not occ.is_schedulable:
+            raise ValueError(
+                f"kernel cannot be scheduled: {occ.limiting_factor}")
+        warps_per_block = -(-cfg.block_threads // spec.warp_size)
+
+        def make_block(block_id: int):
+            def factory():
+                block = BlockContext(
+                    block_id=block_id,
+                    threads=cfg.block_threads,
+                    warps=warps_per_block,
+                    scratchpad=Scratchpad(max(cfg.scratchpad_bytes, 1)),
+                )
+                if cfg.block_init is not None:
+                    cfg.block_init(block)
+                gens = []
+                for w in range(warps_per_block):
+                    ctx = WarpContext(spec, self.memory, block, w)
+                    gens.append(cfg.kernel(ctx, *cfg.args))
+                return block, gens
+            return factory
+
+        engine = Engine(spec, occ.blocks_per_sm, tracer=tracer)
+        cycles = engine.run([make_block(b) for b in range(cfg.grid)])
+        self.total_cycles += cycles
+        self.launches += 1
+        return LaunchResult(
+            cycles=cycles,
+            seconds=spec.cycles_to_seconds(cycles),
+            stats=engine.stats,
+            occupancy=occ,
+        )

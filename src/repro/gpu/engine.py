@@ -1,0 +1,433 @@
+"""Event-driven warp scheduler.
+
+The engine advances one warp coroutine per event.  Each yielded request
+reserves the resources it needs:
+
+* **Issue server** (one per SM): ``count / effective_ipc`` cycles of the
+  SM's instruction issue bandwidth, shared with every warp resident on
+  that SM.
+* **DRAM server** (one per GPU): ``transactions * 128`` bytes against the
+  achievable memory bandwidth, plus a fixed access latency visible only
+  to the issuing warp.
+* **PCIe server** (one per GPU): fixed per-transaction cost plus bytes at
+  link bandwidth — which is why the paging layer batches 4 KB pages.
+* **Host server**: serialises host-side work, modelling the CPU-centric
+  bottleneck the paper argues against (Figure 1 vs. Figure 2).
+
+Latency hiding is emergent: a warp stalled on memory does not occupy the
+issue server, so other resident warps run in the meantime.  With one warp
+the latency chain dominates (the paper's Table I regime); with many the
+servers saturate and only issue- or bandwidth-bound costs remain (the
+Table II / Figure 6 regime).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.gpu.instructions import (
+    AcquireLock,
+    AtomicOp,
+    Barrier,
+    Compute,
+    HostCompute,
+    LoadFence,
+    MemAccess,
+    PcieTransfer,
+    ReleaseLock,
+    ScratchAccess,
+    Sleep,
+)
+from repro.gpu.kernel import BlockContext
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters for one kernel launch."""
+
+    cycles: float = 0.0
+    instructions: float = 0.0
+    dram_bytes: int = 0
+    dram_transactions: int = 0
+    loads: int = 0
+    stores: int = 0
+    atomics: int = 0
+    scratch_accesses: float = 0.0
+    barriers: int = 0
+    lock_acquisitions: int = 0
+    lock_contentions: int = 0
+    pcie_bytes: int = 0
+    pcie_transactions: int = 0
+    host_seconds: float = 0.0
+    preemptions: int = 0
+    # Resource busy time (cycles), for bottleneck analysis.
+    issue_busy: float = 0.0
+    dram_busy: float = 0.0
+    pcie_busy: float = 0.0
+    sleep_cycles: float = 0.0
+
+    def dram_bandwidth(self, spec: GPUSpec) -> float:
+        """Achieved DRAM bandwidth in bytes/second."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.dram_bytes / spec.cycles_to_seconds(self.cycles)
+
+
+class _WarpRunner:
+    """Engine-side handle for one executing warp coroutine."""
+
+    __slots__ = ("gen", "block", "started", "outstanding", "warp_index",
+                 "io_stalled", "pending_req")
+
+    def __init__(self, gen, block: BlockContext, warp_index: int = 0):
+        self.gen = gen
+        self.block = block
+        self.started = False
+        self.outstanding = 0.0   # completion time of in-flight async loads
+        self.warp_index = warp_index
+        self.io_stalled = False  # currently waiting on a host transfer
+        self.pending_req = None  # sliced request awaiting re-dispatch
+
+
+class Engine:
+    """Executes a grid of threadblocks on the simulated GPU."""
+
+    def __init__(self, spec: GPUSpec, blocks_per_sm: int, tracer=None,
+                 num_devices: int = 1):
+        self.spec = spec
+        self.blocks_per_sm = max(1, blocks_per_sm)
+        self.tracer = tracer
+        self.num_devices = num_devices
+        self.stats = EngineStats()
+        total_sms = spec.num_sms * num_devices
+        self._issue_avail = [0.0] * total_sms
+        self._dram_avail = [0.0] * num_devices
+        self._pcie_avail = [0.0] * num_devices
+        self._host_avail = 0.0           # one host serves all devices
+        self._atomic_avail: dict[tuple, float] = {}
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._pending_groups: list = [[] for _ in range(num_devices)]
+        self._resident = [0] * total_sms
+        self._eff_ipc = spec.effective_issue_rate()
+        self._extra_blocks = [0] * total_sms   # preemption slots used
+        self._dram_bpc = spec.dram_bytes_per_cycle()
+        self._pcie_bpc = spec.pcie_bytes_per_cycle()
+        self._end_time = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, block_factories: list) -> float:
+        """Run all blocks; each factory returns (BlockContext, [warp gens]).
+
+        Returns total elapsed cycles.
+        """
+        return self.run_groups([list(block_factories)])
+
+    def run_groups(self, groups: list) -> float:
+        """Run one list of block factories per device, concurrently.
+
+        Device *d*'s blocks execute on its own SMs and DRAM; the host
+        CPU and atomic namespaces are shared.  Returns elapsed cycles.
+        """
+        if len(groups) > self.num_devices:
+            raise ValueError("more groups than devices")
+        self._pending_groups = [list(g) for g in groups]
+        while len(self._pending_groups) < self.num_devices:
+            self._pending_groups.append([])
+        # Breadth-first initial wave per device: one block per SM, then
+        # a second round, as the hardware block scheduler does.
+        for dev in range(self.num_devices):
+            base = dev * self.spec.num_sms
+            for _ in range(self.blocks_per_sm):
+                for sm in range(base, base + self.spec.num_sms):
+                    if not self._pending_groups[dev]:
+                        break
+                    self._start_next_block(sm, 0.0)
+        while self._heap:
+            time, _, runner = heapq.heappop(self._heap)
+            self._step(runner, time)
+        self.stats.cycles = self._end_time
+        return self._end_time
+
+    # ------------------------------------------------------------------
+    def _start_next_block(self, sm: int, time: float) -> bool:
+        dev = sm // self.spec.num_sms
+        pending = self._pending_groups[dev]
+        if not pending:
+            return False
+        factory = pending.pop(0)
+        block, gens = factory()
+        block.device_index = dev
+        block.sm_index = sm
+        block.live_warps = len(gens)
+        block.done_warps = 0
+        self._resident[sm] += 1
+        for w, gen in enumerate(gens):
+            self._schedule(_WarpRunner(gen, block, w), time)
+        return True
+
+    def _schedule(self, runner: _WarpRunner, time: float) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), runner))
+        self._end_time = max(self._end_time, time)
+
+    def _finish_warp(self, runner: _WarpRunner, time: float) -> None:
+        block = runner.block
+        block.done_warps += 1
+        self._end_time = max(self._end_time, time)
+        self._release_barrier_if_complete(block, time)
+        if block.done_warps == block.live_warps:
+            sm = block.sm_index
+            self._resident[sm] -= 1
+            self._start_next_block(sm, time)
+
+    # ------------------------------------------------------------------
+    #: Issue-slice size (warp-instructions).  Large instruction blocks
+    #: are fed to the issue pipeline in slices so warps interleave
+    #: fairly, as the hardware's round-robin scheduler does — a single
+    #: FIFO reservation per macro-op would let one warp's long compute
+    #: serialise every other warp's small ops behind it.  The slice is
+    #: deliberately coarse: fault-path instruction charges (~150-250)
+    #: must stay atomic or their requeueing inflates lock hold times.
+    ISSUE_SLICE = 512.0
+
+    def _step(self, runner: _WarpRunner, now: float) -> None:
+        if runner.io_stalled:
+            runner.io_stalled = False
+            runner.block.io_stalled -= 1
+        if runner.pending_req is not None:
+            req = runner.pending_req
+            runner.pending_req = None
+            self._dispatch(req, runner, now)
+            return
+        try:
+            if runner.started:
+                req = runner.gen.send(now)
+            else:
+                runner.started = True
+                req = next(runner.gen)
+        except StopIteration:
+            self._finish_warp(runner, now)
+            return
+        self._dispatch(req, runner, now)
+
+    def _trace(self, runner: _WarpRunner, req, start: float,
+               end: float) -> None:
+        if self.tracer is not None:
+            block = runner.block
+            warp = block.block_id * max(block.live_warps, 1)
+            self.tracer.record(warp + runner.warp_index,
+                               block.block_id,
+                               type(req).__name__.lower(), start, end)
+
+    def _slice_issue(self, req, runner: _WarpRunner, now: float,
+                     sm: int) -> bool:
+        """Issue one slice of an oversized instruction block; returns
+        True if the request was sliced (and re-queued)."""
+        if req.count <= self.ISSUE_SLICE:
+            return False
+        spec = self.spec
+        start = max(now, self._issue_avail[sm])
+        issue_time = self.ISSUE_SLICE / self._eff_ipc
+        self._issue_avail[sm] = start + issue_time
+        self.stats.issue_busy += issue_time
+        self.stats.instructions += self.ISSUE_SLICE
+        req.count -= self.ISSUE_SLICE
+        chain = (req.chain_length() if isinstance(req, Compute)
+                 else req.chain)
+        used = min(chain, self.ISSUE_SLICE)
+        if isinstance(req, Compute):
+            req.chain = chain - used
+        else:
+            req.chain = chain - used
+        latency = used * spec.dependent_issue_cycles
+        runner.pending_req = req
+        self._schedule(runner, start + max(issue_time, latency))
+        return True
+
+    def _dispatch(self, req, runner: _WarpRunner, now: float) -> None:
+        spec = self.spec
+        sm = runner.block.sm_index
+        if isinstance(req, (Compute, MemAccess))                 and self._slice_issue(req, runner, now, sm):
+            return
+        if isinstance(req, Compute):
+            start = max(now, self._issue_avail[sm])
+            issue_time = req.count / self._eff_ipc
+            self._issue_avail[sm] = start + issue_time
+            self.stats.issue_busy += issue_time
+            latency = (spec.macro_op_overhead_cycles
+                       + req.chain_length() * spec.dependent_issue_cycles)
+            self.stats.instructions += req.count
+            done = start + max(issue_time, latency)
+            self._trace(runner, req, start, done)
+            self._schedule(runner, done)
+        elif isinstance(req, MemAccess):
+            self._dispatch_mem(req, runner, now, sm)
+        elif isinstance(req, ScratchAccess):
+            start = max(now, self._issue_avail[sm])
+            issue_time = req.count / self._eff_ipc
+            self._issue_avail[sm] = start + issue_time
+            self.stats.instructions += req.count
+            self.stats.scratch_accesses += req.count
+            done = start + max(issue_time, spec.scratchpad_latency_cycles)
+            self._trace(runner, req, start, done)
+            self._schedule(runner, done)
+        elif isinstance(req, AtomicOp):
+            key = (runner.block.device_index, req.address)
+            avail = self._atomic_avail.get(key, 0.0)
+            start = max(now, avail)
+            # Pipelined: the address accepts another atomic after the
+            # issue interval; the issuing warp sees the full latency.
+            self._atomic_avail[key] = (
+                start + spec.atomic_interval_cycles)
+            self.stats.atomics += 1
+            done = start + spec.atomic_latency_cycles
+            self._trace(runner, req, start, done)
+            self._schedule(runner, done)
+        elif isinstance(req, LoadFence):
+            self._schedule(runner, max(now, runner.outstanding))
+        elif isinstance(req, Barrier):
+            self._dispatch_barrier(runner, now)
+        elif isinstance(req, AcquireLock):
+            lock = req.lock
+            lock.acquisitions += 1
+            cost = (spec.atomic_latency_cycles if lock.latency is None
+                    else lock.latency)
+            if lock.holder is None:
+                lock.holder = runner
+                self.stats.lock_acquisitions += 1
+                self._schedule(runner, now + cost)
+            else:
+                lock.contended += 1
+                self.stats.lock_contentions += 1
+                lock.waiters.append(runner)
+        elif isinstance(req, ReleaseLock):
+            lock = req.lock
+            lock.holder = None
+            if lock.waiters:
+                waiter = lock.waiters.pop(0)
+                lock.holder = waiter
+                self.stats.lock_acquisitions += 1
+                cost = (spec.atomic_latency_cycles if lock.latency is None
+                        else lock.latency)
+                self._schedule(waiter, now + cost)
+            self._schedule(runner, now)
+        elif isinstance(req, PcieTransfer):
+            # The link is busy only while bytes move (DMA engines
+            # pipeline); the fixed latency is visible to the requesting
+            # warp but does not serialise the link.  Host-side per-batch
+            # setup costs go through HostCompute instead — that is the
+            # CPU-centric bottleneck of the paper's Figure 1.
+            dev = runner.block.device_index
+            start = max(now, self._pcie_avail[dev])
+            xfer = req.nbytes / self._pcie_bpc
+            self._pcie_avail[dev] = start + xfer
+            self.stats.pcie_busy += xfer
+            self.stats.pcie_bytes += req.nbytes
+            self.stats.pcie_transactions += 1
+            fixed = 0.0 if req.latency_free else spec.pcie_latency_cycles()
+            done = start + xfer + fixed
+            self._trace(runner, req, start, done)
+            self._maybe_preempt(runner, now, done)
+            self._schedule(runner, done)
+        elif isinstance(req, HostCompute):
+            start = max(now, self._host_avail)
+            done = start + req.seconds * spec.clock_hz
+            self._host_avail = done
+            self.stats.host_seconds += req.seconds
+            self._trace(runner, req, start, done)
+            self._maybe_preempt(runner, now, done)
+            self._schedule(runner, done)
+        elif isinstance(req, Sleep):
+            self.stats.sleep_cycles += req.cycles
+            if req.cycles:
+                self._trace(runner, req, now, now + req.cycles)
+            if req.io_wait:
+                self._maybe_preempt(runner, now, now + req.cycles)
+            self._schedule(runner, now + req.cycles)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown request {req!r}")
+
+    def _dispatch_mem(self, req: MemAccess, runner: _WarpRunner,
+                      now: float, sm: int) -> None:
+        spec = self.spec
+        start = max(now, self._issue_avail[sm])
+        issue_time = (req.count + 1) / self._eff_ipc
+        self._issue_avail[sm] = start + issue_time
+        self.stats.issue_busy += issue_time
+        self.stats.instructions += req.count + 1
+        nbytes = req.transactions * spec.dram_transaction_bytes
+        self.stats.dram_bytes += nbytes
+        self.stats.dram_transactions += req.transactions
+        # Serial chain before the access can be issued.
+        pre_done = (start + spec.macro_op_overhead_cycles
+                    + req.chain * spec.dependent_issue_cycles)
+        dev = runner.block.device_index
+        dram_start = max(pre_done, self._dram_avail[dev])
+        self._dram_avail[dev] = dram_start + nbytes / self._dram_bpc
+        self.stats.dram_busy += nbytes / self._dram_bpc
+        if req.is_store:
+            self.stats.stores += 1
+            self._schedule(runner, max(pre_done, start + issue_time))
+            return
+        self.stats.loads += 1
+        data_ready = dram_start + spec.dram_latency_cycles
+        self._trace(runner, req, start, data_ready)
+        if req.nonblocking:
+            # Memory-level parallelism: the warp keeps issuing; a
+            # LoadFence later waits for the slowest outstanding load.
+            runner.outstanding = max(runner.outstanding, data_ready)
+            self._schedule(runner, max(pre_done, start + issue_time))
+            return
+        overlap_done = (pre_done
+                        + req.overlap_chain * spec.dependent_issue_cycles)
+        ready = max(data_ready, overlap_done)
+        ready += req.post_chain * spec.dependent_issue_cycles
+        self._schedule(runner, max(ready, start + issue_time))
+
+    # ------------------------------------------------------------------
+    def _maybe_preempt(self, runner: _WarpRunner, now: float,
+                       resume: float) -> None:
+        """§VII I/O preemption: if every live warp of this block is now
+        stalled on a host transfer and work is queued, swap in a pending
+        block on this SM (the stalled block keeps its state and resumes
+        when its transfers land)."""
+        spec = self.spec
+        block = runner.block
+        if not runner.io_stalled:
+            runner.io_stalled = True
+            block.io_stalled += 1
+        if not spec.io_preemption:
+            return
+        if not self._pending_groups[block.device_index]:
+            return
+        running = block.live_warps - block.done_warps
+        sm = block.sm_index
+        # Most of the block is off-chip: save its context and bring in
+        # queued work.  Oversubscription is bounded per SM (the saved
+        # contexts live in spill memory, as GPUpIO proposes).
+        threshold = max(1, (3 * running) // 4)
+        if block.io_stalled >= threshold and self._extra_blocks[sm] < 4:
+            self._extra_blocks[sm] += 1
+            self.stats.preemptions += 1
+            start_at = now + spec.preemption_cost_cycles
+            self._start_next_block(sm, start_at)
+
+    # ------------------------------------------------------------------
+    def _dispatch_barrier(self, runner: _WarpRunner, now: float) -> None:
+        block = runner.block
+        block.barrier_waiting.append((runner, now))
+        self.stats.barriers += 1
+        self._release_barrier_if_complete(block, now)
+
+    def _release_barrier_if_complete(self, block: BlockContext,
+                                     now: float) -> None:
+        waiting = block.barrier_waiting
+        running = block.live_warps - block.done_warps
+        if waiting and len(waiting) == running:
+            release = max(t for _, t in waiting)
+            block.barrier_waiting = []
+            for waiter, _ in waiting:
+                self._schedule(waiter, release)

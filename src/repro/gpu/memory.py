@@ -1,0 +1,176 @@
+"""GPU memory state: global memory and per-threadblock scratchpad.
+
+Global memory is a single byte array.  Warp accesses are vectorised: a
+load takes 32 lane byte-addresses and returns 32 values.  The number of
+DRAM transactions is computed from the addresses exactly the way the
+hardware coalescer does — distinct 128-byte segments touched by the
+active lanes — so fully coalesced 4-byte accesses cost one transaction
+and scattered accesses cost up to 32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DTYPE_WIDTHS = {
+    "u1": 1, "i1": 1,
+    "u2": 2, "i2": 2,
+    "u4": 4, "i4": 4, "f4": 4,
+    "u8": 8, "i8": 8, "f8": 8,
+}
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-bounds simulated memory access."""
+
+
+class GlobalMemory:
+    """The GPU's global (device) memory.
+
+    A bump allocator hands out regions; :meth:`load_vector` and
+    :meth:`store_vector` perform the actual data movement for a warp.
+    """
+
+    def __init__(self, size: int, transaction_bytes: int = 128):
+        self.size = int(size)
+        self.transaction_bytes = int(transaction_bytes)
+        self.data = np.zeros(self.size, dtype=np.uint8)
+        self._next_free = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = 256) -> int:
+        """Allocate ``nbytes`` and return the base address."""
+        base = -(-self._next_free // align) * align
+        if base + nbytes > self.size:
+            raise MemoryError_(
+                f"out of device memory: need {nbytes} at {base}, "
+                f"capacity {self.size}"
+            )
+        self._next_free = base + nbytes
+        return base
+
+    def reset_allocator(self) -> None:
+        self._next_free = 0
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next_free
+
+    # ------------------------------------------------------------------
+    # Scalar and bulk accessors (used by host-side code / DMA)
+    # ------------------------------------------------------------------
+    def read(self, addr: int, nbytes: int) -> np.ndarray:
+        self._check(addr, nbytes)
+        return self.data[addr:addr + nbytes]
+
+    def write(self, addr: int, values: np.ndarray) -> None:
+        raw = np.asarray(values).view(np.uint8).ravel()
+        self._check(addr, raw.size)
+        self.data[addr:addr + raw.size] = raw
+
+    # ------------------------------------------------------------------
+    # Warp-vector accessors
+    # ------------------------------------------------------------------
+    def load_vector(self, addrs: np.ndarray, dtype: str,
+                    mask: np.ndarray | None = None) -> np.ndarray:
+        """Gather one element of ``dtype`` per active lane."""
+        width = DTYPE_WIDTHS[dtype]
+        addrs = np.asarray(addrs, dtype=np.int64)
+        out = np.zeros(addrs.shape, dtype=np.dtype(dtype))
+        active = np.ones(addrs.shape, dtype=bool) if mask is None else mask
+        if not active.any():
+            return out
+        sel = addrs[active]
+        self._check_vec(sel, width)
+        gathered = np.stack(
+            [self.data[sel + i] for i in range(width)], axis=-1
+        )
+        out[active] = gathered.reshape(-1, width).copy().view(
+            np.dtype(dtype)).ravel()
+        return out
+
+    def load_vector_wide(self, addrs: np.ndarray, dtype: str, elems: int,
+                         mask: np.ndarray | None = None) -> np.ndarray:
+        """Gather ``elems`` consecutive elements of ``dtype`` per lane
+        (vectorised 8/16-byte loads).  Returns shape ``(lanes, elems)``."""
+        width = DTYPE_WIDTHS[dtype]
+        addrs = np.asarray(addrs, dtype=np.int64)
+        cols = [self.load_vector(addrs + i * width, dtype, mask=mask)
+                for i in range(elems)]
+        return np.stack(cols, axis=1)
+
+    def store_vector(self, addrs: np.ndarray, values: np.ndarray,
+                     dtype: str, mask: np.ndarray | None = None) -> None:
+        """Scatter one element of ``dtype`` per active lane."""
+        width = DTYPE_WIDTHS[dtype]
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=np.dtype(dtype))
+        active = np.ones(addrs.shape, dtype=bool) if mask is None else mask
+        if not active.any():
+            return
+        sel = addrs[active]
+        self._check_vec(sel, width)
+        raw = values[active].copy().view(np.uint8).reshape(-1, width)
+        for i in range(width):
+            self.data[sel + i] = raw[:, i]
+
+    def transactions_for(self, addrs: np.ndarray, width: int,
+                         mask: np.ndarray | None = None) -> int:
+        """DRAM transactions for a warp access (coalescer model)."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if mask is not None:
+            addrs = addrs[mask]
+        if addrs.size == 0:
+            return 0
+        first = addrs // self.transaction_bytes
+        last = (addrs + width - 1) // self.transaction_bytes
+        segments = np.union1d(first, last)
+        return int(segments.size)
+
+    # ------------------------------------------------------------------
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise MemoryError_(
+                f"device access [{addr}, {addr + nbytes}) out of bounds "
+                f"(size {self.size})"
+            )
+
+    def _check_vec(self, addrs: np.ndarray, width: int) -> None:
+        if addrs.size and (addrs.min() < 0 or addrs.max() + width > self.size):
+            raise MemoryError_(
+                f"device vector access out of bounds: "
+                f"[{addrs.min()}, {addrs.max() + width}) size {self.size}"
+            )
+
+
+class Scratchpad:
+    """Per-threadblock on-die scratchpad ("shared memory").
+
+    Unlike global memory it is private to a threadblock, so it is handed
+    to the block at launch.  It stores Python/numpy objects directly: the
+    software TLB keeps its entries here.
+    """
+
+    def __init__(self, nbytes: int):
+        self.nbytes = int(nbytes)
+        self._used = 0
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def alloc_array(self, name: str, count: int, dtype: str) -> np.ndarray:
+        """Allocate a named typed array; raises if over capacity."""
+        width = DTYPE_WIDTHS[dtype]
+        need = count * width
+        if self._used + need > self.nbytes:
+            raise MemoryError_(
+                f"scratchpad overflow: {self._used} + {need} > {self.nbytes}"
+            )
+        self._used += need
+        arr = np.zeros(count, dtype=np.dtype(dtype))
+        self._arrays[name] = arr
+        return arr
+
+    @property
+    def bytes_used(self) -> int:
+        return self._used

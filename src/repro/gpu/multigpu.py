@@ -1,0 +1,109 @@
+"""Multi-GPU co-simulation: run kernels on several devices at once.
+
+Each device owns its SMs, DRAM bandwidth, and PCIe link; the host CPU
+(RPC service) and simulated time are shared.  This is the substrate the
+DSM layer (:mod:`repro.dsm`) uses for genuinely concurrent cluster
+execution, and it models the multi-GPU node the paper's introduction
+envisions.
+
+Usage::
+
+    results = launch_cluster([
+        ClusterLaunch(device0, kernel_a, grid=4, block_threads=256),
+        ClusterLaunch(device1, kernel_b, grid=4, block_threads=256),
+    ])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gpu.device import Device, LaunchResult
+from repro.gpu.engine import Engine
+from repro.gpu.kernel import BlockContext, KernelFn, WarpContext
+from repro.gpu.memory import Scratchpad
+from repro.gpu.occupancy import occupancy_limits
+
+
+@dataclass
+class ClusterLaunch:
+    """One device's kernel in a concurrent multi-GPU launch."""
+
+    device: Device
+    kernel: KernelFn
+    grid: int
+    block_threads: int
+    args: tuple = ()
+    regs_per_thread: int = 64
+    scratchpad_bytes: int = 0
+
+    def __post_init__(self):
+        if self.grid <= 0 or self.block_threads <= 0:
+            raise ValueError("grid and block must be positive")
+
+
+def launch_cluster(launches: list[ClusterLaunch],
+                   tracer=None) -> LaunchResult:
+    """Run all launches concurrently; returns combined timing.
+
+    Every device must share one :class:`GPUSpec` (a homogeneous
+    cluster).  The returned result's ``cycles`` is the makespan across
+    devices; ``stats`` aggregates all of them.
+    """
+    if not launches:
+        raise ValueError("no launches")
+    spec = launches[0].device.spec
+    for launch in launches:
+        if launch.device.spec is not spec:
+            raise ValueError("all devices must share one GPUSpec")
+    seen = set()
+    for launch in launches:
+        if id(launch.device) in seen:
+            raise ValueError("one launch per device")
+        seen.add(id(launch.device))
+
+    occupancies = []
+    groups = []
+    for launch in launches:
+        occ = occupancy_limits(spec, launch.block_threads,
+                               launch.regs_per_thread,
+                               launch.scratchpad_bytes)
+        if not occ.is_schedulable:
+            raise ValueError(
+                f"unschedulable kernel: {occ.limiting_factor}")
+        occupancies.append(occ)
+        warps_per_block = -(-launch.block_threads // spec.warp_size)
+
+        def make_block(block_id: int, launch=launch,
+                       warps_per_block=warps_per_block):
+            def factory():
+                block = BlockContext(
+                    block_id=block_id,
+                    threads=launch.block_threads,
+                    warps=warps_per_block,
+                    scratchpad=Scratchpad(
+                        max(launch.scratchpad_bytes, 1)),
+                )
+                gens = []
+                for w in range(warps_per_block):
+                    ctx = WarpContext(spec, launch.device.memory,
+                                      block, w)
+                    gens.append(launch.kernel(ctx, *launch.args))
+                return block, gens
+            return factory
+
+        groups.append([make_block(b) for b in range(launch.grid)])
+
+    engine = Engine(spec, min(o.blocks_per_sm for o in occupancies),
+                    tracer=tracer, num_devices=len(launches))
+    cycles = engine.run_groups(groups)
+    for launch in launches:
+        launch.device.total_cycles += cycles
+        launch.device.launches += 1
+    return LaunchResult(
+        cycles=cycles,
+        seconds=spec.cycles_to_seconds(cycles),
+        stats=engine.stats,
+        occupancy=occupancies[0],
+    )

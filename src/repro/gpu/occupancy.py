@@ -1,0 +1,52 @@
+"""Occupancy calculator.
+
+Determines how many threadblocks of a kernel can be resident on one SM
+simultaneously, which is what controls the GPU's latency hiding ability.
+The paper pins every apointer kernel at 64 registers/thread precisely so
+that full occupancy (2048 threads/SM on GK210) is retained; this module
+reproduces that arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Resident-block limits for one kernel on one SM."""
+
+    blocks_per_sm: int
+    limiting_factor: str
+
+    @property
+    def is_schedulable(self) -> bool:
+        return self.blocks_per_sm > 0
+
+
+def occupancy_limits(spec: GPUSpec, threads_per_block: int,
+                     regs_per_thread: int = 64,
+                     scratchpad_bytes: int = 0) -> OccupancyLimits:
+    """Compute resident blocks/SM and which resource limits it."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > spec.max_threads_per_sm:
+        return OccupancyLimits(0, "threads_per_block exceeds SM capacity")
+
+    candidates = {
+        "max_blocks": spec.max_blocks_per_sm,
+        "threads": spec.max_threads_per_sm // threads_per_block,
+        "warps": spec.max_warps_per_sm
+        // max(1, -(-threads_per_block // spec.warp_size)),
+    }
+    if regs_per_thread > 0:
+        candidates["registers"] = spec.registers_per_sm // (
+            regs_per_thread * threads_per_block)
+    if scratchpad_bytes > 0:
+        candidates["scratchpad"] = (
+            spec.scratchpad_bytes_per_sm // scratchpad_bytes)
+
+    limiting = min(candidates, key=lambda k: candidates[k])
+    return OccupancyLimits(candidates[limiting], limiting)

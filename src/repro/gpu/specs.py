@@ -1,0 +1,105 @@
+"""Hardware parameters of the simulated GPU.
+
+The defaults model one GPU of the dual NVIDIA Tesla K80 (GK210) used in
+the paper's evaluation (§VI).  The headline numbers come straight from the
+paper's "latency hiding discussion":
+
+* ``2056e9`` instructions/second issued per GPU,
+* ``240e9`` bytes/second of theoretical memory bandwidth,
+* ``152e9`` bytes/second achieved by ``cudaMemcpyDeviceToDevice``.
+
+The remaining microarchitectural constants (SM count, clock, resident
+thread and register limits) are public GK210 figures.  ``issue_efficiency``
+and the latency constants are calibration knobs: the paper notes that the
+theoretical issue rate "assumes single cycle execution latency for every
+instruction, which is not the case in practice", so the effective issue
+rate for the integer-heavy apointer instruction mix is lower.  The values
+here are calibrated once against Table I / Table II of the paper and then
+reused unchanged by every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Immutable description of a simulated GPU."""
+
+    name: str = "Tesla K80 (one GK210 GPU)"
+    num_sms: int = 13
+    clock_hz: float = 875e6
+    warp_size: int = 32
+
+    # Occupancy limits (per SM).
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    max_warps_per_sm: int = 64
+    registers_per_sm: int = 128 * 1024          # GK210 doubled the K40's file
+    scratchpad_bytes_per_sm: int = 112 * 1024   # configurable shared memory
+
+    # Instruction issue.
+    issued_instructions_per_s: float = 2056e9   # thread-instructions, per GPU
+    issue_efficiency: float = 0.63              # effective fraction (see above)
+
+    # Global memory (DRAM).
+    dram_bandwidth_theoretical: float = 240e9   # bytes/s
+    dram_bandwidth_achievable: float = 152e9    # bytes/s (measured memcpy)
+    dram_latency_cycles: float = 195.0
+    dram_transaction_bytes: int = 128
+
+    # Pipeline / latency calibration (Table I).
+    dependent_issue_cycles: float = 7.6   # latency of a dependent instruction
+    macro_op_overhead_cycles: float = 14.0  # fixed pipeline cost per macro-op
+    scratchpad_latency_cycles: float = 30.0
+    atomic_latency_cycles: float = 120.0
+    # Same-address atomics are pipelined in the L2: a new one can issue
+    # every few cycles even though each takes ~120 cycles to complete.
+    atomic_interval_cycles: float = 8.0
+
+    # PCIe link to the host (gen3 x16-ish, as on the paper's test machine).
+    pcie_bandwidth: float = 12e9               # bytes/s, effective
+    pcie_latency_s: float = 8e-6               # request-visible DMA latency
+    # Host-side cost to service one GPU->host RPC (request handling +
+    # cudaMemcpy setup); serialises on the host CPU, which is why GPUfs
+    # batches transfers (§V) and why the paper argues for GPU-centric
+    # paging (Figure 1 vs Figure 2).
+    host_rpc_s: float = 3e-6
+
+    # §VII what-if: I/O-driven threadblock preemption.  When every warp
+    # of a resident block is stalled on a host transfer, the SM may
+    # swap in a pending block (paying a context save/restore cost)
+    # instead of idling — the GPUpIO idea the paper cites.
+    io_preemption: bool = False
+    preemption_cost_cycles: float = 1500.0
+
+    def warp_issue_rate(self) -> float:
+        """Peak warp-instructions issued per cycle per SM."""
+        per_gpu = self.issued_instructions_per_s / self.clock_hz
+        return per_gpu / self.num_sms / self.warp_size
+
+    def effective_issue_rate(self) -> float:
+        """Calibrated warp-instructions per cycle per SM."""
+        return self.warp_issue_rate() * self.issue_efficiency
+
+    def dram_bytes_per_cycle(self) -> float:
+        """Achievable DRAM bytes per cycle, whole GPU."""
+        return self.dram_bandwidth_achievable / self.clock_hz
+
+    def pcie_bytes_per_cycle(self) -> float:
+        return self.pcie_bandwidth / self.clock_hz
+
+    def pcie_latency_cycles(self) -> float:
+        return self.pcie_latency_s * self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def with_overrides(self, **kwargs) -> "GPUSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The spec used by all experiments unless overridden.
+K80_SPEC = GPUSpec()

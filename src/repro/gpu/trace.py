@@ -1,0 +1,133 @@
+"""Execution tracing for the simulated GPU.
+
+A :class:`Tracer` attached to a launch records one record per completed
+macro-op — which warp, what kind of request, when it started and
+finished, and what resource it used.  Useful for debugging timing
+anomalies ("why is this kernel latency-bound?") and for asserting
+scheduling properties in tests.
+
+Usage::
+
+    tracer = Tracer()
+    device.launch(kernel, grid=1, block_threads=64, tracer=tracer)
+    print(render_timeline(tracer, width=72))
+    tracer.summary()
+
+Tracing costs Python time, so it is off unless a tracer is passed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed macro-op."""
+
+    warp: int              # global warp id (block * warps + warp)
+    block: int
+    kind: str              # request class name, lowercased
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records during a launch."""
+
+    def __init__(self, max_events: int = 200_000):
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, warp: int, block: int, kind: str, start: float,
+               end: float, detail: str = "") -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(warp, block, kind, start, end,
+                                      detail))
+
+    # ------------------------------------------------------------------
+    def by_kind(self) -> dict:
+        """Total busy time and count per event kind."""
+        totals: dict[str, list] = {}
+        for e in self.events:
+            slot = totals.setdefault(e.kind, [0, 0.0])
+            slot[0] += 1
+            slot[1] += e.duration
+        return {k: {"count": c, "cycles": t}
+                for k, (c, t) in sorted(totals.items())}
+
+    def warps(self) -> list[int]:
+        return sorted({e.warp for e in self.events})
+
+    def for_warp(self, warp: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.warp == warp]
+
+    def span(self) -> tuple[float, float]:
+        if not self.events:
+            return (0.0, 0.0)
+        return (min(e.start for e in self.events),
+                max(e.end for e in self.events))
+
+    def summary(self) -> str:
+        lines = [f"{len(self.events)} events"
+                 + (f" ({self.dropped} dropped)" if self.dropped else "")]
+        for kind, agg in self.by_kind().items():
+            lines.append(f"  {kind:12s} x{agg['count']:<6d} "
+                         f"{agg['cycles']:12.0f} cycles")
+        return "\n".join(lines)
+
+
+_GLYPHS = {
+    "compute": "#",
+    "memaccess": "m",
+    "scratchaccess": "s",
+    "atomicop": "a",
+    "acquirelock": "L",
+    "pcietransfer": "P",
+    "hostcompute": "H",
+    "sleep": ".",
+    "barrier": "|",
+    "loadfence": "f",
+}
+
+
+def render_timeline(tracer: Tracer, width: int = 72,
+                    warps: Optional[Iterable[int]] = None) -> str:
+    """ASCII timeline: one row per warp, one glyph per busy bucket.
+
+    Each column is a time bucket; the glyph shows the kind of event
+    that dominated the warp's busy time in that bucket (blank = idle).
+    """
+    t0, t1 = tracer.span()
+    if t1 <= t0:
+        return "(empty trace)"
+    bucket = (t1 - t0) / width
+    rows = []
+    chosen = list(warps) if warps is not None else tracer.warps()[:16]
+    for warp in chosen:
+        busy: list[Counter] = [Counter() for _ in range(width)]
+        for e in tracer.for_warp(warp):
+            lo = int((e.start - t0) / bucket)
+            hi = int((e.end - t0) / bucket)
+            for b in range(max(lo, 0), min(hi + 1, width)):
+                b_start = t0 + b * bucket
+                b_end = b_start + bucket
+                overlap = min(e.end, b_end) - max(e.start, b_start)
+                if overlap > 0:
+                    busy[b][e.kind] += overlap
+        line = "".join(
+            _GLYPHS.get(c.most_common(1)[0][0], "?") if c else " "
+            for c in busy)
+        rows.append(f"w{warp:<4d} {line}")
+    legend = " ".join(f"{g}={k}" for k, g in _GLYPHS.items())
+    return "\n".join(rows + [f"[{legend}]"])

@@ -1,0 +1,94 @@
+"""CUDA warp intrinsics over 32-lane numpy vectors.
+
+These are pure functions on lane vectors; the engine-facing, *timed*
+wrappers live on :class:`repro.gpu.kernel.WarpContext`.  Semantics follow
+the CUDA intrinsics the paper's Listing 1 uses:
+
+* ``ballot(pred)``  -> 32-bit mask with bit *i* set iff lane *i*'s
+  predicate holds (inactive lanes contribute 0).
+* ``all_sync(pred)`` -> true iff every *active* lane's predicate holds.
+* ``any_sync(pred)`` -> true iff some active lane's predicate holds.
+* ``shfl(values, src_lane)`` -> broadcast lane ``src_lane``'s value.
+* ``ffs(mask)`` -> 1-based index of the least significant set bit (0 if
+  none) — CUDA's ``__ffs``.
+* ``popc(mask)`` -> number of set bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WARP_SIZE = 32
+FULL_MASK = (1 << WARP_SIZE) - 1
+
+_LANE_BITS = (1 << np.arange(WARP_SIZE, dtype=np.int64))
+
+
+def ballot(pred: np.ndarray, active: np.ndarray | None = None) -> int:
+    """Pack per-lane predicates into a 32-bit mask."""
+    pred = np.asarray(pred, dtype=bool)
+    if active is not None:
+        pred = pred & np.asarray(active, dtype=bool)
+    return int((_LANE_BITS[:pred.size] * pred).sum())
+
+
+def all_sync(pred: np.ndarray, active: np.ndarray | None = None) -> bool:
+    """CUDA ``__all``: do all active lanes satisfy the predicate?"""
+    pred = np.asarray(pred, dtype=bool)
+    if active is None:
+        return bool(pred.all())
+    active = np.asarray(active, dtype=bool)
+    if not active.any():
+        return True
+    return bool(pred[active].all())
+
+
+def any_sync(pred: np.ndarray, active: np.ndarray | None = None) -> bool:
+    """CUDA ``__any``: does some active lane satisfy the predicate?"""
+    pred = np.asarray(pred, dtype=bool)
+    if active is None:
+        return bool(pred.any())
+    return bool((pred & np.asarray(active, dtype=bool)).any())
+
+
+def shfl(values: np.ndarray, src_lane: int) -> np.ndarray:
+    """CUDA ``__shfl``: every lane reads lane ``src_lane``'s value."""
+    values = np.asarray(values)
+    return np.full_like(values, values[int(src_lane)])
+
+
+def shfl_idx(values: np.ndarray, src_lanes: np.ndarray) -> np.ndarray:
+    """Indexed shuffle: lane *i* reads lane ``src_lanes[i]``."""
+    values = np.asarray(values)
+    idx = np.asarray(src_lanes, dtype=np.int64) % values.size
+    return values[idx]
+
+
+def shfl_xor(values: np.ndarray, lane_mask: int) -> np.ndarray:
+    """Butterfly shuffle: lane *i* reads lane ``i ^ lane_mask``."""
+    values = np.asarray(values)
+    idx = np.arange(values.size) ^ int(lane_mask)
+    return values[idx % values.size]
+
+
+def shfl_down(values: np.ndarray, delta: int) -> np.ndarray:
+    """Lane *i* reads lane ``i + delta`` (clamped, CUDA semantics)."""
+    values = np.asarray(values)
+    idx = np.minimum(np.arange(values.size) + int(delta), values.size - 1)
+    return values[idx]
+
+
+def ffs(mask: int) -> int:
+    """CUDA ``__ffs``: 1-based position of least significant set bit."""
+    if mask == 0:
+        return 0
+    return (mask & -mask).bit_length()
+
+
+def popc(mask: int) -> int:
+    """CUDA ``__popc``: population count."""
+    return int(mask).bit_count()
+
+
+def lane_ids(warp_size: int = WARP_SIZE) -> np.ndarray:
+    return np.arange(warp_size, dtype=np.int64)

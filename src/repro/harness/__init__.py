@@ -1,0 +1,45 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment function returns an :class:`ExperimentResult` whose rows
+mirror the paper's table rows or figure series; ``repro-experiments``
+(:mod:`repro.harness.cli`) runs them and renders text tables next to the
+paper's published values.
+"""
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    ablation_batching,
+    ablation_eviction,
+    ablation_future_hw,
+    ablation_io_preemption,
+    ablation_prefetch,
+    ablation_registers,
+    figure6,
+    figure7,
+    figure9,
+    table1,
+    table2,
+    table3,
+    unaligned_access,
+)
+from repro.harness.reporting import format_result
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "table1",
+    "table2",
+    "table3",
+    "figure6",
+    "figure7",
+    "figure9",
+    "unaligned_access",
+    "ablation_prefetch",
+    "ablation_batching",
+    "ablation_registers",
+    "ablation_eviction",
+    "ablation_future_hw",
+    "ablation_io_preemption",
+    "format_result",
+]

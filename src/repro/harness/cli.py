@@ -1,0 +1,73 @@
+"""``repro-experiments`` — regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments table1 table2
+    repro-experiments --all --scale quick
+    repro-experiments --all --markdown results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.reporting import format_markdown, format_result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce ActivePointers (ISCA'16) tables/figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (see --list)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--scale", choices=("quick", "full"),
+                        default="quick",
+                        help="problem sizes (default: quick)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write results as Markdown")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.print_usage()
+        print("error: give experiment ids, or --all / --list",
+              file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiments {unknown}; see --list",
+              file=sys.stderr)
+        return 2
+
+    markdown_parts = []
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.time() - started
+        print(format_result(result))
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+        markdown_parts.append(format_markdown(result))
+
+    if args.markdown:
+        with open(args.markdown, "w") as f:
+            f.write(f"# Reproduction results (scale={args.scale})\n\n")
+            f.write("\n".join(markdown_parts))
+        print(f"markdown written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

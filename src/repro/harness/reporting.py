@@ -1,0 +1,48 @@
+"""Text rendering of experiment results."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentResult
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render one experiment as an aligned text table."""
+    cols = result.columns
+    rows = [[_cell(row.get(c, "")) for c in cols] for row in result.rows]
+    widths = [max(len(str(c)), *(len(r[i]) for r in rows)) if rows
+              else len(str(c)) for i, c in enumerate(cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        f"== {result.exp_id}: {result.title} ==",
+        " | ".join(str(c).ljust(w) for c, w in zip(cols, widths)),
+        sep,
+    ]
+    for r in rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def format_markdown(result: ExperimentResult) -> str:
+    """Render one experiment as a Markdown table (for EXPERIMENTS.md)."""
+    cols = result.columns
+    lines = [
+        f"### {result.exp_id} — {result.title}",
+        "",
+        "| " + " | ".join(str(c) for c in cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(_cell(row.get(c, "")) for c in cols) + " |")
+    if result.notes:
+        lines.extend(["", f"*{result.notes}*"])
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

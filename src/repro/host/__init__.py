@@ -1,0 +1,25 @@
+"""Host-side substrate: file system, file API, and CPU timing model.
+
+The paper stores its datasets in CPU RAM via the Linux ``ramfs`` file
+system "to measure the worst-case overheads of apointers" (§VI-C) — the
+backing store is then never the bottleneck and every translation cost is
+exposed.  :class:`repro.host.ramfs.RamFS` plays that role here.
+
+:mod:`repro.host.cpu` models the evaluation machine's CPU side (2× 6-core
+Intel i7-4960X with 256-bit AVX) for the collage baselines of §VI-E.
+"""
+
+from repro.host.ramfs import RamFS, RamFile
+from repro.host.filesys import FileHandle, HostFileSystem, O_RDONLY, O_RDWR
+from repro.host.cpu import CPUSpec, HOST_CPU
+
+__all__ = [
+    "RamFS",
+    "RamFile",
+    "FileHandle",
+    "HostFileSystem",
+    "O_RDONLY",
+    "O_RDWR",
+    "CPUSpec",
+    "HOST_CPU",
+]

@@ -1,0 +1,60 @@
+"""Analytic timing model of the evaluation machine's CPU side.
+
+The paper's baselines (§VI-E) run on 2× 6-core Intel i7-4960X at 3.6 GHz
+using Intel TBB across 12 cores and 256-bit AVX vector instructions.
+This model estimates the runtime of data-parallel phases from their
+operation and byte counts.  It is deliberately simple — a throughput
+model with an efficiency factor — because the baseline workloads
+(histogram distances, LSH hashing) are embarrassingly parallel streaming
+computations that such models capture well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Host CPU parameters (2x Intel i7-4960X, as in §VI)."""
+
+    name: str = "2x Intel i7-4960X"
+    cores: int = 12
+    clock_hz: float = 3.6e9
+    simd_lanes_f32: int = 8          # 256-bit AVX
+    flops_per_cycle_per_lane: float = 2.0  # mul+add pipes
+    efficiency: float = 0.45         # achieved fraction of peak
+    mem_bandwidth: float = 40e9      # bytes/s, aggregate streaming
+    random_mem_bandwidth: float = 12e9  # bytes/s for scattered ~4 KB reads
+
+    def peak_flops(self) -> float:
+        return (self.cores * self.clock_hz * self.simd_lanes_f32
+                * self.flops_per_cycle_per_lane)
+
+    def time_for(self, flops: float = 0.0, mem_bytes: float = 0.0,
+                 scalar_ops: float = 0.0,
+                 random_mem_bytes: float = 0.0) -> float:
+        """Seconds to execute a parallel phase.
+
+        The phase is modelled as the max of its compute time (vector
+        ``flops`` at calibrated efficiency plus unvectorisable
+        ``scalar_ops``) and its memory time; ``random_mem_bytes`` are
+        scattered small-record accesses served at the lower
+        random-access bandwidth.
+        """
+        compute = flops / (self.peak_flops() * self.efficiency)
+        scalar = scalar_ops / (self.cores * self.clock_hz * self.efficiency)
+        memory = (mem_bytes / self.mem_bandwidth
+                  + random_mem_bytes / self.random_mem_bandwidth)
+        return max(compute + scalar, memory)
+
+    def time_single_core(self, flops: float = 0.0,
+                         mem_bytes: float = 0.0) -> float:
+        """Seconds for a serial (single-core, scalar) phase."""
+        compute = flops / (self.clock_hz * self.efficiency)
+        memory = mem_bytes / (self.mem_bandwidth / self.cores)
+        return max(compute, memory)
+
+
+#: The CPU used by all baselines.
+HOST_CPU = CPUSpec()

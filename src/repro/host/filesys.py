@@ -1,0 +1,87 @@
+"""POSIX-flavoured file descriptor API over :class:`RamFS`.
+
+GPUfs exposes a CPU-like file API to GPU code; its host-side daemon
+resolves file descriptors against the host file system.  This module is
+that host side: the paging layer holds :class:`FileHandle` objects and
+issues positional reads/writes through them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.host.ramfs import FileSystemError, RamFS
+
+O_RDONLY = 0
+O_RDWR = 2
+O_CREAT = 0o100
+
+
+class FileHandle:
+    """An open file descriptor."""
+
+    def __init__(self, fd: int, name: str, flags: int, fs: "HostFileSystem"):
+        self.fd = fd
+        self.name = name
+        self.flags = flags
+        self._fs = fs
+        self.closed = False
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & O_RDWR)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise FileSystemError(f"fd {self.fd} is closed")
+
+    def pread(self, offset: int, nbytes: int) -> np.ndarray:
+        self._check_open()
+        return self._fs.ramfs.open(self.name).pread(offset, nbytes)
+
+    def pwrite(self, offset: int, data: np.ndarray) -> int:
+        self._check_open()
+        if not self.writable:
+            raise FileSystemError(f"fd {self.fd} opened read-only")
+        return self._fs.ramfs.open(self.name).pwrite(offset, data)
+
+    def size(self) -> int:
+        self._check_open()
+        return self._fs.ramfs.open(self.name).size
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class HostFileSystem:
+    """File-descriptor table over a RamFS instance."""
+
+    def __init__(self, ramfs: RamFS | None = None):
+        self.ramfs = ramfs if ramfs is not None else RamFS()
+        self._next_fd = 3  # 0-2 are reserved, as tradition demands
+        self._handles: dict[int, FileHandle] = {}
+
+    def open(self, name: str, flags: int = O_RDONLY) -> FileHandle:
+        if not self.ramfs.exists(name):
+            if flags & O_CREAT:
+                self.ramfs.create(name)
+            else:
+                raise FileSystemError(f"no such file: {name}")
+        handle = FileHandle(self._next_fd, name, flags, self)
+        self._handles[handle.fd] = handle
+        self._next_fd += 1
+        return handle
+
+    def by_fd(self, fd: int) -> FileHandle:
+        try:
+            return self._handles[fd]
+        except KeyError:
+            raise FileSystemError(f"bad file descriptor: {fd}") from None
+
+    def close(self, fd: int) -> None:
+        self.by_fd(fd).close()
+        del self._handles[fd]
+
+    @property
+    def open_fds(self) -> list[int]:
+        return sorted(self._handles)

@@ -1,0 +1,94 @@
+"""An in-memory file system, standing in for Linux ramfs.
+
+Files are byte arrays in host memory.  Reading from a :class:`RamFile`
+costs host *memory* time only; the expensive part of a GPU major page
+fault is the PCIe transfer, which the paging layer charges separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FileSystemError(Exception):
+    """Raised on invalid RamFS operations."""
+
+
+class RamFile:
+    """One file: a growable byte array."""
+
+    def __init__(self, name: str, data: np.ndarray | None = None):
+        self.name = name
+        self.data = (np.zeros(0, dtype=np.uint8) if data is None
+                     else np.asarray(data, dtype=np.uint8).copy())
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def pread(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read up to ``nbytes`` at ``offset``; short reads at EOF."""
+        if offset < 0:
+            raise FileSystemError(f"negative offset {offset}")
+        end = min(offset + nbytes, self.size)
+        if offset >= self.size:
+            return np.zeros(0, dtype=np.uint8)
+        return self.data[offset:end].copy()
+
+    def pwrite(self, offset: int, data: np.ndarray) -> int:
+        """Write at ``offset``, growing the file if needed."""
+        if offset < 0:
+            raise FileSystemError(f"negative offset {offset}")
+        raw = np.asarray(data).view(np.uint8).ravel()
+        end = offset + raw.size
+        if end > self.size:
+            grown = np.zeros(end, dtype=np.uint8)
+            grown[:self.size] = self.data
+            self.data = grown
+        self.data[offset:end] = raw
+        return int(raw.size)
+
+    def truncate(self, size: int) -> None:
+        if size < 0:
+            raise FileSystemError("negative truncate size")
+        if size <= self.size:
+            self.data = self.data[:size].copy()
+        else:
+            grown = np.zeros(size, dtype=np.uint8)
+            grown[:self.size] = self.data
+            self.data = grown
+
+
+class RamFS:
+    """A flat namespace of in-memory files."""
+
+    def __init__(self):
+        self._files: dict[str, RamFile] = {}
+
+    def create(self, name: str, data: np.ndarray | None = None) -> RamFile:
+        if name in self._files:
+            raise FileSystemError(f"file exists: {name}")
+        f = RamFile(name, data)
+        self._files[name] = f
+        return f
+
+    def open(self, name: str) -> RamFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileSystemError(f"no such file: {name}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def unlink(self, name: str) -> None:
+        if name not in self._files:
+            raise FileSystemError(f"no such file: {name}")
+        del self._files[name]
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self._files.values())

@@ -1,0 +1,266 @@
+"""The GPUfs layer: files, page faults, and the gmmap() baseline API.
+
+This module ties the page table, page cache, and transfer batcher into
+the paging system of §V.  Two interfaces are exposed to GPU code:
+
+* :meth:`GPUfs.gmmap` / :meth:`GPUfs.gmunmap` — the *original* GPUfs
+  page-granularity interface used as the baseline in §VI-C: it pins one
+  page in the cache (minor fault), transferring it from the host first if
+  needed (major fault), and returns its device address.
+* :meth:`GPUfs.handle_fault` / :meth:`GPUfs.release_page` — the entry
+  points the ActivePointers translation layer calls from its warp-level
+  fault handler.
+
+Custom fault filters (:class:`FaultFilter`) may transform page contents
+on their way in and out of the cache — this is the hook the paper's
+introduction proposes for a CryptFS-style encrypted GPU file system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.kernel import WarpContext
+from repro.host.filesys import FileHandle, HostFileSystem, O_RDONLY
+from repro.paging.page_cache import PageCache, PageCacheConfig
+from repro.paging.page_table import PageTableEntry
+from repro.paging.staging import TransferBatcher
+
+SPIN_WAIT_CYCLES = 200.0
+
+#: Instruction cost of the paging layer's fault-handler bookkeeping
+#: beyond the structural work modelled explicitly (argument marshalling,
+#: state checks, fences, swap accounting).  Calibrated so that the
+#: §VI-C minor-fault experiment reproduces Table III's relative
+#: overheads; the companion GPUfs analysis (SYSTOR'16, cited as [17])
+#: describes this heavyweight handler.
+MINOR_FAULT_INSTRS = 150.0
+MAJOR_FAULT_EXTRA_INSTRS = 250.0
+
+
+@dataclass(frozen=True)
+class GPUfsConfig:
+    """Configuration of the paging subsystem."""
+
+    page_size: int = 4096
+    num_frames: int = 512
+    table_slots_per_frame: int = 16
+    batching: bool = True
+    max_batch: int = 64
+    eviction_policy: str = "clock"
+
+
+@dataclass
+class PagingStats:
+    """Fault and concurrency counters for one GPUfs instance."""
+
+    minor_faults: int = 0
+    major_faults: int = 0
+    lost_insert_races: int = 0
+    busy_waits: int = 0
+    gmmap_calls: int = 0
+
+
+class FaultFilter:
+    """Transforms page contents on page-in / page-out.
+
+    ``instructions_per_byte`` is charged to the faulting warp, modelling
+    the GPU threads doing the transformation (e.g. decryption) in the
+    fault handler.
+    """
+
+    instructions_per_byte: float = 0.0
+
+    def page_in(self, data: np.ndarray, fpn: int) -> np.ndarray:
+        return data
+
+    def page_out(self, data: np.ndarray, fpn: int) -> np.ndarray:
+        return data
+
+
+class GPUfs:
+    """One mounted GPU file system instance."""
+
+    def __init__(self, device, host_fs: Optional[HostFileSystem] = None,
+                 config: GPUfsConfig = GPUfsConfig(),
+                 fault_filter: Optional[FaultFilter] = None):
+        self.device = device
+        self.host_fs = host_fs if host_fs is not None else HostFileSystem()
+        self.config = config
+        self.cache = PageCache(device, PageCacheConfig(
+            page_size=config.page_size,
+            num_frames=config.num_frames,
+            table_slots_per_frame=config.table_slots_per_frame,
+            eviction_policy=config.eviction_policy,
+        ))
+        self.batcher = TransferBatcher(device, config.page_size,
+                                       max_batch=config.max_batch,
+                                       enabled=config.batching)
+        self.fault_filter = fault_filter
+        self.stats = PagingStats()
+        self._handles: dict[int, FileHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Host-side file management
+    # ------------------------------------------------------------------
+    def open(self, name: str, flags: int = O_RDONLY) -> int:
+        """Open a host file for GPU access; returns its file id."""
+        handle = self.host_fs.open(name, flags)
+        self._handles[handle.fd] = handle
+        return handle.fd
+
+    def close(self, file_id: int) -> None:
+        self._handles.pop(file_id)
+        self.host_fs.close(file_id)
+
+    def handle_for(self, file_id: int) -> FileHandle:
+        return self._handles[file_id]
+
+    def file_size(self, file_id: int) -> int:
+        return self.handle_for(file_id).size()
+
+    @property
+    def page_size(self) -> int:
+        return self.config.page_size
+
+    # ------------------------------------------------------------------
+    # Page fault handling (timed, called with the whole warp converged)
+    # ------------------------------------------------------------------
+    def handle_fault(self, ctx: WarpContext, file_id: int, fpn: int,
+                     refs: int = 1, write: bool = False):
+        """Timed: make page ``(file_id, fpn)`` resident and pinned.
+
+        Adds ``refs`` to its reference count (the warp-aggregated count
+        from the translation layer) and returns the frame's device
+        address.  Minor faults are table hits; major faults transfer the
+        page from the host.
+        """
+        while True:
+            ctx.charge(MINOR_FAULT_INSTRS)
+            entry = yield from self.cache.table.lookup(ctx, file_id, fpn)
+            if entry is not None:
+                yield from self._wait_ready(ctx, entry)
+                yield from self.cache.table.add_refs(ctx, entry, refs)
+                if entry.removed:
+                    # Eviction won the race for this page: undo and
+                    # refault from scratch.
+                    yield from self.cache.table.add_refs(ctx, entry, -refs)
+                    continue
+                self.stats.minor_faults += 1
+                self.cache.touch(entry.frame)
+                if write:
+                    entry.dirty = True
+                return self.cache.frame_addr(entry.frame)
+
+            # Publish a busy entry first, then allocate the frame: this
+            # way a page being faulted by many warps claims only one
+            # frame, and the losers of the insert race simply wait for
+            # the winner's transfer.
+            fresh = PageTableEntry(file_id, fpn, frame=-1, ready=False)
+            winner = yield from self.cache.table.insert(ctx, fresh)
+            if winner is not fresh:
+                yield from self._wait_ready(ctx, winner)
+                yield from self.cache.table.add_refs(ctx, winner, refs)
+                if winner.removed:
+                    yield from self.cache.table.add_refs(
+                        ctx, winner, -refs)
+                    continue
+                self.stats.lost_insert_races += 1
+                self.stats.minor_faults += 1
+                if write:
+                    winner.dirty = True
+                return self.cache.frame_addr(winner.frame)
+            break
+
+        self.stats.major_faults += 1
+        ctx.charge(MAJOR_FAULT_EXTRA_INSTRS)
+        frame = yield from self.cache.allocate_frame(ctx, self._writeback)
+        fresh.frame = frame
+        self.cache.bind(fresh)
+        frame_addr = self.cache.frame_addr(frame)
+        handle = self.handle_for(file_id)
+        yield from self.batcher.fetch(
+            ctx, handle, fpn * self.page_size, self.page_size, frame_addr)
+        yield from self._apply_filter_in(ctx, frame_addr, fpn)
+        fresh.ready = True
+        yield from self.cache.table.add_refs(ctx, fresh, refs)
+        if write:
+            fresh.dirty = True
+        return frame_addr
+
+    def release_page(self, ctx: WarpContext, file_id: int, fpn: int,
+                     refs: int = 1):
+        """Timed: drop ``refs`` references from a resident page."""
+        ctx.charge(MINOR_FAULT_INSTRS / 2)
+        entry = yield from self.cache.table.lookup(ctx, file_id, fpn)
+        if entry is None:
+            raise RuntimeError(
+                f"release of non-resident page ({file_id}, {fpn})")
+        yield from self.cache.table.add_refs(ctx, entry, -refs)
+
+    # ------------------------------------------------------------------
+    # gmmap: the original GPUfs page-granularity interface (§VI-C)
+    # ------------------------------------------------------------------
+    def gmmap(self, ctx: WarpContext, file_id: int, offset: int,
+              write: bool = False):
+        """Timed: pin the page containing ``offset``; returns its device
+        address adjusted for the intra-page offset."""
+        self.stats.gmmap_calls += 1
+        fpn, in_page = divmod(offset, self.page_size)
+        frame_addr = yield from self.handle_fault(
+            ctx, file_id, fpn, refs=1, write=write)
+        return frame_addr + in_page
+
+    def gmunmap(self, ctx: WarpContext, file_id: int, offset: int):
+        """Timed: release the pin taken by :meth:`gmmap`."""
+        fpn = offset // self.page_size
+        yield from self.release_page(ctx, file_id, fpn, refs=1)
+
+    # ------------------------------------------------------------------
+    # Shutdown / maintenance
+    # ------------------------------------------------------------------
+    def flush(self, ctx: WarpContext):
+        """Timed: write every dirty resident page back to the host."""
+        for entry in self.cache.table.entries():
+            if entry is not None and entry.dirty:
+                yield from self._writeback(
+                    ctx, entry, self.cache.frame_addr(entry.frame))
+                entry.dirty = False
+
+    # ------------------------------------------------------------------
+    def _wait_ready(self, ctx: WarpContext, entry: PageTableEntry):
+        while not getattr(entry, "ready", True):
+            self.stats.busy_waits += 1
+            yield from ctx.sleep(SPIN_WAIT_CYCLES, io_wait=True)
+
+    def _writeback(self, ctx: WarpContext, entry: PageTableEntry,
+                   frame_addr: int):
+        handle = self.handle_for(entry.file_id)
+        data = yield from self._apply_filter_out(ctx, frame_addr, entry.fpn)
+        yield from self.batcher.writeback(
+            ctx, handle, entry.fpn * self.page_size, frame_addr,
+            self.page_size, data=data)
+
+    def _apply_filter_in(self, ctx: WarpContext, frame_addr: int, fpn: int):
+        if self.fault_filter is None:
+            return
+        raw = ctx.memory.read(frame_addr, self.page_size).copy()
+        ctx.memory.write(frame_addr,
+                         self.fault_filter.page_in(raw, fpn))
+        cost = self.fault_filter.instructions_per_byte * self.page_size
+        if cost:
+            yield from ctx.compute(cost / ctx.warp_size)
+
+    def _apply_filter_out(self, ctx: WarpContext, frame_addr: int, fpn: int):
+        """Returns the bytes to write to the host (None = frame as-is)."""
+        if self.fault_filter is None:
+            return None
+        raw = ctx.memory.read(frame_addr, self.page_size).copy()
+        transformed = self.fault_filter.page_out(raw, fpn)
+        cost = self.fault_filter.instructions_per_byte * self.page_size
+        if cost:
+            yield from ctx.compute(cost / ctx.warp_size)
+        return transformed

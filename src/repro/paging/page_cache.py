@@ -1,0 +1,146 @@
+"""The GPU page cache: frames, pinning, and eviction.
+
+Frames live in a contiguous region of GPU global memory.  The cache
+enforces the paper's central invariant (§III-B): **a page with a positive
+reference count is *active* — its virtual-to-physical mapping is fixed
+and it can never be evicted.**  This is what makes it safe for apointers
+to cache translations in hardware registers with no coherence protocol.
+
+Eviction uses a clock sweep over unreferenced frames; dirty frames are
+written back to the backing store before reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.paging.page_table import PageTable, PageTableEntry
+from repro.paging.policies import make_policy
+
+
+class PageCacheFullError(Exception):
+    """All frames are pinned by active pages — the cache is clogged.
+
+    The paper's unlink heuristic exists precisely to keep the number of
+    non-evictable pages low (§III-B); hitting this error means every
+    frame is referenced by some linked apointer.
+    """
+
+
+@dataclass(frozen=True)
+class PageCacheConfig:
+    """Geometry of the page cache."""
+
+    page_size: int = 4096
+    num_frames: int = 512
+    table_slots_per_frame: int = 16
+    eviction_policy: str = "clock"
+
+    def __post_init__(self):
+        if self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        if self.num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+
+
+class PageCache:
+    """Frame allocator and eviction policy over device memory."""
+
+    def __init__(self, device, config: PageCacheConfig):
+        self.config = config
+        self.device = device
+        self.base = device.alloc(config.num_frames * config.page_size)
+        self.table = PageTable(device, config.num_frames,
+                               config.table_slots_per_frame)
+        self._free: list[int] = list(range(config.num_frames - 1, -1, -1))
+        self._owner: list[Optional[PageTableEntry]] = (
+            [None] * config.num_frames)
+        self.policy = make_policy(config.eviction_policy,
+                                  config.num_frames)
+        self.evictions = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    def frame_addr(self, frame: int) -> int:
+        """Device address of a frame's first byte."""
+        if not 0 <= frame < self.config.num_frames:
+            raise ValueError(f"bad frame {frame}")
+        return self.base + frame * self.config.page_size
+
+    @property
+    def frames_in_use(self) -> int:
+        return self.config.num_frames - len(self._free)
+
+    def pinned_frames(self) -> int:
+        return sum(1 for e in self._owner
+                   if e is not None and e.refcount > 0)
+
+    # ------------------------------------------------------------------
+    #: Spin interval while every frame is transiently busy/pinned.
+    ALLOC_RETRY_CYCLES = 400.0
+    #: Retries before declaring the cache clogged for good.
+    ALLOC_MAX_RETRIES = 64
+
+    def allocate_frame(self, ctx, writeback):
+        """Timed: get a free frame, evicting an inactive page if needed.
+
+        When every frame is momentarily ineligible (pinned or mid
+        page-in) the allocator waits and retries — concurrent faults
+        briefly overcommit a small cache.  Only a *persistent* clog
+        (every frame referenced by linked apointers) raises
+        :class:`PageCacheFullError`.
+
+        ``writeback`` is a generator function ``writeback(ctx, entry,
+        frame_addr)`` invoked for dirty victims.  Returns the frame
+        index.
+        """
+        for attempt in range(self.ALLOC_MAX_RETRIES):
+            if self._free:
+                return self._free.pop()
+            victim = yield from self._evict_one(ctx, writeback)
+            if victim is not None:
+                return victim
+            yield from ctx.sleep(self.ALLOC_RETRY_CYCLES)
+        raise PageCacheFullError(
+            f"all {self.config.num_frames} frames pinned "
+            "(refcounts > 0)")
+
+    def _evict_one(self, ctx, writeback):
+        for frame in self.policy.candidates():
+            entry = self._owner[frame]
+            if entry is None or entry.refcount > 0 or not entry.ready:
+                continue
+            # Candidate victim.  The final refcount check happens under
+            # the bucket lock inside remove_if_unreferenced, closing the
+            # race with a fault handler re-referencing the page.
+            removed = yield from self.table.remove_if_unreferenced(
+                ctx, entry)
+            if not removed:
+                continue
+            # Now unreachable: no linked apointer can hold its mapping
+            # (the paper's fixed-mapping guarantee), so the frame can be
+            # flushed and reused safely.
+            if entry.dirty:
+                self.writebacks += 1
+                yield from writeback(ctx, entry, self.frame_addr(frame))
+                entry.dirty = False
+            self._owner[frame] = None
+            self.evictions += 1
+            return frame
+        return None
+
+    def bind(self, entry: PageTableEntry) -> None:
+        """Record that ``entry`` now owns its frame."""
+        self._owner[entry.frame] = entry
+        self.policy.on_bind(entry.frame)
+
+    def touch(self, frame: int) -> None:
+        """A resident page was referenced (eviction-policy feedback)."""
+        self.policy.on_touch(frame)
+
+    def release_frame(self, frame: int) -> None:
+        """Return a never-bound frame to the free list (insert raced)."""
+        self._owner[frame] = None
+        self._free.append(frame)
+        self.policy.on_release(frame)

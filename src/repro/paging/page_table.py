@@ -1,0 +1,237 @@
+"""Concurrent page-table hash table.
+
+One hash table indexes the pages of *all* files in the page cache (§V):
+keys are ``(file_id, file_page_number)`` pairs, values are page-cache
+frame numbers plus a reference count.  Following the paper:
+
+* the table has **16x more slots than frames**, which keeps the collision
+  (probe) rate around 3 % at full cache occupancy;
+* **reads are lock-free** — a lookup costs one global-memory load per
+  probed slot;
+* **insertions and removals take a per-bucket lock** (fine-grained:
+  buckets are groups of slots sharing one lock).
+
+The table is *functionally* a Python open-addressing table; every probe,
+insert and refcount update also charges the simulated GPU for the global
+memory traffic and atomics the real data structure would incur, using a
+real device-memory allocation for its slot addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.gpu.instructions import TimedLock
+from repro.gpu.kernel import WarpContext
+
+ENTRY_BYTES = 16        # key word + value word, as packed on the GPU
+HASH_COST_INSTRS = 6    # integer hash of (file_id, fpn)
+
+
+class _Tombstone:
+    """Marks a removed slot.  Removal must not relocate entries — a
+    lock-free reader walking the probe chain concurrently would miss
+    them — so removed slots become tombstones that probes skip."""
+
+    def __repr__(self):  # pragma: no cover
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+@dataclass
+class PageTableEntry:
+    """One resident page: its frame and reference count."""
+
+    file_id: int
+    fpn: int
+    frame: int
+    refcount: int = 0
+    dirty: bool = False
+    ready: bool = True   # False while the page-in transfer is in flight
+    removed: bool = False  # set (under the bucket lock) by eviction
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.file_id, self.fpn)
+
+
+class PageTable:
+    """Open-addressing concurrent hash table with bucket locks."""
+
+    def __init__(self, device, nframes: int, slots_per_frame: int = 16,
+                 slots_per_lock: int = 8):
+        self.nslots = max(16, nframes * slots_per_frame)
+        self.base = device.alloc(self.nslots * ENTRY_BYTES)
+        self._slots: list[Optional[PageTableEntry]] = [None] * self.nslots
+        self._index: dict[tuple[int, int], int] = {}
+        nlocks = max(1, self.nslots // slots_per_lock)
+        self._locks = [TimedLock(f"pt-bucket-{i}") for i in range(nlocks)]
+        self._slots_per_lock = slots_per_lock
+        # Metrics.
+        self.lookups = 0
+        self.probes = 0
+        self.inserts = 0
+        self.removes = 0
+
+    # ------------------------------------------------------------------
+    # Pure helpers (no simulated time)
+    # ------------------------------------------------------------------
+    def _hash(self, file_id: int, fpn: int) -> int:
+        h = (file_id * 0x9E3779B97F4A7C15 + fpn * 0xBF58476D1CE4E5B9)
+        return (h ^ (h >> 31)) % self.nslots
+
+    def _slot_addr(self, slot: int) -> int:
+        return self.base + slot * ENTRY_BYTES
+
+    def _lock_for(self, slot: int) -> TimedLock:
+        return self._locks[(slot // self._slots_per_lock) % len(self._locks)]
+
+    def _probe_chain(self, file_id: int, fpn: int) -> Iterator[int]:
+        slot = self._hash(file_id, fpn)
+        for _ in range(self.nslots):
+            yield slot
+            slot = (slot + 1) % self.nslots
+
+    def get(self, file_id: int, fpn: int) -> Optional[PageTableEntry]:
+        """Functional lookup without timing (host-side / test use)."""
+        slot = self._index.get((file_id, fpn))
+        return None if slot is None else self._slots[slot]
+
+    def entries(self) -> list[PageTableEntry]:
+        """All resident entries (functional, host-side / test use)."""
+        return [self._slots[s] for s in self._index.values()]
+
+    @property
+    def load_factor(self) -> float:
+        return len(self._index) / self.nslots
+
+    def collision_rate(self) -> float:
+        """Fraction of lookups that needed more than one probe."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.probes - self.lookups) / self.lookups
+
+    # ------------------------------------------------------------------
+    # Timed operations (kernel-coroutine generators)
+    # ------------------------------------------------------------------
+    def lookup(self, ctx: WarpContext, file_id: int, fpn: int):
+        """Lock-free timed lookup; returns the entry or ``None``."""
+        ctx.charge(HASH_COST_INSTRS, chain=HASH_COST_INSTRS)
+        self.lookups += 1
+        for slot in self._probe_chain(file_id, fpn):
+            self.probes += 1
+            yield from ctx.load_scalar(self._slot_addr(slot), "u8")
+            entry = self._slots[slot]
+            if entry is None:
+                return None
+            if entry is TOMBSTONE:
+                continue
+            if entry.key == (file_id, fpn):
+                return entry
+        return None
+
+    def insert(self, ctx: WarpContext, entry: PageTableEntry):
+        """Timed insert under the bucket lock.
+
+        Returns the winning entry: if another warp inserted the same key
+        while we waited for the lock, that entry is returned instead and
+        the caller's is discarded (the standard concurrent-insert race).
+        """
+        home = self._hash(entry.file_id, entry.fpn)
+        lock = self._lock_for(home)
+        yield from ctx.lock(lock)
+        ctx.charge(HASH_COST_INSTRS)
+        winner = None
+        free_slot = None
+        for slot in self._probe_chain(entry.file_id, entry.fpn):
+            self.probes += 1
+            yield from ctx.load_scalar(self._slot_addr(slot), "u8")
+            existing = self._slots[slot]
+            if existing is TOMBSTONE:
+                if free_slot is None:
+                    free_slot = slot
+                continue
+            if existing is None:
+                if free_slot is None:
+                    free_slot = slot
+                break
+            if existing.key == entry.key:
+                winner = existing
+                break
+        if winner is not None:
+            yield from ctx.unlock(lock)
+            return winner
+        if free_slot is None:
+            yield from ctx.unlock(lock)
+            raise RuntimeError("page table full")
+        self._slots[free_slot] = entry
+        self._index[entry.key] = free_slot
+        self.inserts += 1
+        yield from ctx.store_scalar(self._slot_addr(free_slot),
+                                    entry.frame & 0xFFFFFFFFFFFFFFFF, "u8")
+        yield from ctx.unlock(lock)
+        return entry
+
+    def remove(self, ctx: WarpContext, file_id: int, fpn: int):
+        """Timed removal under the bucket lock (used by eviction)."""
+        key = (file_id, fpn)
+        slot = self._index.get(key)
+        if slot is None:
+            return False
+        lock = self._lock_for(self._hash(file_id, fpn))
+        yield from ctx.lock(lock)
+        slot = self._index.get(key)
+        if slot is None:
+            yield from ctx.unlock(lock)
+            return False
+        self._slots[slot] = TOMBSTONE
+        del self._index[key]
+        self.removes += 1
+        yield from ctx.store_scalar(self._slot_addr(slot), 0, "u8")
+        yield from ctx.unlock(lock)
+        return True
+
+    def remove_if_unreferenced(self, ctx: WarpContext,
+                               victim: PageTableEntry):
+        """Timed: atomically evict ``victim`` if it is still resident,
+        ready, and unreferenced.
+
+        All three conditions are re-checked under the bucket lock, and
+        the check is by *entry identity*, not key: between the eviction
+        scan and lock acquisition the page may have been removed and a
+        fresh (possibly in-flight) entry inserted under the same key —
+        removing that one by key would yank a page out from under its
+        faulting warp.  The victim is marked ``removed`` so a concurrent
+        ref-taker can detect that it lost and retry.
+        """
+        key = victim.key
+        lock = self._lock_for(self._hash(victim.file_id, victim.fpn))
+        yield from ctx.lock(lock)
+        slot = self._index.get(key)
+        entry = self._slots[slot] if slot is not None else None
+        if (entry is not victim or entry.refcount > 0
+                or not entry.ready):
+            yield from ctx.unlock(lock)
+            return False
+        entry.removed = True
+        self._slots[slot] = TOMBSTONE
+        del self._index[key]
+        self.removes += 1
+        yield from ctx.store_scalar(self._slot_addr(slot), 0, "u8")
+        yield from ctx.unlock(lock)
+        return True
+
+    def add_refs(self, ctx: WarpContext, entry: PageTableEntry, refs: int):
+        """Timed atomic refcount adjustment (may be negative)."""
+        slot = self._index.get(entry.key)
+        addr = self._slot_addr(slot if slot is not None else 0) + 8
+        yield from ctx.atomic_add(addr, refs)
+        entry.refcount += refs
+        if entry.refcount < 0:
+            raise RuntimeError(
+                f"negative refcount for page {entry.key}: {entry.refcount}")
+        return entry.refcount
+

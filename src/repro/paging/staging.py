@@ -1,0 +1,140 @@
+"""Host-to-GPU transfer staging and batching.
+
+With small 4 KB pages, the fixed per-transaction cost of a PCIe DMA
+dominates the transfer itself.  GPUfs therefore batches: "upon every
+request to read from a file, the system aggregates several host-to-GPU
+transfers on the host, and then issues a single call to copy data into
+the GPU staging area" (§V).  GPU threads then move the bytes from the
+staging area into their page-cache frames.
+
+The batcher models that aggregation window: a fetch that arrives while a
+batch window is open joins it and pays only its share of PCIe bandwidth;
+the first fetch of a window pays the fixed transaction cost too.  The
+copy from staging to the frame is a real device-to-device move — the
+fetched bytes land in a staging slot and a warp-wide timed copy carries
+them into the page frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import WarpContext
+
+
+@dataclass
+class BatcherStats:
+    transfers: int = 0
+    batches: int = 0
+    bytes_moved: int = 0
+
+    def mean_batch_size(self) -> float:
+        return self.transfers / self.batches if self.batches else 0.0
+
+
+class TransferBatcher:
+    """Aggregates concurrent host->GPU page transfers into DMA batches."""
+
+    def __init__(self, device, page_size: int, max_batch: int = 32,
+                 enabled: bool = True,
+                 aggregation_cycles: float = 4000.0):
+        self._device = device
+        self.page_size = page_size
+        self.max_batch = max_batch
+        self.enabled = enabled
+        # The host daemon keeps collecting requests for this long after
+        # a batch opens before issuing the DMA (§V batching).
+        self.aggregation_cycles = aggregation_cycles
+        self.stats = BatcherStats()
+        # Staging ring: enough slots that an in-flight copy can never be
+        # clobbered by later fetches reusing its slot.
+        self.num_slots = max_batch * 4
+        self.staging_base = device.alloc(self.num_slots * page_size)
+        self._next_slot = 0
+        self._window_end = -1.0
+        self._window_count = 0
+
+    @property
+    def spec(self):
+        """The device's current spec (respects later overrides)."""
+        return self._device.spec
+
+    def fetch(self, ctx: WarpContext, handle, file_offset: int,
+              nbytes: int, dst_addr: int):
+        """Timed: read ``nbytes`` at ``file_offset`` of ``handle`` into
+        device memory at ``dst_addr``, via the staging area."""
+        if nbytes > self.page_size:
+            raise ValueError("fetch larger than a page")
+        data = handle.pread(file_offset, nbytes)
+        self.stats.transfers += 1
+        self.stats.bytes_moved += nbytes
+        joined = (self.enabled
+                  and ctx.now <= self._window_end
+                  and self._window_count < self.max_batch)
+        if joined:
+            # Ride the batch the host daemon is already assembling: no
+            # host RPC handling cost, just DMA latency and bandwidth.
+            self._window_count += 1
+            self._window_end += nbytes / self.spec.pcie_bytes_per_cycle()
+            yield from ctx.pcie(nbytes, to_device=True, latency_free=True)
+            yield from ctx.sleep(self.spec.pcie_latency_cycles(),
+                                 io_wait=True)
+        else:
+            # Open a new batch: pay the host daemon's per-RPC handling
+            # (serialises on the host CPU — the Figure 1 bottleneck),
+            # then the DMA itself.
+            self.stats.batches += 1
+            self._window_count = 1
+            self._window_end = (ctx.now + self.aggregation_cycles
+                                + self.spec.pcie_latency_cycles()
+                                + nbytes / self.spec.pcie_bytes_per_cycle())
+            yield from ctx.host_compute(self.spec.host_rpc_s)
+            yield from ctx.pcie(nbytes, to_device=True)
+        slot_addr = self._claim_slot(ctx, data, nbytes)
+        yield from self._device_copy(ctx, slot_addr, dst_addr, nbytes)
+
+    def writeback(self, ctx: WarpContext, handle, file_offset: int,
+                  src_addr: int, nbytes: int, data=None):
+        """Timed: flush a dirty page back to the host file.
+
+        ``data`` overrides the frame contents — used when a page-out
+        filter transformed the bytes without touching the resident copy.
+        """
+        if data is None:
+            data = ctx.memory.read(src_addr, nbytes).copy()
+        handle.pwrite(file_offset, data)
+        self.stats.transfers += 1
+        self.stats.bytes_moved += nbytes
+        yield from ctx.pcie(nbytes, to_device=False)
+
+    # ------------------------------------------------------------------
+    def _claim_slot(self, ctx: WarpContext, data: np.ndarray,
+                    nbytes: int) -> int:
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.num_slots
+        addr = self.staging_base + slot * self.page_size
+        if data.size < nbytes:
+            padded = np.zeros(nbytes, dtype=np.uint8)
+            padded[:data.size] = data
+            data = padded
+        ctx.memory.write(addr, data)  # the DMA landing in staging
+        return addr
+
+    def _device_copy(self, ctx: WarpContext, src_addr: int,
+                     dst_addr: int, nbytes: int):
+        """Warp-wide timed copy: staging slot -> page frame."""
+        width = 8
+        step = width * ctx.warp_size
+        for off in range(0, nbytes, step):
+            lane_off = off + ctx.lane * width
+            mask = lane_off + width <= nbytes
+            ctx.charge(4)
+            vals = yield from ctx.load(src_addr + lane_off, "u8", mask=mask)
+            yield from ctx.store(dst_addr + lane_off, vals, "u8", mask=mask)
+        tail = nbytes % width
+        if tail:
+            base = nbytes - tail
+            ctx.memory.write(
+                dst_addr + base, ctx.memory.read(src_addr + base, tail))

@@ -1,0 +1,43 @@
+"""Microbenchmark workloads of the paper's evaluation (§VI-A/B).
+
+Every workload exists in two versions built from the *same* kernel body:
+a **baseline** using raw pointers and an **apointer** version mapping the
+input region with ``gvmmap_device`` — exactly the paper's methodology
+("the baseline implementations are identical to the apointer versions,
+except that they use regular memory pointers instead").
+
+The suite (:data:`WORKLOADS`) covers the eight §VI-B workloads in order
+of increasing compute intensity: Add, Read, Random-N (N pseudo-random
+generator rounds per element), Reduce, FFT, and Bitonic sort, the last
+three using warp-level shuffles.  :mod:`repro.workloads.memcpy` is the
+Table II tiled memory-copy kernel.
+"""
+
+from repro.workloads.base import Workload, WorkloadRun, run_workload
+from repro.workloads.suite import (
+    AddWorkload,
+    BitonicSortWorkload,
+    FFTWorkload,
+    RandomWorkload,
+    ReadWorkload,
+    ReduceWorkload,
+    WORKLOADS,
+    workload_by_name,
+)
+from repro.workloads.memcpy import MemcpyResult, run_memcpy
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "run_workload",
+    "AddWorkload",
+    "ReadWorkload",
+    "RandomWorkload",
+    "ReduceWorkload",
+    "FFTWorkload",
+    "BitonicSortWorkload",
+    "WORKLOADS",
+    "workload_by_name",
+    "MemcpyResult",
+    "run_memcpy",
+]

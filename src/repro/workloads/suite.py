@@ -1,0 +1,220 @@
+"""The eight §VI-B workloads, in order of increasing compute intensity.
+
+All compute really happens on the loaded values (results are verified
+against numpy references), and its cost is charged to the simulated GPU:
+plain per-lane arithmetic via ``ctx.charge``, warp-level communication
+via the (cost-charging) shuffle intrinsics on the context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import WarpContext
+from repro.workloads.base import Workload
+
+_LCG_A = np.float64(1664525.0)
+_LCG_C = np.float64(1013904223.0)
+_LCG_M = np.float64(2 ** 24)
+
+
+class ReadWorkload(Workload):
+    """Performs a simple read of a large vector (sum to keep it live)."""
+
+    name = "Read"
+    compute_rank = 1.0
+
+    def consume(self, ctx, values, acc):
+        ctx.charge(1, chain=1)
+        return acc + values
+
+    def expected(self, data):
+        return data.sum(axis=(0, 2))
+
+
+class AddWorkload(Workload):
+    """Element-wise addition of two large vectors.
+
+    The second operand is derived in-register (value + 1), preserving the
+    paper's 1-add-per-element compute intensity with a single stream.
+    """
+
+    name = "Add"
+    compute_rank = 2.0
+
+    def consume(self, ctx, values, acc):
+        ctx.charge(2, chain=2)
+        return acc + (values + (values + 1.0))
+
+    def expected(self, data):
+        return (2 * data + 1).sum(axis=(0, 2))
+
+
+class RandomWorkload(Workload):
+    """Pseudo-random generation seeded by each element (LCG rounds).
+
+    ``iterations`` scales the compute per memory read, giving the
+    Random-5 / Random-10 / Random-50 series of Figure 6.
+    """
+
+    compute_rank = 10.0
+
+    def __init__(self, iterations: int):
+        self.iterations = iterations
+        self.name = f"Random {iterations}"
+        self.compute_rank = 4.0 * iterations
+
+    @staticmethod
+    def _lcg_rounds(x: np.ndarray, rounds: int) -> np.ndarray:
+        x = np.floor(x * 997.0) % _LCG_M
+        for _ in range(rounds):
+            x = (_LCG_A * x + _LCG_C) % _LCG_M
+        return x / _LCG_M
+
+    def consume(self, ctx, values, acc):
+        # 4 dependent instructions per LCG round (mul, add, and, shift).
+        ctx.charge(4 * self.iterations, chain=4 * self.iterations)
+        return acc + self._lcg_rounds(values, self.iterations)
+
+    def expected(self, data):
+        return self._lcg_rounds(data.astype(np.float64),
+                                self.iterations).sum(axis=(0, 2))
+
+
+class ReduceWorkload(Workload):
+    """Warp-level sum reduction via shuffles; lane 0 holds the total.
+
+    Matches the paper: "each warp reads a 32-element vector and performs
+    reduction by summing up the values using warp-level shuffle
+    instructions".
+    """
+
+    name = "Reduce"
+    compute_rank = 12.0
+
+    def consume(self, ctx, values, acc):
+        v = values.copy()
+        for shift in (16, 8, 4, 2, 1):
+            v = v + ctx.shfl_xor(v, shift)
+            ctx.charge(1, chain=1)  # the add paired with each shuffle
+        return acc + v
+
+    def expected(self, data):
+        iters, threads, fpl = data.shape
+        warps = data.reshape(iters, threads // 32, 32, fpl)
+        sums = warps.sum(axis=2, keepdims=True)
+        return np.broadcast_to(sums, warps.shape).reshape(
+            iters, threads, fpl).sum(axis=(0, 2))
+
+
+class FFTWorkload(Workload):
+    """32-point FFT per warp using warp shuffles.
+
+    A radix-2 Stockham-style butterfly network: 5 stages, each a shuffle
+    exchange plus a complex multiply-add against coefficients held in
+    constant memory.  The accumulator keeps the magnitude of each lane's
+    output bin.
+
+    The paper finds this workload's apointer overhead anomalously high
+    and attributes it to compiler code-generation differences *unrelated*
+    to the apointer accesses (reordered coefficient loads); that artifact
+    is modelled by ``apointer_artifact_instrs`` and called out in
+    EXPERIMENTS.md.
+    """
+
+    name = "FFT"
+    compute_rank = 14.0
+    apointer_artifact_instrs = 90.0
+
+    def consume(self, ctx, values, acc):
+        n = values.size
+        re = values.astype(np.float64).copy()
+        im = np.zeros_like(re)
+        lane = np.arange(n)
+        # Bit-reverse the input order (free: it is an addressing choice).
+        rev = np.array([int(f"{i:05b}"[::-1], 2) for i in range(n)])
+        re, im = re[rev], im[rev]
+        for stage in range(5):
+            half = 1 << stage
+            # Butterfly partner exchange via shfl_xor.
+            pre = ctx.shfl_xor(re, half)
+            pim = ctx.shfl_xor(im, half)
+            upper = (lane & half) != 0
+            k = (lane & (half - 1)) * (16 >> stage)
+            ang = -2.0 * np.pi * k / 32.0
+            wr, wi = np.cos(ang), np.sin(ang)
+            # 10 instructions: complex twiddle multiply and add/sub.
+            ctx.charge(10, chain=10)
+            tr = np.where(upper, re, pre)
+            ti = np.where(upper, im, pim)
+            br = np.where(upper, pre, re)
+            bi = np.where(upper, pim, im)
+            xr = tr * wr - ti * wi
+            xi = tr * wi + ti * wr
+            re = np.where(upper, br - xr, br + xr)
+            im = np.where(upper, bi - xi, bi + xi)
+        ctx.charge(3, chain=3)
+        return acc + np.sqrt(re * re + im * im)
+
+    def expected(self, data):
+        iters, threads, fpl = data.shape
+        out = np.zeros(threads, dtype=np.float64)
+        for i in range(iters):
+            for j in range(fpl):
+                rows = data[i, :, j].reshape(-1, 32)
+                spec = np.fft.fft(rows, axis=1)
+                out += np.abs(spec).reshape(-1)
+        return out
+
+
+class BitonicSortWorkload(Workload):
+    """Bitonic sort of each warp's 32-element vector via shuffles."""
+
+    name = "Bitonic sort"
+    compute_rank = 20.0
+
+    def consume(self, ctx, values, acc):
+        v = values.copy()
+        lane = np.arange(v.size)
+        for k in range(1, 6):                  # merge size 2^k
+            for j in range(k - 1, -1, -1):     # exchange distance 2^j
+                partner = ctx.shfl_xor(v, 1 << j)
+                ascending = (lane & (1 << k)) == 0
+                keep_min = ((lane & (1 << j)) == 0) == ascending
+                ctx.charge(3, chain=3)         # compare + two selects
+                v = np.where(keep_min, np.minimum(v, partner),
+                             np.maximum(v, partner))
+        ctx.charge(1, chain=1)
+        return acc + v
+
+    def expected(self, data):
+        iters, threads, fpl = data.shape
+        out = np.zeros(threads, dtype=np.float64)
+        for i in range(iters):
+            for j in range(fpl):
+                rows = np.sort(data[i, :, j].reshape(-1, 32), axis=1)
+                out += rows.reshape(-1)
+        return out
+
+
+#: The Figure 6 suite, sorted by increasing compute intensity.
+WORKLOADS: list[Workload] = sorted(
+    [
+        AddWorkload(),
+        ReadWorkload(),
+        RandomWorkload(5),
+        RandomWorkload(10),
+        ReduceWorkload(),
+        FFTWorkload(),
+        RandomWorkload(50),
+        BitonicSortWorkload(),
+    ],
+    key=lambda w: w.compute_rank,
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    for w in WORKLOADS:
+        if w.name == name:
+            return w
+    raise KeyError(f"unknown workload {name!r}")

@@ -1,0 +1,74 @@
+"""Tests for problem generation and the reference solution."""
+
+import numpy as np
+import pytest
+
+from repro.collage import (
+    CollageDataset,
+    DatasetParams,
+    make_problem,
+    reference_solution,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CollageDataset(DatasetParams(num_images=512, num_clusters=8))
+
+
+@pytest.fixture(scope="module")
+def problem(dataset):
+    return make_problem(dataset, blocks_x=4, blocks_y=4, cluster_spread=3)
+
+
+class TestProblem:
+    def test_block_count(self, problem):
+        assert problem.num_blocks == 16
+
+    def test_image_shape(self, problem):
+        assert problem.image.shape == (4 * 32, 4 * 32, 3)
+
+    def test_candidates_per_block(self, problem):
+        assert len(problem.candidates) == 16
+
+    def test_deterministic(self, dataset):
+        a = make_problem(dataset, blocks_x=2, blocks_y=2, seed=1)
+        b = make_problem(dataset, blocks_x=2, blocks_y=2, seed=1)
+        assert np.array_equal(a.image, b.image)
+
+    def test_reuse_increases_with_concentration(self, dataset):
+        focused = make_problem(dataset, blocks_x=6, blocks_y=6,
+                               cluster_spread=1)
+        spread = make_problem(dataset, blocks_x=6, blocks_y=6,
+                              cluster_spread=8)
+        assert focused.data_reuse() >= spread.data_reuse()
+
+    def test_reuse_definition(self, problem):
+        manual = (problem.total_candidate_refs()
+                  / problem.unique_candidates())
+        assert problem.data_reuse() == pytest.approx(manual)
+
+
+class TestReferenceSolution:
+    def test_choices_shape_and_membership(self, problem):
+        ref = reference_solution(problem)
+        assert ref.choices.shape == (16,)
+        for b, choice in enumerate(ref.choices):
+            if choice >= 0:
+                assert choice in problem.candidates[b]
+
+    def test_choice_is_argmin_among_candidates(self, problem, dataset):
+        ref = reference_solution(problem)
+        for b in range(problem.num_blocks):
+            cands = problem.candidates[b]
+            if cands.size == 0:
+                continue
+            q = problem.block_hists[b].astype(np.float64)
+            d = ((dataset.histograms[cands] - q) ** 2).sum(axis=1)
+            assert ref.choices[b] == cands[np.argmin(d)]
+
+    def test_empty_candidates_give_minus_one(self, dataset):
+        problem = make_problem(dataset, blocks_x=2, blocks_y=2)
+        problem.candidates = [np.empty(0, np.int64)] * problem.num_blocks
+        ref = reference_solution(problem)
+        assert np.all(ref.choices == -1)

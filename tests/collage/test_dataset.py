@@ -1,0 +1,77 @@
+"""Tests for the synthetic dataset generator and file layout."""
+
+import numpy as np
+import pytest
+
+from repro.collage.dataset import CollageDataset, DatasetParams
+from repro.collage.histogram import HIST_BYTES, HIST_FLOATS
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CollageDataset(DatasetParams(num_images=256, num_clusters=8))
+
+
+class TestDataset:
+    def test_histogram_count_and_shape(self, dataset):
+        assert dataset.histograms.shape == (256, HIST_FLOATS)
+
+    def test_deterministic(self):
+        a = CollageDataset(DatasetParams(num_images=64, num_clusters=4))
+        b = CollageDataset(DatasetParams(num_images=64, num_clusters=4))
+        assert np.array_equal(a.histograms, b.histograms)
+
+    def test_histograms_nonnegative(self, dataset):
+        assert (dataset.histograms >= 0).all()
+
+    def test_order_is_a_permutation(self, dataset):
+        assert np.array_equal(np.sort(dataset.order), np.arange(256))
+
+    def test_file_roundtrip_aligned(self, dataset):
+        blob = dataset.file_bytes()
+        assert blob.size == 256 * 4096
+        for img in (0, 100, 255):
+            off = dataset.record_offset(img)
+            back = blob[off:off + HIST_BYTES].view(np.float32)
+            assert np.array_equal(back, dataset.histograms[img])
+
+    def test_file_roundtrip_unaligned(self):
+        ds = CollageDataset(DatasetParams(num_images=64, num_clusters=4,
+                                          aligned=False))
+        blob = ds.file_bytes()
+        assert blob.size == 64 * HIST_BYTES
+        for img in (0, 31, 63):
+            off = ds.record_offset(img)
+            assert off % HIST_BYTES == 0
+            back = blob[off:off + HIST_BYTES].view(np.float32)
+            assert np.array_equal(back, ds.histograms[img])
+
+    def test_unaligned_records_straddle_pages(self):
+        """The point of the §VI-E experiment: 3 KB records are not
+        page-aligned, so some straddle 4 KB boundaries."""
+        ds = CollageDataset(DatasetParams(num_images=64, num_clusters=4,
+                                          aligned=False))
+        offsets = [ds.record_offset(i) for i in range(64)]
+        straddling = [o for o in offsets
+                      if o // 4096 != (o + HIST_BYTES - 1) // 4096]
+        assert straddling
+
+    def test_bucket_order_groups_bucket_members(self, dataset):
+        """Records of one primary bucket are contiguous in the file."""
+        table0 = dataset.lsh.buckets[0]
+        for key, members in table0.items():
+            positions = sorted(dataset.position_of[m] for m in members)
+            assert positions == list(range(positions[0],
+                                           positions[0] + len(positions)))
+
+    def test_candidates_nonempty_for_dataset_members(self, dataset):
+        assert dataset.candidates_for(dataset.histograms[5]).size > 0
+
+    def test_clustered_structure_gives_reuse(self, dataset):
+        """Queries near one cluster share most of their candidates."""
+        c = dataset.centers[0]
+        a = dataset.candidates_for(c * 1.0)
+        b = dataset.candidates_for(c * 1.02)
+        if a.size and b.size:
+            overlap = np.intersect1d(a, b).size / max(a.size, b.size)
+            assert overlap > 0.5

@@ -1,0 +1,83 @@
+"""Tests for block histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collage.histogram import (
+    BLOCK_SIDE,
+    HIST_BINS,
+    HIST_BYTES,
+    HIST_FLOATS,
+    block_histograms,
+    euclidean_distances,
+    histogram_of_block,
+)
+
+
+class TestHistogramOfBlock:
+    def test_mass_equals_pixels_per_channel(self):
+        rng = np.random.RandomState(0)
+        block = rng.randint(0, 256, (32, 32, 3), dtype=np.uint8)
+        h = histogram_of_block(block)
+        for c in range(3):
+            assert h[c * HIST_BINS:(c + 1) * HIST_BINS].sum() == 32 * 32
+
+    def test_uniform_block_is_single_bin(self):
+        block = np.full((32, 32, 3), 7, dtype=np.uint8)
+        h = histogram_of_block(block)
+        assert h[7] == 1024
+        assert h[HIST_BINS + 7] == 1024
+        assert h.sum() == 3 * 1024
+
+    def test_record_is_3kb(self):
+        assert HIST_FLOATS * 4 == HIST_BYTES == 3072
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_of_block(np.zeros((32, 32), dtype=np.uint8))
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_numpy_histogram(self, seed):
+        rng = np.random.RandomState(seed)
+        block = rng.randint(0, 256, (32, 32, 3), dtype=np.uint8)
+        h = histogram_of_block(block)
+        for c in range(3):
+            ref, _ = np.histogram(block[:, :, c], bins=256, range=(0, 256))
+            assert np.array_equal(h[c * 256:(c + 1) * 256], ref)
+
+
+class TestBlockHistograms:
+    def test_block_count(self):
+        image = np.zeros((64, 96, 3), dtype=np.uint8)
+        assert block_histograms(image).shape == (2 * 3, HIST_FLOATS)
+
+    def test_crops_partial_blocks(self):
+        image = np.zeros((40, 40, 3), dtype=np.uint8)
+        assert block_histograms(image).shape == (1, HIST_FLOATS)
+
+    def test_image_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            block_histograms(np.zeros((8, 8, 3), dtype=np.uint8))
+
+    def test_blocks_are_independent(self):
+        image = np.zeros((32, 64, 3), dtype=np.uint8)
+        image[:, 32:] = 200
+        hists = block_histograms(image)
+        assert hists[0][0] == 1024      # left block all zeros
+        assert hists[1][200] == 1024    # right block all 200s
+
+
+class TestDistances:
+    def test_zero_distance_to_self(self):
+        h = np.arange(HIST_FLOATS, dtype=np.float32)
+        assert euclidean_distances(h, h[None, :])[0] == 0.0
+
+    def test_matches_norm(self):
+        rng = np.random.RandomState(1)
+        q = rng.rand(HIST_FLOATS).astype(np.float32)
+        c = rng.rand(5, HIST_FLOATS).astype(np.float32)
+        expect = np.linalg.norm(c.astype(np.float64) - q, axis=1)
+        assert np.allclose(euclidean_distances(q, c), expect)

@@ -1,0 +1,69 @@
+"""Tests for the LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.collage.histogram import HIST_FLOATS
+from repro.collage.lsh import LSHIndex, LSHParams
+
+
+@pytest.fixture
+def vectors():
+    rng = np.random.RandomState(2)
+    return rng.uniform(0, 50, size=(400, HIST_FLOATS)).astype(np.float32)
+
+
+@pytest.fixture
+def index(vectors):
+    idx = LSHIndex(LSHParams(tables=4, projections=4))
+    idx.build(vectors)
+    return idx
+
+
+class TestLSHIndex:
+    def test_every_vector_lands_in_a_bucket_per_table(self, index,
+                                                      vectors):
+        for t in range(index.params.tables):
+            total = sum(len(v) for v in index.buckets[t].values())
+            assert total == len(vectors)
+
+    def test_self_is_always_a_candidate(self, index, vectors):
+        for i in (0, 17, 399):
+            assert i in index.candidates_for(vectors[i])
+
+    def test_keys_are_deterministic(self, vectors):
+        a = LSHIndex(LSHParams(seed=9))
+        b = LSHIndex(LSHParams(seed=9))
+        assert a.keys_for(vectors[:5]) == b.keys_for(vectors[:5])
+
+    def test_different_seeds_differ(self, vectors):
+        a = LSHIndex(LSHParams(seed=9))
+        b = LSHIndex(LSHParams(seed=10))
+        assert a.keys_for(vectors[:5]) != b.keys_for(vectors[:5])
+
+    def test_near_vectors_collide_more_than_far(self, vectors):
+        """The LSH property: nearby points share buckets more often."""
+        idx = LSHIndex(LSHParams(tables=6, projections=3))
+        idx.build(vectors)
+        rng = np.random.RandomState(3)
+        near_hits = far_hits = 0
+        for i in range(100):
+            v = vectors[i]
+            near = v + rng.normal(0, 1.0, HIST_FLOATS)
+            far = rng.uniform(0, 50, HIST_FLOATS)
+            near_hits += i in idx.candidates_for(near)
+            far_hits += i in idx.candidates_for(far)
+        assert near_hits > far_hits
+
+    def test_candidates_are_unique_and_sorted(self, index, vectors):
+        cands = index.candidates_for(vectors[0])
+        assert np.array_equal(cands, np.unique(cands))
+
+    def test_hash_flops_positive(self, index):
+        assert index.hash_flops() == 2 * 4 * 4 * HIST_FLOATS
+
+    def test_candidates_smaller_than_dataset(self, index, vectors):
+        """LSH narrows the search — the whole point of §VI-E."""
+        mean = np.mean([index.candidates_for(v).size
+                        for v in vectors[:50]])
+        assert mean < len(vectors) * 0.8

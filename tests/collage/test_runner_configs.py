@@ -1,0 +1,63 @@
+"""Collage runners under non-default apointer configurations.
+
+The end-to-end application must stay correct whatever translation-layer
+configuration is selected — short pointers, TLB on, compiler variant —
+since §VI-E's point is that the application code never changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collage import (
+    CollageDataset,
+    DatasetParams,
+    make_problem,
+    reference_solution,
+    run_gpufs_apointers,
+)
+from repro.core import APConfig, ImplVariant, PtrFormat
+
+
+@pytest.fixture(scope="module")
+def problem():
+    dataset = CollageDataset(DatasetParams(num_images=384,
+                                           num_clusters=8))
+    return make_problem(dataset, blocks_x=3, blocks_y=3,
+                        cluster_spread=3)
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return reference_solution(problem)
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("variant", [ImplVariant.COMPILER,
+                                         ImplVariant.PREFETCH])
+    def test_variants_produce_identical_collage(self, problem, reference,
+                                                variant):
+        out = run_gpufs_apointers(problem,
+                                  config=APConfig(variant=variant))
+        assert out.matches(reference)
+
+    def test_short_format(self, problem, reference):
+        out = run_gpufs_apointers(
+            problem, config=APConfig(fmt=PtrFormat.SHORT))
+        assert out.matches(reference)
+
+    def test_compiler_variant_is_slowest(self, problem):
+        slow = run_gpufs_apointers(
+            problem, config=APConfig(variant=ImplVariant.COMPILER))
+        fast = run_gpufs_apointers(
+            problem, config=APConfig(variant=ImplVariant.PREFETCH))
+        assert fast.seconds <= slow.seconds * 1.02
+
+    def test_team_width_does_not_change_result(self, problem, reference):
+        for team in (1, 2, 8):
+            out = run_gpufs_apointers(problem, team_warps=team)
+            assert out.matches(reference), f"team={team}"
+
+    def test_small_page_cache_still_correct(self, problem, reference):
+        out = run_gpufs_apointers(problem, page_cache_frames=48)
+        assert out.matches(reference)
+        assert out.paging["evictions"] > 0

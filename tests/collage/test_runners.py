@@ -1,0 +1,80 @@
+"""Integration tests: all four collage runners agree and show the
+paper's qualitative ordering."""
+
+import numpy as np
+import pytest
+
+from repro.collage import (
+    CollageDataset,
+    DatasetParams,
+    make_problem,
+    reference_solution,
+    run_cpu,
+    run_cpu_gpu,
+    run_gpufs,
+    run_gpufs_apointers,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    dataset = CollageDataset(DatasetParams(num_images=512,
+                                           num_clusters=12))
+    return make_problem(dataset, blocks_x=4, blocks_y=4,
+                        cluster_spread=4)
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return reference_solution(problem)
+
+
+@pytest.fixture(scope="module")
+def outcomes(problem):
+    return {
+        out.name: out
+        for out in (run_cpu(problem), run_cpu_gpu(problem),
+                    run_gpufs(problem), run_gpufs_apointers(problem))
+    }
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["CPU", "CPU+GPU", "GPUfs",
+                                      "GPUfs+AP"])
+    def test_matches_reference(self, outcomes, reference, name):
+        assert outcomes[name].matches(reference)
+
+    def test_all_runners_positive_time(self, outcomes):
+        for out in outcomes.values():
+            assert out.seconds > 0
+
+    def test_gpufs_reports_paging_stats(self, outcomes):
+        assert outcomes["GPUfs"].paging["major"] > 0
+        assert outcomes["GPUfs+AP"].paging["major"] > 0
+
+
+class TestTimingShape:
+    def test_ap_overhead_is_small(self, outcomes):
+        """§VI-E: apointers add no substantial overhead over GPUfs."""
+        ratio = (outcomes["GPUfs+AP"].seconds
+                 / outcomes["GPUfs"].seconds)
+        assert ratio < 1.15
+
+    def test_breakdowns_sum_to_total(self, outcomes):
+        for name in ("CPU", "CPU+GPU"):
+            out = outcomes[name]
+            assert sum(out.breakdown.values()) == pytest.approx(
+                out.seconds, rel=0.02)
+
+
+class TestUnaligned:
+    def test_unaligned_dataset_same_kernel(self):
+        """§VI-E: removing the padding (3 KB records) requires no
+        apointer code changes and still yields the right collage."""
+        dataset = CollageDataset(DatasetParams(
+            num_images=256, num_clusters=8, aligned=False))
+        problem = make_problem(dataset, blocks_x=3, blocks_y=3,
+                               cluster_spread=3)
+        ref = reference_solution(problem)
+        out = run_gpufs_apointers(problem)
+        assert out.matches(ref)

@@ -1,0 +1,166 @@
+"""Tests for the AArray typed-array layer over apointers."""
+
+import numpy as np
+import pytest
+
+from repro.core import APConfig, AVM
+from repro.core.aarray import AArray
+from tests.core.conftest import PAGE, launch, make_avm
+
+
+@pytest.fixture
+def filled_gpufs(gpufs, file_bytes):
+    return gpufs
+
+
+class TestGetSet:
+    def test_scalar_index_broadcasts(self, device, gpufs, file_bytes):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+        seen = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 8 * PAGE, fid)
+            arr = AArray(ptr, "u4")
+            seen.append((yield from arr.get(ctx, 5)))
+            yield from ptr.destroy(ctx)
+
+        launch(device, kern)
+        expect = file_bytes[20:24].view(np.uint32)[0]
+        assert np.all(seen[0] == expect)
+
+    def test_per_lane_indices(self, device, gpufs, file_bytes):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+        seen = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 8 * PAGE, fid)
+            arr = AArray(ptr, "u4")
+            seen.append((yield from arr.get(ctx, ctx.lane * 7)))
+            yield from ptr.destroy(ctx)
+
+        launch(device, kern)
+        all_u32 = file_bytes.view(np.uint32)
+        assert np.array_equal(seen[0], all_u32[np.arange(32) * 7])
+
+    def test_set_then_get(self, device, gpufs):
+        from repro.host.filesys import O_RDWR
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data", O_RDWR)
+        seen = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 8 * PAGE, fid, write=True)
+            arr = AArray(ptr, "u4")
+            yield from arr.set(ctx, ctx.lane + 100,
+                               ctx.lane.astype(np.uint32) * 3)
+            seen.append((yield from arr.get(ctx, ctx.lane + 100)))
+            yield from ptr.destroy(ctx)
+
+        launch(device, kern)
+        assert np.array_equal(seen[0], np.arange(32, dtype=np.uint32) * 3)
+
+    def test_index_out_of_range(self, device, gpufs):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, PAGE, fid)
+            arr = AArray(ptr, "u4")
+            yield from arr.get(ctx, len(arr))
+
+        with pytest.raises(IndexError):
+            launch(device, kern)
+
+    def test_length_from_mapping(self, device, gpufs):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+        lengths = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 2 * PAGE, fid)
+            lengths.append(len(AArray(ptr, "u4")))
+            lengths.append(len(AArray(ptr, "f8")))
+            yield from ctx.flush()
+
+        launch(device, kern)
+        assert lengths == [2 * PAGE // 4, 2 * PAGE // 8]
+
+    def test_explicit_length_validated(self, device, gpufs):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, PAGE, fid)
+            AArray(ptr, "u4", length=PAGE)  # too many elements
+            yield from ctx.flush()
+
+        with pytest.raises(ValueError):
+            launch(device, kern)
+
+
+class TestBlocks:
+    def test_get_block(self, device, gpufs, file_bytes):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+        seen = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 8 * PAGE, fid)
+            arr = AArray(ptr, "f4")
+            seen.append((yield from arr.get_block(ctx, 64, 4)))
+            yield from ptr.destroy(ctx)
+
+        launch(device, kern)
+        expect = file_bytes[64 * 4:64 * 4 + 512].view(np.float32)
+        assert np.array_equal(seen[0].reshape(-1), expect)
+
+    def test_set_block_roundtrip(self, device, gpufs):
+        from repro.host.filesys import O_RDWR
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data", O_RDWR)
+        seen = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 8 * PAGE, fid, write=True)
+            arr = AArray(ptr, "f4")
+            vals = np.arange(128, dtype=np.float32).reshape(32, 4)
+            yield from arr.set_block(ctx, 0, vals)
+            seen.append((yield from arr.get_block(ctx, 0, 4)))
+            yield from ptr.destroy(ctx)
+
+        launch(device, kern)
+        assert np.array_equal(seen[0].reshape(-1),
+                              np.arange(128, dtype=np.float32))
+
+    def test_block_out_of_range(self, device, gpufs):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, PAGE, fid)
+            arr = AArray(ptr, "u4")
+            yield from arr.get_block(ctx, len(arr) - 16, 4)
+
+        with pytest.raises(IndexError):
+            launch(device, kern)
+
+
+class TestView:
+    def test_view_offsets_indices(self, device, gpufs, file_bytes):
+        avm = make_avm(gpufs)
+        fid = gpufs.open("data")
+        seen = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 8 * PAGE, fid)
+            arr = AArray(ptr, "u4")
+            sub = arr.view(1024, length=256)
+            seen.append((yield from sub.get(ctx, 0)))
+            yield from ptr.destroy(ctx)
+
+        launch(device, kern)
+        expect = file_bytes[4096:4100].view(np.uint32)[0]
+        assert np.all(seen[0] == expect)
+        # The view faults the second page, not the first.

@@ -1,0 +1,83 @@
+"""Tests for APConfig, cost models, and APStats."""
+
+import pytest
+
+from repro.core import APConfig, APStats, ImplVariant, PtrFormat
+from repro.core.calibration import cost_model_for, raw_cost_model
+
+
+class TestAPConfig:
+    def test_defaults_are_the_papers_best(self):
+        cfg = APConfig()
+        assert cfg.variant is ImplVariant.PREFETCH
+        assert cfg.fmt is PtrFormat.LONG
+        assert not cfg.use_tlb          # §VI-C: best without a TLB
+        assert not cfg.perm_checks      # §VI-A: disabled after Table I
+
+    def test_tlb_entry_bytes(self):
+        short = APConfig(fmt=PtrFormat.SHORT)
+        long_ = APConfig(fmt=PtrFormat.LONG)
+        assert short.tlb_entry_bytes() == 12 + 4
+        assert long_.tlb_entry_bytes() == 20 + 4
+
+    def test_tlb_bytes_zero_when_disabled(self):
+        assert APConfig(use_tlb=False).tlb_bytes() == 0
+        assert APConfig(use_tlb=True).tlb_bytes() > 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            APConfig().use_tlb = True
+
+
+class TestCostModels:
+    def test_raw_increment_is_two_instructions(self):
+        """§VI-A: 'only 2 for a simple pointer increment'."""
+        assert raw_cost_model().arith_count == 2
+
+    def test_apointer_increment_is_eighteen(self):
+        """§VI-A: 'the most efficient apointer implementation uses 18
+        instructions' (software variants; HW_ASSISTED is the §VII
+        what-if and is cheaper by construction)."""
+        for variant in (ImplVariant.COMPILER, ImplVariant.OPTIMIZED_PTX,
+                        ImplVariant.PREFETCH):
+            cm = cost_model_for(APConfig(variant=variant))
+            assert cm.arith_count == 18
+        hw = cost_model_for(APConfig(variant=ImplVariant.HW_ASSISTED))
+        assert hw.arith_count < 18
+
+    def test_prefetch_has_no_serial_pre_chain(self):
+        cm = cost_model_for(APConfig(variant=ImplVariant.PREFETCH))
+        assert cm.deref_chain == 0
+        assert cm.deref_overlap > 0
+
+    def test_compiler_chain_longest(self):
+        chains = {v: cost_model_for(APConfig(variant=v)).deref_chain
+                  for v in ImplVariant}
+        assert chains[ImplVariant.COMPILER] > chains[
+            ImplVariant.OPTIMIZED_PTX] > chains[ImplVariant.PREFETCH]             == chains[ImplVariant.HW_ASSISTED]
+
+    def test_short_format_adds_packing_cost(self):
+        long_ = cost_model_for(APConfig(fmt=PtrFormat.LONG))
+        short = cost_model_for(APConfig(fmt=PtrFormat.SHORT))
+        assert short.fmt_extra_count > long_.fmt_extra_count == 0
+
+    def test_memcpy_iteration_near_105_instructions(self):
+        """§VI-A SASS inspection: 'the apointer access involves 105
+        instructions' per copy iteration (2 derefs + 2 increments)."""
+        cm = cost_model_for(APConfig(variant=ImplVariant.PREFETCH))
+        per_iter = 2 * (cm.deref_count + 1) + 2 * cm.arith_count
+        assert per_iter == pytest.approx(105, abs=15)
+
+
+class TestAPStats:
+    def test_hit_rate(self):
+        s = APStats(tlb_hits=3, tlb_misses=1)
+        assert s.tlb_hit_rate() == 0.75
+
+    def test_hit_rate_no_lookups(self):
+        assert APStats().tlb_hit_rate() == 0.0
+
+    def test_reset(self):
+        s = APStats(derefs=5, links=2)
+        s.reset()
+        assert s.derefs == 0 and s.links == 0

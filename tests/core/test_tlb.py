@@ -1,0 +1,162 @@
+"""Tests for the per-threadblock software TLB and its refcount
+aggregation semantics (§III-E, §IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import APConfig, AVM
+from repro.core.tlb import SoftwareTLB
+from repro.gpu.memory import Scratchpad
+from tests.core.conftest import PAGE, launch, make_avm
+
+
+def drive(device, gen_fn, *args):
+    out = []
+
+    def kern(ctx):
+        out.append((yield from gen_fn(ctx, *args)))
+
+    device.launch(kern, grid=1, block_threads=32)
+    return out[0]
+
+
+@pytest.fixture
+def tlb():
+    return SoftwareTLB(entries=8, entry_bytes=24, scratchpad=Scratchpad(1024))
+
+
+class TestConstruction:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            SoftwareTLB(entries=12, entry_bytes=24,
+                        scratchpad=Scratchpad(1024))
+
+    def test_scratchpad_footprint_claimed(self):
+        sp = Scratchpad(1024)
+        SoftwareTLB(entries=32, entry_bytes=24, scratchpad=sp)
+        assert sp.bytes_used == 32 * 24
+
+    def test_paper_sizes(self):
+        """§IV-D: 32 entries cost 512 B (short) / 768 B (long) plus a
+        4 B lock per entry."""
+        from repro.core.config import PtrFormat
+        short_cfg = APConfig(use_tlb=True, fmt=PtrFormat.SHORT)
+        long_cfg = APConfig(use_tlb=True, fmt=PtrFormat.LONG)
+        assert short_cfg.tlb_bytes() == 32 * (12 + 4)
+        assert long_cfg.tlb_bytes() == 32 * (20 + 4)
+
+
+class TestLookupInstall:
+    def test_miss_then_install_then_hit(self, device, tlb):
+        assert drive(device, tlb.lookup_and_ref, 1, 5, 32) is None
+        installed, evicted = drive(device, tlb.install, 1, 5, 0xF000, 32)
+        assert installed and evicted is None
+        assert drive(device, tlb.lookup_and_ref, 1, 5, 32) == 0xF000
+        assert tlb.stats.tlb_hits == 1
+        assert tlb.stats.tlb_misses == 1
+
+    def test_install_merges_same_key(self, device, tlb):
+        drive(device, tlb.install, 1, 5, 0xF000, 10)
+        installed, evicted = drive(device, tlb.install, 1, 5, 0xF000, 7)
+        assert installed and evicted is None
+        assert tlb._table[tlb._slot(1, 5)].tb_refs == 17
+        assert tlb._table[tlb._slot(1, 5)].global_held == 17
+
+    def test_conflicting_entry_with_refs_bypasses(self, device):
+        tlb = SoftwareTLB(entries=1, entry_bytes=24,
+                          scratchpad=Scratchpad(64))
+        drive(device, tlb.install, 1, 0, 0xA000, 5)
+        installed, evicted = drive(device, tlb.install, 1, 1, 0xB000, 5)
+        assert not installed
+        assert tlb.stats.tlb_bypasses == 1
+        # The original entry is intact.
+        assert drive(device, tlb.lookup_and_ref, 1, 0, 1) == 0xA000
+
+    def test_zero_ref_entry_evicted_on_conflict(self, device):
+        tlb = SoftwareTLB(entries=1, entry_bytes=24,
+                          scratchpad=Scratchpad(64))
+        drive(device, tlb.install, 1, 0, 0xA000, 5)
+        drive(device, tlb.unref, 1, 0, 5)
+        installed, evicted = drive(device, tlb.install, 1, 1, 0xB000, 3)
+        assert installed
+        assert evicted == ((1, 0), 5)  # caller releases 5 global refs
+        assert tlb.stats.tlb_evictions == 1
+
+
+class TestUnref:
+    def test_unref_unknown_key_returns_false(self, device, tlb):
+        assert not drive(device, tlb.unref, 9, 9, 1)
+
+    def test_unref_underflow_raises(self, device, tlb):
+        drive(device, tlb.install, 1, 0, 0xA000, 2)
+        with pytest.raises(RuntimeError, match="underflow"):
+            drive(device, tlb.unref, 1, 0, 3)
+
+    def test_zero_ref_entry_stays_cached(self, device, tlb):
+        """The TLB's payoff: a drained entry still serves lookups."""
+        drive(device, tlb.install, 1, 0, 0xA000, 2)
+        drive(device, tlb.unref, 1, 0, 2)
+        assert drive(device, tlb.lookup_and_ref, 1, 0, 4) == 0xA000
+
+
+class TestDrain:
+    def test_drain_returns_all_pins(self, device, tlb):
+        # Pick two pages that land in different direct-mapped slots.
+        second = next(x for x in range(1, 100)
+                      if tlb._slot(1, x) != tlb._slot(1, 0))
+        drive(device, tlb.install, 1, 0, 0xA000, 2)
+        drive(device, tlb.install, 1, second, 0xB000, 3)
+        released = drive(device, tlb.drain)
+        assert sorted(released) == sorted([((1, 0), 2), ((1, second), 3)])
+        assert drive(device, tlb.lookup_and_ref, 1, 0, 1) is None
+
+
+class TestEndToEndWithTLB:
+    def test_reuse_hits_tlb_and_global_refs_balance(self, device, gpufs,
+                                                    file_bytes):
+        cfg_kwargs = dict(use_tlb=True, tlb_entries=32)
+        avm = make_avm(gpufs, **cfg_kwargs)
+        fid = gpufs.open("data")
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 8 * PAGE, fid)
+            yield from ptr.seek(ctx, ctx.lane * 4)
+            for rep in range(4):
+                yield from ptr.read(ctx, "u4")
+                yield from ptr.add(ctx, PAGE)       # unlink
+                yield from ptr.add(ctx, -PAGE)      # come back: refault
+            yield from ptr.destroy(ctx)
+            yield from ctx.syncthreads()
+            if ctx.warp_in_block == 0:
+                yield from avm.drain_tlb(ctx, ptr.backend)
+
+        launch(device, kern, block_threads=64,
+               scratchpad_bytes=avm.config.tlb_bytes())
+        assert avm.stats.tlb_hits > 0
+        for entry in gpufs.cache.table.entries():
+            assert entry.refcount == 0
+
+    def test_tlb_saves_page_table_lookups(self, device, gpufs):
+        """With high reuse, the TLB absorbs refaults that would
+        otherwise hit the global page table."""
+        results = {}
+        for use_tlb in (False, True):
+            gpufs.cache.table.lookups = 0
+            avm = make_avm(gpufs, use_tlb=use_tlb)
+            fid = gpufs.open("data")
+
+            def kern(ctx):
+                ptr = avm.gvmmap(ctx, 8 * PAGE, fid)
+                for rep in range(8):
+                    yield from ptr.seek(ctx, ctx.lane * 4)
+                    yield from ptr.read(ctx, "u4")
+                    yield from ptr.add(ctx, PAGE)
+                yield from ptr.destroy(ctx)
+                yield from ctx.syncthreads()
+                if use_tlb and ctx.warp_in_block == 0:
+                    yield from avm.drain_tlb(ctx, ptr.backend)
+
+            launch(device, kern, block_threads=64,
+                   scratchpad_bytes=avm.config.tlb_bytes())
+            results[use_tlb] = gpufs.cache.table.lookups
+        assert results[True] < results[False]

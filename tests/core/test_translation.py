@@ -1,0 +1,102 @@
+"""Tests for translation-field bit packing (§IV-A/B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import translation as tr
+from repro.core.config import PtrFormat
+
+
+class TestLongFormat:
+    def test_roundtrip(self):
+        valid = np.array([True, False, True])
+        addr = np.array([0, 123456, (1 << 60) - 1], dtype=np.uint64)
+        word = tr.encode_long(valid, tr.perm_bits(True, False), addr)
+        v, a = tr.decode_long(word)
+        assert np.array_equal(v, valid)
+        assert np.array_equal(a, addr)
+
+    def test_address_overflow_rejected(self):
+        with pytest.raises(tr.AddressRangeError):
+            tr.encode_long(np.array([True]), np.uint64(0),
+                           np.array([1 << 60], dtype=np.uint64))
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, (1 << 60) - 1)),
+                    min_size=1, max_size=32))
+    def test_roundtrip_property(self, lanes):
+        valid = np.array([v for v, _ in lanes])
+        addr = np.array([a for _, a in lanes], dtype=np.uint64)
+        v, a = tr.decode_long(
+            tr.encode_long(valid, tr.perm_bits(True, True), addr))
+        assert np.array_equal(v, valid)
+        assert np.array_equal(a, addr)
+
+
+class TestShortFormat:
+    def test_roundtrip(self):
+        valid = np.array([True, False])
+        aphys = np.array([0xDEADBEEF, 42], dtype=np.uint64)
+        xpage = np.array([7, (1 << 29) - 1], dtype=np.uint64)
+        word = tr.encode_short(valid, np.uint64(0), aphys, xpage)
+        v, a, x = tr.decode_short(word)
+        assert np.array_equal(v, valid)
+        assert np.array_equal(a, aphys)
+        assert np.array_equal(x, xpage)
+
+    def test_aphys_overflow_rejected(self):
+        with pytest.raises(tr.AddressRangeError):
+            tr.encode_short(np.array([True]), np.uint64(0),
+                            np.array([1 << 32], dtype=np.uint64),
+                            np.array([0], dtype=np.uint64))
+
+    def test_xpage_overflow_rejected(self):
+        with pytest.raises(tr.AddressRangeError):
+            tr.encode_short(np.array([True]), np.uint64(0),
+                            np.array([0], dtype=np.uint64),
+                            np.array([1 << 29], dtype=np.uint64))
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(0, (1 << 32) - 1),
+                              st.integers(0, (1 << 29) - 1)),
+                    min_size=1, max_size=32))
+    def test_roundtrip_property(self, lanes):
+        valid = np.array([v for v, _, _ in lanes])
+        aphys = np.array([a for _, a, _ in lanes], dtype=np.uint64)
+        xpage = np.array([x for _, _, x in lanes], dtype=np.uint64)
+        v, a, x = tr.decode_short(
+            tr.encode_short(valid, tr.perm_bits(False, True), aphys, xpage))
+        assert np.array_equal(v, valid)
+        assert np.array_equal(a, aphys)
+        assert np.array_equal(x, xpage)
+
+
+class TestPermissions:
+    def test_perm_bits_independent(self):
+        word = tr.encode_long(np.array([False]),
+                              tr.perm_bits(True, False),
+                              np.array([0], dtype=np.uint64))
+        assert tr.has_perm(word, write=False)[0]
+        assert not tr.has_perm(word, write=True)[0]
+
+    def test_perms_do_not_corrupt_address(self):
+        addr = np.array([(1 << 60) - 1], dtype=np.uint64)
+        word = tr.encode_long(np.array([True]), tr.perm_bits(True, True),
+                              addr)
+        _, a = tr.decode_long(word)
+        assert a[0] == addr[0]
+
+
+class TestAddressSpaceSizes:
+    def test_long_address_space_is_60_bits(self):
+        assert tr.max_mappable_bytes(PtrFormat.LONG, 4096) == 1 << 60
+
+    def test_short_address_space_trades_range(self):
+        """§IV-B: short apointers balance address-space size against
+        TLB size and runtime overhead."""
+        short = tr.max_mappable_bytes(PtrFormat.SHORT, 4096)
+        assert short == (1 << 29) * 4096  # 2 TB of file
+        assert short < tr.max_mappable_bytes(PtrFormat.LONG, 4096)
+        # Still comfortably enough for the paper's 40 GB dataset.
+        assert short > 40 * (1 << 30)

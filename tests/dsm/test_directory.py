@@ -1,0 +1,121 @@
+"""Unit and property tests for the MSI directory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm.directory import Directory, PageState
+
+
+@pytest.fixture
+def d():
+    return Directory(num_devices=3)
+
+
+class TestReads:
+    def test_first_read_shares(self, d):
+        actions = d.acquire_read(0, 1)
+        assert actions == {}
+        assert d.state_of(0) is PageState.SHARED
+        assert d.holders_of(0) == {1}
+
+    def test_many_readers_share(self, d):
+        d.acquire_read(0, 0)
+        d.acquire_read(0, 1)
+        d.acquire_read(0, 2)
+        assert d.holders_of(0) == {0, 1, 2}
+
+    def test_read_after_remote_write_flushes_owner(self, d):
+        d.acquire_write(0, 2)
+        actions = d.acquire_read(0, 0)
+        assert actions == {"flush": 2}
+        assert d.state_of(0) is PageState.SHARED
+        assert d.holders_of(0) == {0, 2}
+
+    def test_owner_rereading_keeps_exclusive(self, d):
+        d.acquire_write(0, 1)
+        actions = d.acquire_read(0, 1)
+        assert actions == {}
+        assert d.state_of(0) is PageState.EXCLUSIVE
+
+
+class TestWrites:
+    def test_first_write_is_exclusive(self, d):
+        actions = d.acquire_write(0, 1)
+        assert actions == {"invalidate": []}
+        assert d.state_of(0) is PageState.EXCLUSIVE
+
+    def test_write_invalidates_readers(self, d):
+        d.acquire_read(0, 0)
+        d.acquire_read(0, 2)
+        actions = d.acquire_write(0, 1)
+        assert sorted(actions["invalidate"]) == [0, 2]
+        assert d.holders_of(0) == {1}
+
+    def test_write_steals_from_writer(self, d):
+        d.acquire_write(0, 2)
+        actions = d.acquire_write(0, 0)
+        assert actions["flush"] == 2
+        assert actions["invalidate"] == [2]
+        assert d.holders_of(0) == {0}
+
+    def test_writer_rewriting_is_silent(self, d):
+        d.acquire_write(0, 1)
+        actions = d.acquire_write(0, 1)
+        assert "flush" not in actions
+        assert actions["invalidate"] == []
+
+    def test_upgrade_invalidates_other_readers_only(self, d):
+        d.acquire_read(0, 0)
+        d.acquire_read(0, 1)
+        actions = d.acquire_write(0, 0)
+        assert actions["invalidate"] == [1]
+
+
+class TestRelease:
+    def test_last_release_goes_idle(self, d):
+        d.acquire_read(0, 1)
+        d.release(0, 1, flushed=False)
+        assert d.state_of(0) is PageState.IDLE
+
+    def test_writer_release_leaves_readers_shared(self, d):
+        d.acquire_write(0, 1)
+        d.acquire_read(0, 2)   # downgrades
+        d.release(0, 1, flushed=True)
+        assert d.state_of(0) is PageState.SHARED
+        assert d.holders_of(0) == {2}
+
+    def test_unknown_device_rejected(self, d):
+        with pytest.raises(ValueError):
+            d.acquire_read(0, 7)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError):
+            Directory(0)
+
+
+class TestInvariants:
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["r", "w", "rel"]),
+                  st.integers(0, 2), st.integers(0, 3)),
+        min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_msi_invariants_hold(self, ops):
+        """Whatever the op sequence: an exclusive page has exactly one
+        holder, a shared page at least one, an idle page none."""
+        d = Directory(num_devices=3)
+        for op, dev, fpn in ops:
+            if op == "r":
+                d.acquire_read(fpn, dev)
+            elif op == "w":
+                d.acquire_write(fpn, dev)
+            else:
+                d.release(fpn, dev, flushed=False)
+            state = d.state_of(fpn)
+            holders = d.holders_of(fpn)
+            if state is PageState.EXCLUSIVE:
+                assert len(holders) == 1
+            elif state is PageState.SHARED:
+                assert len(holders) >= 1
+            else:
+                assert not holders

@@ -1,0 +1,75 @@
+"""Focused tests for the DSMBackend fault/release interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import APConfig, AVM
+from repro.dsm import DSMCluster
+
+PAGE = 4096
+
+
+@pytest.fixture
+def cluster():
+    return DSMCluster(num_devices=3, region_bytes=4 * PAGE,
+                      frames_per_device=8)
+
+
+def drive(cluster, dev, gen_fn, *args):
+    out = []
+
+    def kern(ctx):
+        out.append((yield from gen_fn(ctx, *args)))
+
+    cluster.devices[dev].launch(kern, grid=1, block_threads=32)
+    return out[0]
+
+
+class TestBackendInterface:
+    def test_backend_exposes_mapping_contract(self, cluster):
+        b = cluster.backend_for(1)
+        assert b.page_size == PAGE
+        assert b.paged
+        assert b.device is cluster.devices[1]
+
+    def test_fault_returns_local_frame(self, cluster):
+        b = cluster.backend_for(0)
+        addr = drive(cluster, 0, b.fault, 0, 4, False)
+        cache = cluster.gpufs[0].cache
+        assert cache.base <= addr < cache.base + 8 * PAGE
+        entry = cache.table.get(cluster.fids[0], 0)
+        assert entry.refcount == 4
+
+    def test_release_drops_refs(self, cluster):
+        b = cluster.backend_for(0)
+        drive(cluster, 0, b.fault, 0, 4, False)
+        drive(cluster, 0, b.release, 0, 4)
+        assert cluster.gpufs[0].cache.table.get(
+            cluster.fids[0], 0).refcount == 0
+
+    def test_three_device_sharing(self, cluster):
+        for dev in range(3):
+            b = cluster.backend_for(dev)
+            drive(cluster, dev, b.fault, 1, 1, False)
+            drive(cluster, dev, b.release, 1, 1)
+        assert cluster.directory.holders_of(1) == {0, 1, 2}
+
+    def test_write_fault_invalidates_all_readers(self, cluster):
+        for dev in (1, 2):
+            b = cluster.backend_for(dev)
+            drive(cluster, dev, b.fault, 0, 1, False)
+            drive(cluster, dev, b.release, 0, 1)
+        b0 = cluster.backend_for(0)
+        drive(cluster, 0, b0.fault, 0, 1, True)
+        assert cluster.directory.holders_of(0) == {0}
+        # Victims' cached copies were dropped.
+        for dev in (1, 2):
+            assert cluster.gpufs[dev].cache.table.get(
+                cluster.fids[dev], 0) is None
+
+    def test_stats_track_fault_kinds(self, cluster):
+        b = cluster.backend_for(0)
+        drive(cluster, 0, b.fault, 0, 1, False)
+        drive(cluster, 0, b.fault, 1, 1, True)
+        assert cluster.stats.read_faults == 1
+        assert cluster.stats.write_faults == 1

@@ -1,0 +1,72 @@
+"""Barrier semantics under tricky schedules."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+
+
+@pytest.fixture
+def dev():
+    return Device(memory_bytes=8 * 1024 * 1024)
+
+
+class TestBarriers:
+    def test_barrier_waits_for_slowest_warp(self, dev):
+        after = []
+
+        def kern(ctx):
+            if ctx.warp_in_block == 0:
+                yield from ctx.sleep(5000)
+            yield from ctx.syncthreads()
+            t = yield from ctx.clock()
+            after.append(t)
+
+        dev.launch(kern, grid=1, block_threads=4 * 32)
+        assert min(after) >= 5000
+
+    def test_multiple_barriers_in_sequence(self, dev):
+        order = []
+
+        def kern(ctx):
+            for phase in range(3):
+                order.append((phase, ctx.warp_in_block))
+                yield from ctx.syncthreads()
+
+        dev.launch(kern, grid=1, block_threads=2 * 32)
+        # All warps complete phase p before any enters phase p+1... the
+        # *record* order interleaves, but each phase has both warps.
+        for phase in range(3):
+            warps = [w for p, w in order if p == phase]
+            assert sorted(warps) == [0, 1]
+
+    def test_warp_exiting_before_barrier_releases_others(self, dev):
+        """A warp that returns early must not deadlock the barrier
+        (live-warp accounting)."""
+        reached = []
+
+        def kern(ctx):
+            if ctx.warp_in_block == 0:
+                return
+                yield  # pragma: no cover
+            yield from ctx.compute(10)
+            yield from ctx.syncthreads()
+            reached.append(ctx.warp_in_block)
+
+        dev.launch(kern, grid=1, block_threads=3 * 32)
+        assert sorted(reached) == [1, 2]
+
+    def test_barriers_are_per_block(self, dev):
+        """Blocks synchronise independently: a slow warp in block 0 does
+        not hold up block 1's barrier."""
+        times = {}
+
+        def kern(ctx):
+            if ctx.block_id == 0 and ctx.warp_in_block == 0:
+                yield from ctx.sleep(20000)
+            yield from ctx.syncthreads()
+            t = yield from ctx.clock()
+            times.setdefault(ctx.block_id, []).append(t)
+
+        dev.launch(kern, grid=2, block_threads=2 * 32)
+        assert max(times[1]) < 20000 <= max(times[0])

@@ -1,0 +1,167 @@
+"""Tests for the engine's advanced scheduling features: issue slicing,
+memory-level parallelism, I/O preemption, and host serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.gpu.specs import K80_SPEC
+
+
+@pytest.fixture
+def dev():
+    return Device(memory_bytes=16 * 1024 * 1024)
+
+
+class TestIssueSlicing:
+    def test_large_compute_does_not_starve_small_ops(self, dev):
+        """A warp issuing tiny ops alongside warps with huge compute
+        blocks must make progress at a fair rate."""
+        done_times = []
+
+        def kern(ctx):
+            if ctx.warp_in_block == 0:
+                for _ in range(20):
+                    yield from ctx.compute(4, chain=4)
+                t = yield from ctx.clock()
+                done_times.append(("small", t))
+            else:
+                yield from ctx.compute(8000, chain=100)
+                t = yield from ctx.clock()
+                done_times.append(("big", t))
+
+        dev.launch(kern, grid=1, block_threads=4 * 32)
+        small = next(t for k, t in done_times if k == "small")
+        bigs = [t for k, t in done_times if k == "big"]
+        # The small warp must not be serialised behind all big blocks.
+        assert small < max(bigs)
+
+    def test_sliced_total_issue_preserved(self, dev):
+        """Slicing changes interleaving, not total instruction count."""
+        def kern(ctx):
+            yield from ctx.compute(1000, chain=10)
+
+        res = dev.launch(kern, grid=1, block_threads=32)
+        assert res.stats.instructions == pytest.approx(1000)
+
+    def test_single_warp_chain_latency_unchanged(self, dev):
+        """Slicing must not change single-warp dependent-chain timing
+        (Table I calibration depends on it)."""
+        def kern(ctx, out):
+            t0 = yield from ctx.clock()
+            yield from ctx.compute(200, chain=200)
+            t1 = yield from ctx.clock()
+            out.append(t1 - t0)
+
+        out = []
+        dev.launch(kern, grid=1, block_threads=32, args=(out,))
+        spec = dev.spec
+        expected = 200 * spec.dependent_issue_cycles
+        assert out[0] == pytest.approx(expected, rel=0.15)
+
+
+class TestMLP:
+    def test_async_loads_overlap(self, dev):
+        """N independent loads behind a fence cost ~one latency, not N."""
+        src = dev.alloc(64 * 1024)
+
+        def kern(ctx, n, out):
+            t0 = yield from ctx.clock()
+            for i in range(n):
+                _ = yield from ctx.load_wide(
+                    src + ctx.lane * 16 + i * 2048, "f4", 4,
+                    nonblocking=True)
+            yield from ctx.fence()
+            t1 = yield from ctx.clock()
+            out.append(t1 - t0)
+
+        serial, overlapped = [], []
+
+        def serial_kern(ctx, n, out):
+            t0 = yield from ctx.clock()
+            for i in range(n):
+                _ = yield from ctx.load_wide(
+                    src + ctx.lane * 16 + i * 2048, "f4", 4)
+            t1 = yield from ctx.clock()
+            out.append(t1 - t0)
+
+        dev.launch(serial_kern, grid=1, block_threads=32,
+                   args=(6, serial))
+        dev.launch(kern, grid=1, block_threads=32, args=(6, overlapped))
+        assert overlapped[0] < serial[0] / 2
+
+    def test_fence_without_loads_is_cheap(self, dev):
+        def kern(ctx, out):
+            t0 = yield from ctx.clock()
+            yield from ctx.fence()
+            t1 = yield from ctx.clock()
+            out.append(t1 - t0)
+
+        out = []
+        dev.launch(kern, grid=1, block_threads=32, args=(out,))
+        assert out[0] < 50
+
+    def test_async_load_returns_correct_data(self, dev):
+        src = dev.alloc(4096)
+        dev.memory.write(src, np.arange(1024, dtype=np.float32))
+        seen = []
+
+        def kern(ctx):
+            vals = yield from ctx.load_wide(src + ctx.lane * 16, "f4", 4,
+                                            nonblocking=True)
+            yield from ctx.fence()
+            seen.append(vals.copy())
+
+        dev.launch(kern, grid=1, block_threads=32)
+        assert np.array_equal(seen[0].reshape(-1),
+                              np.arange(128, dtype=np.float32))
+
+
+class TestIOPreemption:
+    def _mixed(self, preempt):
+        dev = Device(memory_bytes=16 * 1024 * 1024)
+        dev.spec = K80_SPEC.with_overrides(io_preemption=preempt)
+
+        def kern(ctx):
+            if ctx.block_id < 26:
+                for _ in range(4):
+                    yield from ctx.sleep(20000, io_wait=True)
+            else:
+                yield from ctx.compute(2000, chain=50)
+
+        return dev.launch(kern, grid=52, block_threads=1024)
+
+    def test_preemption_overlaps_compute_with_io(self):
+        off = self._mixed(False)
+        on = self._mixed(True)
+        assert on.stats.preemptions > 0
+        assert on.cycles < off.cycles
+
+    def test_preemption_off_by_default(self):
+        res = self._mixed(False)
+        assert res.stats.preemptions == 0
+
+    def test_plain_sleep_does_not_preempt(self):
+        dev = Device(memory_bytes=16 * 1024 * 1024)
+        dev.spec = K80_SPEC.with_overrides(io_preemption=True)
+
+        def kern(ctx):
+            if ctx.block_id < 26:
+                yield from ctx.sleep(20000)       # not an I/O wait
+            else:
+                yield from ctx.compute(100)
+
+        res = dev.launch(kern, grid=52, block_threads=1024)
+        assert res.stats.preemptions == 0
+
+
+class TestHostSerialisation:
+    def test_host_rpcs_serialise(self, dev):
+        """The host service is one server — the Figure 1 bottleneck."""
+        def kern(ctx):
+            yield from ctx.host_compute(1e-6)
+
+        res = dev.launch(kern, grid=2, block_threads=1024)
+        nwarps = 2 * 32
+        expected = nwarps * 1e-6 * dev.spec.clock_hz
+        assert res.cycles >= expected * 0.95

@@ -1,0 +1,59 @@
+"""Unit tests for request dataclasses and TimedLock semantics."""
+
+import pytest
+
+from repro.gpu.instructions import (
+    Compute,
+    MemAccess,
+    PcieTransfer,
+    Sleep,
+    TimedLock,
+)
+
+
+class TestCompute:
+    def test_chain_defaults_to_count(self):
+        assert Compute(count=10).chain_length() == 10
+
+    def test_explicit_chain(self):
+        assert Compute(count=10, chain=3).chain_length() == 3
+
+    def test_zero_chain_allowed(self):
+        assert Compute(count=10, chain=0).chain_length() == 0
+
+
+class TestMemAccess:
+    def test_defaults(self):
+        m = MemAccess(transactions=1)
+        assert not m.is_store
+        assert not m.nonblocking
+        assert m.post_chain == 0.0
+
+
+class TestPcieTransfer:
+    def test_latency_free_default_off(self):
+        assert not PcieTransfer(nbytes=4096).latency_free
+
+
+class TestSleep:
+    def test_io_wait_default_off(self):
+        assert not Sleep(cycles=10).io_wait
+
+
+class TestTimedLock:
+    def test_initial_state(self):
+        lock = TimedLock("x")
+        assert lock.holder is None
+        assert lock.waiters == []
+        assert lock.acquisitions == 0
+
+    def test_custom_latency(self):
+        assert TimedLock("x", latency=12.5).latency == 12.5
+        assert TimedLock("x").latency is None
+
+    def test_repr_shows_state(self):
+        lock = TimedLock("mylock")
+        assert "mylock" in repr(lock)
+        assert "free" in repr(lock)
+        lock.holder = object()
+        assert "held" in repr(lock)

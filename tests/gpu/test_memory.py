@@ -1,0 +1,151 @@
+"""Unit tests for simulated global memory and scratchpad."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import DTYPE_WIDTHS, GlobalMemory, MemoryError_, Scratchpad
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory(64 * 1024)
+
+
+class TestAllocator:
+    def test_alloc_returns_aligned_bases(self, mem):
+        a = mem.alloc(100)
+        b = mem.alloc(100)
+        assert a % 256 == 0
+        assert b % 256 == 0
+        assert b >= a + 100
+
+    def test_alloc_out_of_memory_raises(self, mem):
+        with pytest.raises(MemoryError_):
+            mem.alloc(mem.size + 1)
+
+    def test_alloc_exactly_fills(self):
+        m = GlobalMemory(1024)
+        base = m.alloc(1024)
+        assert base == 0
+        with pytest.raises(MemoryError_):
+            m.alloc(1)
+
+    def test_reset_allocator(self, mem):
+        mem.alloc(1000)
+        mem.reset_allocator()
+        assert mem.alloc(16) == 0
+
+    def test_bytes_allocated_tracks(self, mem):
+        mem.alloc(512)
+        assert mem.bytes_allocated == 512
+
+
+class TestBulkAccess:
+    def test_write_then_read_roundtrip(self, mem):
+        data = np.arange(100, dtype=np.float32)
+        mem.write(0, data)
+        back = mem.read(0, 400).view(np.float32)
+        assert np.array_equal(back, data)
+
+    def test_read_out_of_bounds_raises(self, mem):
+        with pytest.raises(MemoryError_):
+            mem.read(mem.size - 2, 4)
+
+    def test_write_negative_addr_raises(self, mem):
+        with pytest.raises(MemoryError_):
+            mem.write(-4, np.zeros(4, dtype=np.uint8))
+
+
+class TestVectorAccess:
+    @pytest.mark.parametrize("dtype", ["u1", "u2", "u4", "i4", "f4", "u8", "f8"])
+    def test_roundtrip_all_dtypes(self, mem, dtype):
+        width = DTYPE_WIDTHS[dtype]
+        addrs = np.arange(32) * width
+        vals = np.arange(32).astype(np.dtype(dtype))
+        mem.store_vector(addrs, vals, dtype)
+        back = mem.load_vector(addrs, dtype)
+        assert np.array_equal(back, vals)
+
+    def test_masked_load_returns_zero_for_inactive(self, mem):
+        mem.write(0, np.arange(32, dtype=np.float32))
+        addrs = np.arange(32) * 4
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        out = mem.load_vector(addrs, "f4", mask=mask)
+        assert np.array_equal(out[:4], np.arange(4, dtype=np.float32))
+        assert np.all(out[4:] == 0)
+
+    def test_masked_store_only_writes_active(self, mem):
+        addrs = np.arange(32) * 4
+        mask = np.zeros(32, dtype=bool)
+        mask[5] = True
+        mem.store_vector(addrs, np.full(32, 7.0, np.float32), "f4", mask=mask)
+        back = mem.read(0, 128).view(np.float32)
+        assert back[5] == 7.0
+        assert back[0] == 0.0
+
+    def test_scattered_load(self, mem):
+        mem.write(0, np.arange(1000, dtype=np.float32))
+        idx = np.array([3, 999, 500, 1] + [0] * 28)
+        out = mem.load_vector(idx * 4, "f4")
+        assert out[0] == 3.0 and out[1] == 999.0 and out[2] == 500.0
+
+    def test_vector_out_of_bounds_raises(self, mem):
+        with pytest.raises(MemoryError_):
+            mem.load_vector(np.array([mem.size]), "f4")
+
+    def test_all_inactive_mask_is_noop(self, mem):
+        out = mem.load_vector(np.arange(32) * 4, "f4",
+                              mask=np.zeros(32, dtype=bool))
+        assert np.all(out == 0)
+
+
+class TestCoalescing:
+    def test_fully_coalesced_4byte_is_one_transaction(self, mem):
+        addrs = np.arange(32) * 4
+        assert mem.transactions_for(addrs, 4) == 1
+
+    def test_coalesced_8byte_is_two_transactions(self, mem):
+        addrs = np.arange(32) * 8
+        assert mem.transactions_for(addrs, 8) == 2
+
+    def test_fully_scattered_is_32_transactions(self, mem):
+        addrs = np.arange(32) * 4096
+        assert mem.transactions_for(addrs, 4) == 32
+
+    def test_same_address_all_lanes_is_one_transaction(self, mem):
+        addrs = np.full(32, 1024)
+        assert mem.transactions_for(addrs, 4) == 1
+
+    def test_straddling_access_counts_both_segments(self, mem):
+        addrs = np.array([126])
+        assert mem.transactions_for(addrs, 4) == 2
+
+    def test_mask_excludes_lanes(self, mem):
+        addrs = np.arange(32) * 4096
+        mask = np.zeros(32, dtype=bool)
+        mask[:2] = True
+        assert mem.transactions_for(addrs, 4, mask=mask) == 2
+
+    def test_empty_mask_is_zero_transactions(self, mem):
+        assert mem.transactions_for(np.arange(32), 4,
+                                    mask=np.zeros(32, dtype=bool)) == 0
+
+
+class TestScratchpad:
+    def test_alloc_array(self):
+        sp = Scratchpad(1024)
+        arr = sp.alloc_array("tlb", 32, "u8")
+        assert arr.size == 32
+        assert sp.bytes_used == 256
+
+    def test_overflow_raises(self):
+        sp = Scratchpad(64)
+        with pytest.raises(MemoryError_):
+            sp.alloc_array("big", 100, "u8")
+
+    def test_multiple_allocations_accumulate(self):
+        sp = Scratchpad(1024)
+        sp.alloc_array("a", 16, "u4")
+        sp.alloc_array("b", 16, "u4")
+        assert sp.bytes_used == 128

@@ -1,0 +1,45 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.gpu.occupancy import occupancy_limits
+from repro.gpu.specs import K80_SPEC
+
+
+class TestOccupancy:
+    def test_paper_configuration_full_occupancy(self):
+        """The paper uses 1024 threads/block at 64 regs/thread: 2 blocks/SM."""
+        occ = occupancy_limits(K80_SPEC, 1024, regs_per_thread=64)
+        assert occ.blocks_per_sm == 2
+
+    def test_register_pressure_halves_occupancy(self):
+        """At 128 regs/thread the GK210 register file limits residency."""
+        occ = occupancy_limits(K80_SPEC, 1024, regs_per_thread=128)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiting_factor == "registers"
+
+    def test_small_blocks_limited_by_block_count(self):
+        occ = occupancy_limits(K80_SPEC, 32, regs_per_thread=16)
+        assert occ.blocks_per_sm == K80_SPEC.max_blocks_per_sm
+        assert occ.limiting_factor == "max_blocks"
+
+    def test_scratchpad_can_limit(self):
+        occ = occupancy_limits(
+            K80_SPEC, 128, regs_per_thread=16,
+            scratchpad_bytes=K80_SPEC.scratchpad_bytes_per_sm)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiting_factor == "scratchpad"
+
+    def test_block_too_large_is_unschedulable(self):
+        occ = occupancy_limits(K80_SPEC, K80_SPEC.max_threads_per_sm + 1)
+        assert not occ.is_schedulable
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_limits(K80_SPEC, 0)
+
+    def test_tlb_scratchpad_footprint_is_small(self):
+        """§IV-D: a 32-entry TLB costs <5% of scratchpad and never limits."""
+        occ = occupancy_limits(K80_SPEC, 1024, regs_per_thread=64,
+                               scratchpad_bytes=768 + 128)
+        assert occ.blocks_per_sm == 2

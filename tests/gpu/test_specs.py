@@ -1,0 +1,47 @@
+"""Tests for the GPU spec arithmetic and timing derivations."""
+
+import pytest
+
+from repro.gpu.specs import GPUSpec, K80_SPEC
+
+
+class TestK80Spec:
+    def test_paper_issue_rate(self):
+        """§VI-A: 2056e9 instructions/s per GPU."""
+        assert K80_SPEC.issued_instructions_per_s == 2056e9
+
+    def test_warp_issue_rate_per_sm(self):
+        # 2056e9 / 875e6 / 13 SMs / 32 lanes ≈ 5.65 warp-instr/cycle/SM
+        assert K80_SPEC.warp_issue_rate() == pytest.approx(5.65, abs=0.1)
+
+    def test_effective_rate_below_theoretical(self):
+        assert (K80_SPEC.effective_issue_rate()
+                < K80_SPEC.warp_issue_rate())
+
+    def test_free_computation_bubble(self):
+        """§VI-A: the bubble is ~8.6 instructions per byte of traffic
+        at theoretical rates."""
+        bubble = (K80_SPEC.issued_instructions_per_s
+                  / K80_SPEC.dram_bandwidth_theoretical)
+        assert bubble == pytest.approx(8.57, abs=0.1)
+
+    def test_dram_bytes_per_cycle(self):
+        assert K80_SPEC.dram_bytes_per_cycle() == pytest.approx(
+            152e9 / 875e6)
+
+    def test_cycles_seconds_roundtrip(self):
+        assert K80_SPEC.cycles_to_seconds(875e6) == pytest.approx(1.0)
+
+    def test_pcie_latency_cycles(self):
+        assert K80_SPEC.pcie_latency_cycles() == pytest.approx(
+            8e-6 * 875e6)
+
+    def test_with_overrides(self):
+        slow = K80_SPEC.with_overrides(num_sms=1)
+        assert slow.num_sms == 1
+        assert K80_SPEC.num_sms == 13  # original untouched
+
+    def test_registers_doubled_vs_k40(self):
+        """§VII: the K80 (GK210) doubled the register file, which is
+        what makes 64 regs/thread at full occupancy possible."""
+        assert K80_SPEC.registers_per_sm == 128 * 1024

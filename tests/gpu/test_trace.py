@@ -1,0 +1,88 @@
+"""Tests for the execution tracer and timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.gpu.trace import Tracer, render_timeline
+
+
+@pytest.fixture
+def traced():
+    device = Device(memory_bytes=8 * 1024 * 1024)
+    src = device.alloc(64 * 1024)
+    tracer = Tracer()
+
+    def kern(ctx):
+        for i in range(4):
+            ctx.charge(10, chain=10)
+            _ = yield from ctx.load(src + ctx.global_tid * 4, "f4")
+        yield from ctx.compute(30)
+        yield from ctx.syncthreads()
+
+    device.launch(kern, grid=1, block_threads=64, tracer=tracer)
+    return tracer
+
+
+class TestTracer:
+    def test_events_recorded(self, traced):
+        assert traced.events
+        kinds = {e.kind for e in traced.events}
+        assert "memaccess" in kinds
+        assert "compute" in kinds
+
+    def test_events_have_positive_duration(self, traced):
+        assert all(e.duration >= 0 for e in traced.events)
+
+    def test_by_kind_totals(self, traced):
+        agg = traced.by_kind()
+        assert agg["memaccess"]["count"] == 2 * 4  # 2 warps x 4 loads
+        assert agg["memaccess"]["cycles"] > 0
+
+    def test_per_warp_filter(self, traced):
+        warps = traced.warps()
+        assert len(warps) == 2
+        only = traced.for_warp(warps[0])
+        assert all(e.warp == warps[0] for e in only)
+
+    def test_span_covers_events(self, traced):
+        t0, t1 = traced.span()
+        assert t0 <= min(e.start for e in traced.events)
+        assert t1 >= max(e.end for e in traced.events)
+
+    def test_summary_text(self, traced):
+        text = traced.summary()
+        assert "memaccess" in text
+        assert "events" in text
+
+    def test_drop_cap(self):
+        t = Tracer(max_events=1)
+        t.record(0, 0, "compute", 0, 1)
+        t.record(0, 0, "compute", 1, 2)
+        assert len(t.events) == 1
+        assert t.dropped == 1
+
+    def test_untraced_launch_records_nothing(self):
+        device = Device(memory_bytes=8 * 1024 * 1024)
+
+        def kern(ctx):
+            yield from ctx.compute(5)
+
+        result = device.launch(kern, grid=1, block_threads=32)
+        assert result.cycles > 0  # simply must not blow up
+
+
+class TestTimeline:
+    def test_renders_rows_per_warp(self, traced):
+        art = render_timeline(traced, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 3  # 2 warps + legend
+        assert lines[0].startswith("w")
+        assert len(lines[0]) <= 7 + 40
+
+    def test_empty_trace(self):
+        assert render_timeline(Tracer()) == "(empty trace)"
+
+    def test_contains_memory_glyph(self, traced):
+        art = render_timeline(traced, width=60)
+        assert "m" in art.split("\n")[0] + art.split("\n")[1]

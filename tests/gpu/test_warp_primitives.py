@@ -1,0 +1,125 @@
+"""Unit and property tests for CUDA warp intrinsic semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu import warp_primitives as wp
+
+
+class TestBallot:
+    def test_all_true_gives_full_mask(self):
+        assert wp.ballot(np.ones(32, bool)) == wp.FULL_MASK
+
+    def test_all_false_gives_zero(self):
+        assert wp.ballot(np.zeros(32, bool)) == 0
+
+    def test_single_lane(self):
+        pred = np.zeros(32, bool)
+        pred[7] = True
+        assert wp.ballot(pred) == 1 << 7
+
+    def test_inactive_lanes_contribute_zero(self):
+        pred = np.ones(32, bool)
+        active = np.zeros(32, bool)
+        active[3] = True
+        assert wp.ballot(pred, active) == 1 << 3
+
+
+class TestAllAny:
+    def test_all_true(self):
+        assert wp.all_sync(np.ones(32, bool))
+
+    def test_all_with_one_false(self):
+        pred = np.ones(32, bool)
+        pred[31] = False
+        assert not wp.all_sync(pred)
+
+    def test_all_ignores_inactive_lanes(self):
+        pred = np.zeros(32, bool)
+        pred[0] = True
+        active = np.zeros(32, bool)
+        active[0] = True
+        assert wp.all_sync(pred, active)
+
+    def test_all_vacuously_true_with_no_active_lanes(self):
+        assert wp.all_sync(np.zeros(32, bool), np.zeros(32, bool))
+
+    def test_any_true(self):
+        pred = np.zeros(32, bool)
+        pred[13] = True
+        assert wp.any_sync(pred)
+
+    def test_any_false(self):
+        assert not wp.any_sync(np.zeros(32, bool))
+
+
+class TestShuffle:
+    def test_shfl_broadcasts_source_lane(self):
+        vals = np.arange(32)
+        assert np.all(wp.shfl(vals, 5) == 5)
+
+    def test_shfl_xor_is_involution(self):
+        vals = np.arange(32)
+        once = wp.shfl_xor(vals, 4)
+        twice = wp.shfl_xor(once, 4)
+        assert np.array_equal(twice, vals)
+
+    def test_shfl_xor_butterfly(self):
+        vals = np.arange(32)
+        out = wp.shfl_xor(vals, 1)
+        assert out[0] == 1 and out[1] == 0 and out[30] == 31
+
+    def test_shfl_down_clamps_at_edge(self):
+        vals = np.arange(32)
+        out = wp.shfl_down(vals, 1)
+        assert out[31] == 31
+        assert out[0] == 1
+
+    def test_shfl_idx_indexed_read(self):
+        vals = np.arange(32) * 10
+        out = wp.shfl_idx(vals, np.zeros(32, dtype=np.int64))
+        assert np.all(out == 0)
+
+
+class TestBitOps:
+    @pytest.mark.parametrize("mask,expected", [
+        (0, 0), (1, 1), (2, 2), (0b1000, 4), (wp.FULL_MASK, 1),
+        (1 << 31, 32),
+    ])
+    def test_ffs(self, mask, expected):
+        assert wp.ffs(mask) == expected
+
+    @pytest.mark.parametrize("mask,expected", [
+        (0, 0), (1, 1), (0b1011, 3), (wp.FULL_MASK, 32),
+    ])
+    def test_popc(self, mask, expected):
+        assert wp.popc(mask) == expected
+
+
+class TestProperties:
+    @given(st.lists(st.booleans(), min_size=32, max_size=32))
+    def test_popc_of_ballot_counts_true_lanes(self, bits):
+        pred = np.array(bits)
+        assert wp.popc(wp.ballot(pred)) == int(pred.sum())
+
+    @given(st.lists(st.booleans(), min_size=32, max_size=32))
+    def test_ffs_of_ballot_finds_first_true_lane(self, bits):
+        pred = np.array(bits)
+        pos = wp.ffs(wp.ballot(pred))
+        if not pred.any():
+            assert pos == 0
+        else:
+            assert pos == int(np.argmax(pred)) + 1
+
+    @given(st.lists(st.booleans(), min_size=32, max_size=32))
+    def test_all_equals_ballot_full(self, bits):
+        pred = np.array(bits)
+        assert wp.all_sync(pred) == (wp.ballot(pred) == wp.FULL_MASK)
+
+    @given(st.integers(min_value=0, max_value=31),
+           st.lists(st.integers(-1000, 1000), min_size=32, max_size=32))
+    def test_shfl_broadcast_from_any_lane(self, lane, vals):
+        arr = np.array(vals)
+        assert np.all(wp.shfl(arr, lane) == vals[lane])

@@ -1,0 +1,36 @@
+"""Tests for the host CPU timing model."""
+
+import pytest
+
+from repro.host.cpu import CPUSpec, HOST_CPU
+
+
+class TestCPUSpec:
+    def test_peak_flops_matches_specsheet(self):
+        # 12 cores * 3.6 GHz * 8 f32 lanes * 2 = 691.2 GFLOP/s
+        assert HOST_CPU.peak_flops() == pytest.approx(691.2e9)
+
+    def test_compute_bound_phase(self):
+        t = HOST_CPU.time_for(flops=1e9)
+        assert t == pytest.approx(1e9 / (691.2e9 * HOST_CPU.efficiency))
+
+    def test_memory_bound_phase(self):
+        t = HOST_CPU.time_for(flops=1.0, mem_bytes=40e9)
+        assert t == pytest.approx(1.0)
+
+    def test_scalar_ops_do_not_vectorise(self):
+        vector = HOST_CPU.time_for(flops=1e9)
+        scalar = HOST_CPU.time_for(scalar_ops=1e9)
+        assert scalar > vector * 10
+
+    def test_single_core_slower_than_parallel(self):
+        assert (HOST_CPU.time_single_core(flops=1e9)
+                > HOST_CPU.time_for(flops=1e9))
+
+    def test_zero_work_is_zero_time(self):
+        assert HOST_CPU.time_for() == 0.0
+
+    def test_custom_spec_scales(self):
+        half = CPUSpec(cores=6)
+        assert half.time_for(flops=1e9) == pytest.approx(
+            2 * HOST_CPU.time_for(flops=1e9))

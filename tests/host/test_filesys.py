@@ -1,0 +1,74 @@
+"""Tests for the host file-descriptor layer."""
+
+import numpy as np
+import pytest
+
+from repro.host.filesys import (
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    HostFileSystem,
+)
+from repro.host.ramfs import FileSystemError, RamFS
+
+
+@pytest.fixture
+def hfs():
+    fs = RamFS()
+    fs.create("data", np.arange(100, dtype=np.uint8))
+    return HostFileSystem(fs)
+
+
+class TestHostFileSystem:
+    def test_open_returns_increasing_fds(self, hfs):
+        a = hfs.open("data")
+        b = hfs.open("data")
+        assert b.fd > a.fd >= 3
+
+    def test_open_missing_raises(self, hfs):
+        with pytest.raises(FileSystemError):
+            hfs.open("missing")
+
+    def test_open_creat_creates(self, hfs):
+        h = hfs.open("new", O_RDWR | O_CREAT)
+        assert h.size() == 0
+
+    def test_by_fd_roundtrip(self, hfs):
+        h = hfs.open("data")
+        assert hfs.by_fd(h.fd) is h
+
+    def test_by_fd_unknown_raises(self, hfs):
+        with pytest.raises(FileSystemError):
+            hfs.by_fd(1234)
+
+    def test_close_removes_fd(self, hfs):
+        h = hfs.open("data")
+        hfs.close(h.fd)
+        assert h.fd not in hfs.open_fds
+        with pytest.raises(FileSystemError):
+            hfs.by_fd(h.fd)
+
+
+class TestFileHandle:
+    def test_pread(self, hfs):
+        h = hfs.open("data")
+        assert list(h.pread(10, 3)) == [10, 11, 12]
+
+    def test_pwrite_readonly_raises(self, hfs):
+        h = hfs.open("data", O_RDONLY)
+        with pytest.raises(FileSystemError):
+            h.pwrite(0, np.zeros(4, dtype=np.uint8))
+
+    def test_pwrite_rdwr(self, hfs):
+        h = hfs.open("data", O_RDWR)
+        h.pwrite(0, np.array([42], dtype=np.uint8))
+        assert h.pread(0, 1)[0] == 42
+
+    def test_closed_handle_raises(self, hfs):
+        h = hfs.open("data")
+        h.close()
+        with pytest.raises(FileSystemError):
+            h.pread(0, 1)
+
+    def test_size(self, hfs):
+        assert hfs.open("data").size() == 100

@@ -1,0 +1,97 @@
+"""Tests for the in-memory host file system."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.host.ramfs import FileSystemError, RamFS
+
+
+@pytest.fixture
+def fs():
+    return RamFS()
+
+
+class TestRamFS:
+    def test_create_and_open(self, fs):
+        fs.create("a", np.arange(10, dtype=np.uint8))
+        assert fs.open("a").size == 10
+
+    def test_create_duplicate_raises(self, fs):
+        fs.create("a")
+        with pytest.raises(FileSystemError):
+            fs.create("a")
+
+    def test_open_missing_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.open("nope")
+
+    def test_unlink(self, fs):
+        fs.create("a")
+        fs.unlink("a")
+        assert not fs.exists("a")
+
+    def test_unlink_missing_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.unlink("nope")
+
+    def test_listdir_sorted(self, fs):
+        fs.create("b")
+        fs.create("a")
+        assert fs.listdir() == ["a", "b"]
+
+    def test_total_bytes(self, fs):
+        fs.create("a", np.zeros(100, dtype=np.uint8))
+        fs.create("b", np.zeros(24, dtype=np.uint8))
+        assert fs.total_bytes == 124
+
+
+class TestRamFile:
+    def test_pread_returns_copy(self, fs):
+        f = fs.create("a", np.arange(10, dtype=np.uint8))
+        out = f.pread(0, 10)
+        out[0] = 99
+        assert f.data[0] == 0
+
+    def test_pread_short_read_at_eof(self, fs):
+        f = fs.create("a", np.arange(10, dtype=np.uint8))
+        assert f.pread(8, 10).size == 2
+
+    def test_pread_past_eof_empty(self, fs):
+        f = fs.create("a", np.arange(10, dtype=np.uint8))
+        assert f.pread(100, 4).size == 0
+
+    def test_pread_negative_offset_raises(self, fs):
+        f = fs.create("a")
+        with pytest.raises(FileSystemError):
+            f.pread(-1, 4)
+
+    def test_pwrite_grows_file(self, fs):
+        f = fs.create("a")
+        n = f.pwrite(100, np.arange(10, dtype=np.uint8))
+        assert n == 10
+        assert f.size == 110
+        assert np.all(f.data[:100] == 0)
+
+    def test_pwrite_overwrites_in_place(self, fs):
+        f = fs.create("a", np.zeros(10, dtype=np.uint8))
+        f.pwrite(2, np.array([7, 8], dtype=np.uint8))
+        assert list(f.data[:5]) == [0, 0, 7, 8, 0]
+
+    def test_truncate_shrink_and_grow(self, fs):
+        f = fs.create("a", np.arange(10, dtype=np.uint8))
+        f.truncate(4)
+        assert f.size == 4
+        f.truncate(8)
+        assert f.size == 8
+        assert np.all(f.data[4:] == 0)
+
+    @given(st.integers(0, 500), st.binary(min_size=0, max_size=200))
+    def test_pwrite_pread_roundtrip(self, offset, payload):
+        fs = RamFS()
+        f = fs.create("x")
+        data = np.frombuffer(payload, dtype=np.uint8)
+        f.pwrite(offset, data)
+        back = f.pread(offset, len(payload))
+        assert np.array_equal(back, data)

@@ -1,0 +1,37 @@
+"""Shared fixtures for paging-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.host import HostFileSystem
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+
+PAGE = 4096
+FILE_PAGES = 64
+
+
+@pytest.fixture
+def file_bytes():
+    rng = np.random.RandomState(42)
+    return rng.randint(0, 256, FILE_PAGES * PAGE, dtype=np.uint8)
+
+
+@pytest.fixture
+def device():
+    return Device(memory_bytes=64 * 1024 * 1024)
+
+
+@pytest.fixture
+def gpufs(device, file_bytes):
+    fs = RamFS()
+    fs.create("data", file_bytes)
+    return GPUfs(device, HostFileSystem(fs),
+                 GPUfsConfig(page_size=PAGE, num_frames=16))
+
+
+def run_warp(device, gen_fn, *args, grid=1, block_threads=32):
+    """Launch a kernel and return its LaunchResult."""
+    return device.launch(gen_fn, grid=grid, block_threads=block_threads,
+                         args=args)

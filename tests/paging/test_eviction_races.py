@@ -1,0 +1,111 @@
+"""Regression tests for eviction/fault races the simulator uncovered.
+
+Two real concurrency bugs were found and fixed during development; these
+tests pin the fixes:
+
+1. **Key-reuse eviction** — an evictor that captured a victim entry,
+   then lost the race (victim removed, a *fresh in-flight entry*
+   inserted under the same key), must not remove the fresh entry.
+   ``remove_if_unreferenced`` therefore verifies entry *identity*,
+   readiness, and refcount under the bucket lock.
+2. **Resurrection** — a fault handler re-referencing a page between the
+   eviction scan and removal detects the ``removed`` flag after its
+   atomic and retries from scratch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.paging.page_table import PageTable, PageTableEntry
+
+
+@pytest.fixture
+def device():
+    return Device(memory_bytes=16 * 1024 * 1024)
+
+
+def drive(device, gen_fn, *args):
+    out = []
+
+    def kern(ctx):
+        out.append((yield from gen_fn(ctx, *args)))
+
+    device.launch(kern, grid=1, block_threads=32)
+    return out[0]
+
+
+class TestRemoveIfUnreferenced:
+    def test_removes_matching_idle_entry(self, device):
+        t = PageTable(device, nframes=8)
+        e = PageTableEntry(1, 0, frame=0)
+        drive(device, t.insert, e)
+        assert drive(device, t.remove_if_unreferenced, e)
+        assert e.removed
+        assert t.get(1, 0) is None
+
+    def test_refuses_referenced_entry(self, device):
+        t = PageTable(device, nframes=8)
+        e = PageTableEntry(1, 0, frame=0, refcount=3)
+        drive(device, t.insert, e)
+        assert not drive(device, t.remove_if_unreferenced, e)
+        assert not e.removed
+        assert t.get(1, 0) is e
+
+    def test_refuses_busy_entry(self, device):
+        t = PageTable(device, nframes=8)
+        e = PageTableEntry(1, 0, frame=0, ready=False)
+        drive(device, t.insert, e)
+        assert not drive(device, t.remove_if_unreferenced, e)
+
+    def test_refuses_stale_victim_after_key_reuse(self, device):
+        """The key-reuse regression: a fresh entry under the same key
+        must survive an eviction armed with the old entry."""
+        t = PageTable(device, nframes=8)
+        old = PageTableEntry(1, 0, frame=0)
+        drive(device, t.insert, old)
+        drive(device, t.remove_if_unreferenced, old)
+        fresh = PageTableEntry(1, 0, frame=3, ready=False)
+        drive(device, t.insert, fresh)
+        # A stale evictor still holding `old` must not touch `fresh`.
+        assert not drive(device, t.remove_if_unreferenced, old)
+        assert t.get(1, 0) is fresh
+        assert not fresh.removed
+
+    def test_refuses_already_removed_entry(self, device):
+        t = PageTable(device, nframes=8)
+        e = PageTableEntry(1, 0, frame=0)
+        drive(device, t.insert, e)
+        assert drive(device, t.remove_if_unreferenced, e)
+        assert not drive(device, t.remove_if_unreferenced, e)
+
+
+class TestEvictionStress:
+    @pytest.mark.parametrize("policy", ["clock", "fifo", "lru", "random"])
+    def test_heavy_churn_never_loses_pins(self, policy):
+        """Many warps cycling pin/unpin over a tiny cache: every gmmap
+        must be releasable, whatever the eviction policy."""
+        from repro.host import HostFileSystem
+        from repro.host.ramfs import RamFS
+        from repro.paging import GPUfs, GPUfsConfig
+
+        npages = 48
+        fs = RamFS()
+        fs.create("f", np.zeros(npages * 4096, np.uint8))
+        device = Device(memory_bytes=32 * 1024 * 1024)
+        gpufs = GPUfs(device, HostFileSystem(fs),
+                      GPUfsConfig(num_frames=npages // 3,
+                                  eviction_policy=policy))
+        fid = gpufs.open("f")
+        nwarps = 16
+
+        def kern(ctx):
+            for r in range(2):
+                for p in range(ctx.warp_id, npages, nwarps):
+                    yield from gpufs.gmmap(ctx, fid, p * 4096)
+                    yield from gpufs.gmunmap(ctx, fid, p * 4096)
+
+        device.launch(kern, grid=1, block_threads=nwarps * 32)
+        assert gpufs.cache.evictions > 0
+        for entry in gpufs.cache.table.entries():
+            assert entry.refcount == 0

@@ -1,0 +1,138 @@
+"""Tests for the gread/gwrite warp-level file API."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.host import HostFileSystem, O_RDWR
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+from repro.paging.fileapi import gopen
+
+PAGE = 4096
+
+
+@pytest.fixture
+def env():
+    rng = np.random.RandomState(8)
+    data = rng.randint(0, 256, 16 * PAGE, np.uint8)
+    fs = RamFS()
+    fs.create("f", data)
+    device = Device(memory_bytes=32 * 1024 * 1024)
+    gpufs = GPUfs(device, HostFileSystem(fs),
+                  GPUfsConfig(page_size=PAGE, num_frames=8))
+    gfile = gopen(gpufs, "f", O_RDWR)
+    return device, gpufs, gfile, data
+
+
+def run(device, body):
+    def kern(ctx):
+        yield from body(ctx)
+
+    return device.launch(kern, grid=1, block_threads=32)
+
+
+class TestGread:
+    def test_reads_exact_bytes(self, env):
+        device, gpufs, gfile, data = env
+        dst = device.alloc(512)
+
+        def body(ctx):
+            n = yield from gfile.gread(ctx, 100, 512, dst)
+            assert n == 512
+
+        run(device, body)
+        got = device.memory.read(dst, 512)
+        assert np.array_equal(got, data[100:612])
+
+    def test_read_spanning_pages(self, env):
+        device, gpufs, gfile, data = env
+        dst = device.alloc(2 * PAGE)
+
+        def body(ctx):
+            yield from gfile.gread(ctx, PAGE - 256, 2 * PAGE, dst)
+
+        run(device, body)
+        got = device.memory.read(dst, 2 * PAGE)
+        assert np.array_equal(got, data[PAGE - 256:3 * PAGE - 256])
+
+    def test_pages_unpinned_after_read(self, env):
+        device, gpufs, gfile, data = env
+        dst = device.alloc(PAGE)
+
+        def body(ctx):
+            yield from gfile.gread(ctx, 0, PAGE, dst)
+
+        run(device, body)
+        for entry in gpufs.cache.table.entries():
+            assert entry.refcount == 0
+
+    def test_zero_size_rejected(self, env):
+        device, gpufs, gfile, _ = env
+
+        def body(ctx):
+            yield from gfile.gread(ctx, 0, 0, 0)
+
+        with pytest.raises(ValueError):
+            run(device, body)
+
+    def test_unaligned_sizes(self, env):
+        device, gpufs, gfile, data = env
+        dst = device.alloc(1000)
+
+        def body(ctx):
+            yield from gfile.gread(ctx, 7, 999, dst)
+
+        run(device, body)
+        got = device.memory.read(dst, 999)
+        assert np.array_equal(got, data[7:1006])
+
+
+class TestGwrite:
+    def test_write_roundtrips_through_cache(self, env):
+        device, gpufs, gfile, _ = env
+        src = device.alloc(PAGE)
+        device.memory.write(src, np.full(PAGE, 0x3C, np.uint8))
+
+        def body(ctx):
+            yield from gfile.gwrite(ctx, 2 * PAGE + 128, PAGE, src)
+            yield from gpufs.flush(ctx)
+
+        run(device, body)
+        back = gpufs.host_fs.ramfs.open("f").pread(2 * PAGE + 128, PAGE)
+        assert np.all(back == 0x3C)
+
+    def test_write_marks_pages_dirty(self, env):
+        device, gpufs, gfile, _ = env
+        src = device.alloc(256)
+
+        def body(ctx):
+            yield from gfile.gwrite(ctx, 0, 256, src)
+
+        run(device, body)
+        assert gpufs.cache.table.get(gfile.file_id, 0).dirty
+
+    def test_read_back_own_write(self, env):
+        device, gpufs, gfile, _ = env
+        src = device.alloc(512)
+        dst = device.alloc(512)
+        device.memory.write(src, np.arange(512, dtype=np.uint8) % 251)
+
+        def body(ctx):
+            yield from gfile.gwrite(ctx, 5 * PAGE, 512, src)
+            yield from gfile.gread(ctx, 5 * PAGE, 512, dst)
+
+        run(device, body)
+        assert np.array_equal(device.memory.read(dst, 512),
+                              np.arange(512, dtype=np.uint8) % 251)
+
+    def test_counters(self, env):
+        device, gpufs, gfile, _ = env
+        src = device.alloc(64)
+
+        def body(ctx):
+            yield from gfile.gwrite(ctx, 0, 64, src)
+            yield from gfile.gread(ctx, 0, 64, src)
+
+        run(device, body)
+        assert gfile.reads == 1 and gfile.writes == 1

@@ -1,0 +1,132 @@
+"""Tests for eviction policies (unit) and their page-cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.host import HostFileSystem
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+from repro.paging.policies import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    POLICIES,
+    RandomPolicy,
+    make_policy,
+)
+
+PAGE = 4096
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_make_all(self, name):
+        assert make_policy(name, 8).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            make_policy("belady", 8)
+
+
+class TestClock:
+    def test_sweeps_cyclically(self):
+        p = ClockPolicy(4)
+        assert list(p.candidates()) == [0, 1, 2, 3]
+        p.on_bind(1)
+        assert list(p.candidates()) == [2, 3, 0, 1]
+
+
+class TestFifo:
+    def test_oldest_binding_first(self):
+        p = FifoPolicy(4)
+        for f in (2, 0, 3, 1):
+            p.on_bind(f)
+        assert list(p.candidates())[:4] == [2, 0, 3, 1]
+
+    def test_rebinding_refreshes_position(self):
+        p = FifoPolicy(4)
+        for f in (0, 1, 2):
+            p.on_bind(f)
+        p.on_bind(0)
+        order = list(p.candidates())
+        assert order.index(1) < order.index(0)
+
+    def test_compaction_keeps_order(self):
+        p = FifoPolicy(2)
+        for _ in range(20):
+            p.on_bind(0)
+            p.on_bind(1)
+        assert list(p.candidates())[:2] == [0, 1]
+
+
+class TestLru:
+    def test_least_recent_first(self):
+        p = LruPolicy(3)
+        for f in (0, 1, 2):
+            p.on_bind(f)
+        p.on_touch(0)
+        order = list(p.candidates())
+        assert order[0] == 1 and order[-1] == 0
+
+    def test_release_resets(self):
+        p = LruPolicy(2)
+        p.on_bind(0)
+        p.on_bind(1)
+        p.on_release(0)
+        assert list(p.candidates())[0] == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(16, seed=3)
+        b = RandomPolicy(16, seed=3)
+        assert list(a.candidates()) == list(b.candidates())
+
+    def test_covers_all_frames(self):
+        p = RandomPolicy(8)
+        assert sorted(p.candidates()) == list(range(8))
+
+
+class TestPolicyInCache:
+    def _run(self, policy_name, access_pattern, num_frames=4):
+        fs = RamFS()
+        data = np.random.RandomState(1).randint(0, 256, 32 * PAGE,
+                                                np.uint8)
+        fs.create("f", data)
+        device = Device(memory_bytes=32 * 1024 * 1024)
+        gpufs = GPUfs(device, HostFileSystem(fs),
+                      GPUfsConfig(num_frames=num_frames,
+                                  eviction_policy=policy_name))
+        fid = gpufs.open("f")
+        ok = []
+
+        def kern(ctx):
+            for p in access_pattern:
+                addr = yield from gpufs.gmmap(ctx, fid, p * PAGE)
+                vals = yield from ctx.load(addr + ctx.lane * 4, "u4")
+                exp = data[p * PAGE:p * PAGE + 128].view(np.uint32)
+                ok.append(np.array_equal(vals, exp))
+                yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+
+        device.launch(kern, grid=1, block_threads=32)
+        assert all(ok)
+        return gpufs
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_all_policies_preserve_correctness(self, name):
+        pattern = list(range(8)) * 2 + list(range(8, 16))
+        gpufs = self._run(name, pattern)
+        assert gpufs.cache.evictions > 0
+
+    def test_lru_keeps_hot_page(self):
+        """Alternate one hot page with a cold stream: LRU must refetch
+        the hot page less often than FIFO."""
+        pattern = []
+        for cold in range(1, 25):
+            pattern.extend([0, cold])
+        majors = {}
+        for name in ("lru", "fifo"):
+            gpufs = self._run(name, pattern, num_frames=4)
+            majors[name] = gpufs.stats.major_faults
+        assert majors["lru"] < majors["fifo"]

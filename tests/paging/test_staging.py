@@ -1,0 +1,132 @@
+"""Tests for the transfer batcher and staging path."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.host import HostFileSystem, O_RDWR
+from repro.host.ramfs import RamFS
+from repro.paging.staging import TransferBatcher
+
+PAGE = 4096
+
+
+@pytest.fixture
+def env():
+    device = Device(memory_bytes=32 * 1024 * 1024)
+    fs = RamFS()
+    data = np.random.RandomState(5).randint(0, 256, 16 * PAGE,
+                                            dtype=np.uint8)
+    fs.create("f", data)
+    handle = HostFileSystem(fs).open("f", O_RDWR)
+    return device, handle, data
+
+
+class TestFetch:
+    def test_fetch_lands_exact_bytes(self, env):
+        device, handle, data = env
+        batcher = TransferBatcher(device, PAGE)
+        dst = device.alloc(PAGE)
+
+        def kern(ctx):
+            yield from batcher.fetch(ctx, handle, 3 * PAGE, PAGE, dst)
+
+        device.launch(kern, grid=1, block_threads=32)
+        got = device.memory.read(dst, PAGE)
+        assert np.array_equal(got, data[3 * PAGE:4 * PAGE])
+
+    def test_short_read_zero_padded(self, env):
+        device, handle, data = env
+        batcher = TransferBatcher(device, PAGE)
+        dst = device.alloc(PAGE)
+
+        def kern(ctx):
+            # Read the page straddling EOF.
+            yield from batcher.fetch(ctx, handle, 15 * PAGE + 2048,
+                                     PAGE, dst)
+
+        device.launch(kern, grid=1, block_threads=32)
+        got = device.memory.read(dst, PAGE)
+        assert np.array_equal(got[:2048], data[15 * PAGE + 2048:])
+        assert np.all(got[2048:] == 0)
+
+    def test_oversized_fetch_rejected(self, env):
+        device, handle, _ = env
+        batcher = TransferBatcher(device, PAGE)
+        with pytest.raises(ValueError):
+
+            def kern(ctx):
+                yield from batcher.fetch(ctx, handle, 0, 2 * PAGE, 0)
+
+            device.launch(kern, grid=1, block_threads=32)
+
+
+class TestBatching:
+    def _run_many(self, env, enabled):
+        device, handle, _ = env
+        batcher = TransferBatcher(device, PAGE, enabled=enabled)
+        dst = device.alloc(16 * PAGE)
+
+        def kern(ctx):
+            p = ctx.warp_id
+            yield from batcher.fetch(ctx, handle, p * PAGE, PAGE,
+                                     dst + p * PAGE)
+
+        res = device.launch(kern, grid=1, block_threads=16 * 32)
+        return batcher, res
+
+    def test_concurrent_fetches_batch(self, env):
+        batcher, _ = self._run_many(env, enabled=True)
+        assert batcher.stats.transfers == 16
+        assert batcher.stats.batches < 16
+        assert batcher.stats.mean_batch_size() > 1.5
+
+    def test_disabled_batching_is_one_per_transfer(self, env):
+        batcher, _ = self._run_many(env, enabled=False)
+        assert batcher.stats.batches == 16
+
+    def test_batching_is_faster(self, env):
+        device, handle, data = env
+        _, on = self._run_many(env, enabled=True)
+        # Fresh environment for a fair comparison.
+        device2 = Device(memory_bytes=32 * 1024 * 1024)
+        fs = RamFS()
+        fs.create("f", data)
+        handle2 = HostFileSystem(fs).open("f")
+        batcher2 = TransferBatcher(device2, PAGE, enabled=False)
+        dst = device2.alloc(16 * PAGE)
+
+        def kern(ctx):
+            p = ctx.warp_id
+            yield from batcher2.fetch(ctx, handle2, p * PAGE, PAGE,
+                                      dst + p * PAGE)
+
+        off = device2.launch(kern, grid=1, block_threads=16 * 32)
+        assert on.cycles < off.cycles
+
+
+class TestWriteback:
+    def test_writeback_reaches_file(self, env):
+        device, handle, _ = env
+        batcher = TransferBatcher(device, PAGE)
+        src = device.alloc(PAGE)
+        device.memory.write(src, np.full(PAGE, 0x7F, np.uint8))
+
+        def kern(ctx):
+            yield from batcher.writeback(ctx, handle, 2 * PAGE, src, PAGE)
+
+        device.launch(kern, grid=1, block_threads=32)
+        assert np.all(handle.pread(2 * PAGE, PAGE) == 0x7F)
+
+    def test_writeback_data_override(self, env):
+        device, handle, _ = env
+        batcher = TransferBatcher(device, PAGE)
+        src = device.alloc(PAGE)
+
+        def kern(ctx):
+            yield from batcher.writeback(
+                ctx, handle, 0, src, PAGE,
+                data=np.full(PAGE, 0x11, np.uint8))
+
+        device.launch(kern, grid=1, block_threads=32)
+        assert np.all(handle.pread(0, PAGE) == 0x11)

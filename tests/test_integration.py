@@ -1,0 +1,201 @@
+"""Cross-layer integration scenarios.
+
+These exercise the full stack — apointers over GPUfs over the simulated
+GPU and host — in ways none of the per-package tests do: mixed
+readers/writers, multiple files, cache thrash under pinning pressure,
+and the system-wide invariants (refcount balance, data integrity after
+eviction storms).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import APConfig, AVM
+from repro.gpu import Device
+from repro.host import HostFileSystem, O_RDWR
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+
+PAGE = 4096
+
+
+def build_stack(files: dict, num_frames=16, config=None, use_tlb=False):
+    fs = RamFS()
+    for name, data in files.items():
+        fs.create(name, data)
+    device = Device(memory_bytes=64 * 1024 * 1024)
+    gpufs = GPUfs(device, HostFileSystem(fs),
+                  GPUfsConfig(page_size=PAGE, num_frames=num_frames))
+    cfg = config if config is not None else APConfig(use_tlb=use_tlb)
+    avm = AVM(cfg, gpufs=gpufs)
+    return device, gpufs, avm
+
+
+class TestMultiFile:
+    def test_two_files_interleaved(self):
+        a = np.full(8 * PAGE, 0xAA, np.uint8)
+        b = np.full(8 * PAGE, 0xBB, np.uint8)
+        device, gpufs, avm = build_stack({"a": a, "b": b})
+        fa, fb = gpufs.open("a"), gpufs.open("b")
+        seen = []
+
+        def kern(ctx):
+            pa = avm.gvmmap(ctx, 8 * PAGE, fa)
+            pb = avm.gvmmap(ctx, 8 * PAGE, fb)
+            yield from pa.seek(ctx, ctx.lane * 4)
+            yield from pb.seek(ctx, ctx.lane * 4)
+            for p in range(4):
+                va = yield from pa.read(ctx, "u4")
+                vb = yield from pb.read(ctx, "u4")
+                seen.append((va.copy(), vb.copy()))
+                yield from pa.add(ctx, PAGE)
+                yield from pb.add(ctx, PAGE)
+            yield from pa.destroy(ctx)
+            yield from pb.destroy(ctx)
+
+        device.launch(kern, grid=1, block_threads=64)
+        for va, vb in seen:
+            assert np.all(va == 0xAAAAAAAA)
+            assert np.all(vb == 0xBBBBBBBB)
+        # One shared page table indexes both files (§V).
+        keys = {e.file_id for e in gpufs.cache.table.entries()}
+        assert keys == {fa, fb}
+
+    def test_writer_and_reader_same_file(self):
+        data = np.zeros(4 * PAGE, np.uint8)
+        device, gpufs, avm = build_stack({"f": data})
+        fid = gpufs.open("f", O_RDWR)
+        seen = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 4 * PAGE, fid, write=True)
+            yield from ptr.seek(ctx, ctx.lane * 4)
+            if ctx.warp_id == 0:
+                yield from ptr.write(ctx,
+                                     ctx.global_tid.astype(np.uint32),
+                                     "u4")
+            yield from ctx.syncthreads()
+            vals = yield from ptr.read(ctx, "u4")
+            seen.append((ctx.warp_id, vals.copy()))
+            yield from ptr.destroy(ctx)
+
+        device.launch(kern, grid=1, block_threads=64)
+        for wid, vals in seen:
+            assert np.array_equal(vals, np.arange(32, dtype=np.uint32))
+
+
+class TestThrash:
+    def test_eviction_storm_preserves_data(self):
+        rng = np.random.RandomState(0)
+        data = rng.randint(0, 256, 64 * PAGE, np.uint8)
+        device, gpufs, avm = build_stack({"f": data}, num_frames=8)
+        fid = gpufs.open("f")
+        bad = []
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 64 * PAGE, fid)
+            for rep in range(3):
+                for p in range(ctx.warp_id, 64, 8):
+                    yield from ptr.seek(ctx, p * PAGE + ctx.lane * 4)
+                    vals = yield from ptr.read(ctx, "u4")
+                    exp = data[p * PAGE:p * PAGE + 128].view(np.uint32)
+                    if not np.array_equal(vals, exp):
+                        bad.append(p)
+            yield from ptr.destroy(ctx)
+
+        device.launch(kern, grid=1, block_threads=256)
+        assert not bad
+        assert gpufs.cache.evictions > 100
+        for entry in gpufs.cache.table.entries():
+            assert entry.refcount == 0
+
+    def test_dirty_thrash_roundtrips_through_host(self):
+        data = np.zeros(32 * PAGE, np.uint8)
+        device, gpufs, avm = build_stack({"f": data}, num_frames=4)
+        fid = gpufs.open("f", O_RDWR)
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 32 * PAGE, fid, write=True)
+            # Write a signature into every page through a 4-frame cache.
+            for p in range(32):
+                yield from ptr.seek(ctx, p * PAGE + ctx.lane * 4)
+                yield from ptr.write(
+                    ctx, np.full(32, p + 1, np.uint32), "u4")
+            yield from ptr.destroy(ctx)
+            yield from gpufs.flush(ctx)
+
+        device.launch(kern, grid=1, block_threads=32)
+        back = gpufs.host_fs.ramfs.open("f").data
+        for p in range(32):
+            vals = back[p * PAGE:p * PAGE + 128].view(np.uint32)
+            assert np.all(vals == p + 1), f"page {p}"
+        assert gpufs.cache.writebacks >= 28
+
+
+class TestRefcountInvariant:
+    @given(moves=st.lists(st.integers(-3, 3), min_size=1, max_size=12))
+    @settings(max_examples=15, deadline=None)
+    def test_refcounts_balance_after_random_walk(self, moves):
+        """Whatever walk an apointer takes, destroying it leaves every
+        page unreferenced — the unlink heuristic never leaks pins."""
+        data = np.zeros(16 * PAGE, np.uint8)
+        device, gpufs, avm = build_stack({"f": data})
+        fid = gpufs.open("f")
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 16 * PAGE, fid)
+            yield from ptr.seek(ctx, 8 * PAGE + ctx.lane * 4)
+            yield from ptr.read(ctx, "u4")
+            page = 8
+            for step in moves:
+                step = max(-page, min(step, 15 - page))
+                page += step
+                yield from ptr.add(ctx, step * PAGE)
+                yield from ptr.read(ctx, "u4")
+            yield from ptr.destroy(ctx)
+
+        device.launch(kern, grid=1, block_threads=64)
+        for entry in gpufs.cache.table.entries():
+            assert entry.refcount == 0
+
+    def test_tlb_path_balances_too(self):
+        data = np.zeros(16 * PAGE, np.uint8)
+        cfg = APConfig(use_tlb=True, tlb_entries=16)
+        device, gpufs, avm = build_stack({"f": data}, config=cfg)
+        fid = gpufs.open("f")
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 16 * PAGE, fid)
+            yield from ptr.seek(ctx, ctx.lane * 4)
+            for p in range(16):
+                yield from ptr.read(ctx, "u4")
+                yield from ptr.add(ctx, PAGE if p < 15 else 0)
+            yield from ptr.destroy(ctx)
+            yield from ctx.syncthreads()
+            if ctx.warp_in_block == 0:
+                yield from avm.drain_tlb(ctx, ptr.backend)
+
+        device.launch(kern, grid=1, block_threads=128,
+                      scratchpad_bytes=cfg.tlb_bytes())
+        for entry in gpufs.cache.table.entries():
+            assert entry.refcount == 0
+
+
+class TestEndToEndTiming:
+    def test_cold_run_slower_than_warm(self):
+        data = np.zeros(32 * PAGE, np.uint8)
+        device, gpufs, avm = build_stack({"f": data}, num_frames=64)
+        fid = gpufs.open("f")
+
+        def kern(ctx):
+            ptr = avm.gvmmap(ctx, 32 * PAGE, fid)
+            for p in range(ctx.warp_id, 32, 8):
+                yield from ptr.seek(ctx, p * PAGE + ctx.lane * 4)
+                yield from ptr.read(ctx, "u4")
+            yield from ptr.destroy(ctx)
+
+        cold = device.launch(kern, grid=1, block_threads=256)
+        warm = device.launch(kern, grid=1, block_threads=256)
+        assert warm.cycles < cold.cycles / 2

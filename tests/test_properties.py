@@ -1,0 +1,119 @@
+"""System-wide property tests: determinism, scaling, conservation.
+
+These pin down properties the experiment methodology depends on —
+reported overheads are only meaningful if runs are reproducible and the
+model behaves sanely under scaling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import APConfig, AVM, ImplVariant, PtrFormat
+from repro.gpu import Device
+from repro.workloads import run_memcpy, run_workload, workload_by_name
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_cycles(self):
+        """The simulator is fully deterministic: same inputs, same
+        cycle count, bit for bit."""
+        results = []
+        for _ in range(2):
+            device = Device(memory_bytes=64 * 1024 * 1024)
+            r = run_memcpy(device, use_apointers=True, width=4,
+                           nblocks=4, warps_per_block=8,
+                           iters_per_thread=4)
+            results.append(r.cycles)
+        assert results[0] == results[1]
+
+    def test_workload_runs_deterministic(self):
+        w = workload_by_name("Reduce")
+        cycles = []
+        for _ in range(2):
+            device = Device(memory_bytes=64 * 1024 * 1024)
+            r = run_workload(w, device, use_apointers=True, nblocks=2,
+                             warps_per_block=4, iters_per_thread=2)
+            cycles.append(r.cycles)
+        assert cycles[0] == cycles[1]
+
+    def test_collage_runners_deterministic(self):
+        from repro.collage import (CollageDataset, DatasetParams,
+                                   make_problem, run_gpufs)
+        ds = CollageDataset(DatasetParams(num_images=256,
+                                          num_clusters=8))
+        prob = make_problem(ds, blocks_x=3, blocks_y=3)
+        a = run_gpufs(prob)
+        b = run_gpufs(prob)
+        assert a.seconds == b.seconds
+        assert np.array_equal(a.choices, b.choices)
+
+
+class TestScaling:
+    def test_memcpy_time_scales_linearly_with_work(self):
+        """Doubling the copied bytes at full occupancy ~doubles time."""
+        def bw(iters):
+            device = Device(memory_bytes=256 * 1024 * 1024)
+            return run_memcpy(device, use_apointers=False, width=4,
+                              nblocks=13, warps_per_block=32,
+                              iters_per_thread=iters).cycles
+
+        ratio = bw(16) / bw(8)
+        assert 1.7 < ratio < 2.3
+
+    def test_bigger_gpu_does_proportionally_more_work(self):
+        """A GPU with twice the SMs and twice the issue rate finishes
+        twice the (issue-bound) grid in the same time."""
+        from repro.gpu.specs import K80_SPEC
+
+        def run_with(spec):
+            device = Device(spec=spec, memory_bytes=64 * 1024 * 1024)
+
+            def kern(ctx):
+                yield from ctx.compute(5000, chain=100)
+
+            return device.launch(kern, grid=spec.num_sms * 2,
+                                 block_threads=1024).cycles
+
+        base = run_with(K80_SPEC)
+        doubled = run_with(K80_SPEC.with_overrides(
+            num_sms=26,
+            issued_instructions_per_s=2 * K80_SPEC
+            .issued_instructions_per_s))
+        assert doubled == pytest.approx(base, rel=0.10)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_cycles_monotonic_in_iterations(self, iters):
+        w = workload_by_name("Read")
+        device = Device(memory_bytes=64 * 1024 * 1024)
+        short = run_workload(w, device, use_apointers=False, nblocks=1,
+                             warps_per_block=2, iters_per_thread=iters)
+        longer = run_workload(w, device, use_apointers=False, nblocks=1,
+                              warps_per_block=2,
+                              iters_per_thread=iters + 1)
+        assert longer.cycles > short.cycles
+
+
+class TestConservation:
+    def test_instruction_counts_independent_of_occupancy(self):
+        """Occupancy changes timing, never the work performed."""
+        w = workload_by_name("Add")
+        counts = []
+        for nb in (1, 4):
+            device = Device(memory_bytes=128 * 1024 * 1024)
+            r = run_workload(w, device, use_apointers=True, nblocks=nb,
+                             warps_per_block=4, iters_per_thread=2)
+            counts.append(r.instructions / nb)
+        assert counts[0] == pytest.approx(counts[1], rel=0.01)
+
+    @pytest.mark.parametrize("fmt", [PtrFormat.LONG, PtrFormat.SHORT])
+    @pytest.mark.parametrize("variant", list(ImplVariant))
+    def test_every_config_copies_correctly(self, fmt, variant):
+        """Timing variants must never change functional results."""
+        device = Device(memory_bytes=64 * 1024 * 1024)
+        r = run_memcpy(device, use_apointers=True, width=4, nblocks=2,
+                       warps_per_block=4, iters_per_thread=4,
+                       config=APConfig(variant=variant, fmt=fmt))
+        assert r.verified

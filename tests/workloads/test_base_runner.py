@@ -1,0 +1,69 @@
+"""Tests for the generic workload runner's bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.workloads import run_workload, workload_by_name
+from repro.workloads.base import WorkloadRun
+
+
+@pytest.fixture
+def device():
+    return Device(memory_bytes=64 * 1024 * 1024)
+
+
+class TestRunnerOutputs:
+    def test_run_reports_all_fields(self, device):
+        run = run_workload(workload_by_name("Read"), device,
+                           use_apointers=False, nblocks=1,
+                           warps_per_block=2, iters_per_thread=2)
+        assert isinstance(run, WorkloadRun)
+        assert run.workload == "Read"
+        assert run.cycles > 0
+        assert run.seconds == pytest.approx(
+            run.cycles / device.spec.clock_hz)
+        assert run.dram_bytes > 0
+        assert run.instructions > 0
+
+    def test_overhead_over(self, device):
+        w = workload_by_name("Read")
+        base = run_workload(w, device, use_apointers=False, nblocks=1,
+                            warps_per_block=2, iters_per_thread=2)
+        ap = run_workload(w, device, use_apointers=True, nblocks=1,
+                          warps_per_block=2, iters_per_thread=2)
+        assert ap.overhead_over(base) == pytest.approx(
+            ap.cycles / base.cycles - 1)
+
+    def test_same_data_for_both_versions(self, device):
+        """Baseline and apointer versions consume identical input, so a
+        verification pass on one validates the other's reference."""
+        w = workload_by_name("Add")
+        a = run_workload(w, device, use_apointers=False, nblocks=1,
+                         warps_per_block=2, iters_per_thread=2, seed=7)
+        b = run_workload(w, device, use_apointers=True, nblocks=1,
+                         warps_per_block=2, iters_per_thread=2, seed=7)
+        assert a.verified and b.verified
+
+    def test_seed_changes_data_not_verification(self, device):
+        w = workload_by_name("Random 5")
+        for seed in (1, 2, 3):
+            run = run_workload(w, device, use_apointers=False, nblocks=1,
+                               warps_per_block=1, iters_per_thread=1,
+                               seed=seed)
+            assert run.verified
+
+    def test_apointer_issues_more_instructions(self, device):
+        w = workload_by_name("Read")
+        base = run_workload(w, device, use_apointers=False, nblocks=1,
+                            warps_per_block=2, iters_per_thread=2)
+        ap = run_workload(w, device, use_apointers=True, nblocks=1,
+                          warps_per_block=2, iters_per_thread=2)
+        assert ap.instructions > base.instructions * 2
+
+    def test_register_cap_passthrough(self, device):
+        w = workload_by_name("Read")
+        run = run_workload(w, device, use_apointers=True, nblocks=1,
+                           warps_per_block=2, iters_per_thread=2,
+                           regs_per_thread=128)
+        assert run.verified

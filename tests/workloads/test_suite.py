@@ -1,0 +1,140 @@
+"""Functional tests for the §VI-B workload suite.
+
+Every workload must produce verifiably correct results in both its
+raw-pointer and apointer versions — the compute is real, not a stub.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.workloads import WORKLOADS, run_workload, workload_by_name
+from repro.workloads.suite import (
+    BitonicSortWorkload,
+    FFTWorkload,
+    RandomWorkload,
+    ReduceWorkload,
+)
+
+
+@pytest.fixture
+def device():
+    return Device(memory_bytes=64 * 1024 * 1024)
+
+
+class TestSuiteShape:
+    def test_eight_workloads(self):
+        assert len(WORKLOADS) == 8
+
+    def test_sorted_by_compute_intensity(self):
+        ranks = [w.compute_rank for w in WORKLOADS]
+        assert ranks == sorted(ranks)
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("FFT").name == "FFT"
+        with pytest.raises(KeyError):
+            workload_by_name("nope")
+
+    def test_only_fft_has_compiler_artifact(self):
+        for w in WORKLOADS:
+            if w.name == "FFT":
+                assert w.apointer_artifact_instrs > 0
+            else:
+                assert w.apointer_artifact_instrs == 0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+@pytest.mark.parametrize("use_aptr", [False, True],
+                         ids=["raw", "apointer"])
+class TestFunctionalCorrectness:
+    def test_verified(self, device, workload, use_aptr):
+        run = run_workload(workload, device, use_apointers=use_aptr,
+                           nblocks=1, warps_per_block=2,
+                           iters_per_thread=2)
+        assert run.verified
+
+    def test_verified_16byte(self, device, workload, use_aptr):
+        run = run_workload(workload, device, use_apointers=use_aptr,
+                           nblocks=1, warps_per_block=2,
+                           iters_per_thread=2, width=16)
+        assert run.verified
+
+
+class TestWorkloadSemantics:
+    def test_reduce_matches_warp_sums(self):
+        w = ReduceWorkload()
+        data = np.arange(64, dtype=np.float64).reshape(1, 64, 1)
+        out = w.expected(data)
+        assert np.all(out[:32] == data[0, :32, 0].sum())
+        assert np.all(out[32:] == data[0, 32:, 0].sum())
+
+    def test_fft_magnitudes_match_numpy(self, device):
+        run = run_workload(FFTWorkload(), device, use_apointers=False,
+                           nblocks=1, warps_per_block=1,
+                           iters_per_thread=1)
+        assert run.verified
+
+    def test_bitonic_expected_is_sorted_sum(self):
+        w = BitonicSortWorkload()
+        rng = np.random.RandomState(0)
+        data = rng.rand(1, 32, 1)
+        out = w.expected(data)
+        assert np.allclose(out, np.sort(data[0, :, 0]))
+
+    def test_random_rounds_scale_compute_rank(self):
+        assert (RandomWorkload(50).compute_rank
+                > RandomWorkload(5).compute_rank)
+
+    def test_invalid_width_rejected(self, device):
+        with pytest.raises(ValueError):
+            run_workload(WORKLOADS[0], device, use_apointers=False,
+                         nblocks=1, width=8)
+
+
+class TestOverheadShape:
+    def test_apointer_version_is_slower(self, device):
+        w = workload_by_name("Read")
+        r0 = run_workload(w, device, use_apointers=False, nblocks=1,
+                          warps_per_block=4, iters_per_thread=4)
+        r1 = run_workload(w, device, use_apointers=True, nblocks=1,
+                          warps_per_block=4, iters_per_thread=4)
+        assert r1.cycles > r0.cycles
+
+    def test_occupancy_hides_overhead(self):
+        """The Figure 6 mechanism: relative overhead shrinks with more
+        resident threadblocks."""
+        w = workload_by_name("Read")
+        overhead = {}
+        for nb in (1, 26):
+            device = Device(memory_bytes=256 * 1024 * 1024)
+            r0 = run_workload(w, device, use_apointers=False, nblocks=nb,
+                              iters_per_thread=4)
+            r1 = run_workload(w, device, use_apointers=True, nblocks=nb,
+                              iters_per_thread=4)
+            overhead[nb] = r1.overhead_over(r0)
+        assert overhead[26] < overhead[1]
+
+    def test_wide_loads_reduce_overhead(self):
+        """Figure 6b: 16-byte loads amortise the translation cost."""
+        w = workload_by_name("Read")
+        overhead = {}
+        for width in (4, 16):
+            device = Device(memory_bytes=256 * 1024 * 1024)
+            r0 = run_workload(w, device, use_apointers=False, nblocks=26,
+                              iters_per_thread=4, width=width)
+            r1 = run_workload(w, device, use_apointers=True, nblocks=26,
+                              iters_per_thread=4, width=width)
+            overhead[width] = r1.overhead_over(r0)
+        assert overhead[16] < overhead[4]
+
+    def test_compute_intensity_hides_overhead(self, device):
+        """Random-50 hides translation almost entirely; Read does not."""
+        res = {}
+        for name in ("Read", "Random 50"):
+            w = workload_by_name(name)
+            r0 = run_workload(w, device, use_apointers=False, nblocks=4,
+                              warps_per_block=8, iters_per_thread=2)
+            r1 = run_workload(w, device, use_apointers=True, nblocks=4,
+                              warps_per_block=8, iters_per_thread=2)
+            res[name] = r1.overhead_over(r0)
+        assert res["Random 50"] < res["Read"]
