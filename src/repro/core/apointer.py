@@ -274,6 +274,7 @@ class APtr:
         xpages = self.xpage_vec()
         faulting = (~self.valid) & active
         self.avm.stats.translation_faults += int(faulting.sum())
+        t0 = ctx.now
         while True:
             ballot = wp.ballot(~self.valid, active)
             ctx.charge(2)                      # __ballot + __ffs
@@ -296,6 +297,9 @@ class APtr:
             self.valid |= same
             ctx.charge(cm.fault_link_count)
             self.avm.stats.links += refs
+        if ctx.tracer is not None:
+            ctx.trace_span("translation_fault", t0, ctx.now,
+                           f"lanes={int(faulting.sum())}")
         if write:
             self._mark_dirty(active)
 

@@ -26,6 +26,7 @@ from repro.core.metrics import APStats
 from repro.core.tlb import SoftwareTLB
 from repro.gpu.kernel import WarpContext
 from repro.paging.gpufs import GPUfs
+from repro.telemetry import hooks as telemetry_hooks
 
 #: Instructions a direct-backend "fault" costs: recompute base + offset.
 DIRECT_FAULT_INSTRS = 8
@@ -87,6 +88,9 @@ class AVM:
         self.config = config
         self.gpufs = gpufs
         self.stats = APStats()
+        profiler = telemetry_hooks.current()
+        if profiler is not None:
+            profiler.register("translation", self.stats)
 
     # ------------------------------------------------------------------
     def gvmmap(self, ctx: WarpContext, size: int, fid: int,

@@ -9,14 +9,15 @@ the paper sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.gpu.engine import Engine, EngineStats
+from repro.gpu.engine import Engine, EngineProfile, EngineStats
 from repro.gpu.kernel import BlockContext, KernelFn, WarpContext
 from repro.gpu.memory import GlobalMemory, Scratchpad
 from repro.gpu.occupancy import OccupancyLimits, occupancy_limits
 from repro.gpu.specs import GPUSpec, K80_SPEC
+from repro.telemetry import hooks as telemetry_hooks
 
 
 @dataclass
@@ -46,6 +47,9 @@ class LaunchResult:
     seconds: float
     stats: EngineStats
     occupancy: OccupancyLimits
+    #: Populated when a profiler observed the launch (explicitly passed
+    #: or ambient via ``repro.telemetry.capture``).
+    profile: Optional[Any] = None
 
     def dram_bandwidth(self, spec: GPUSpec) -> float:
         return self.stats.dram_bandwidth(spec)
@@ -71,13 +75,14 @@ class Device:
                args: tuple = (), regs_per_thread: int = 64,
                scratchpad_bytes: int = 0,
                block_init: Optional[Callable[[BlockContext], None]] = None,
-               tracer=None) -> LaunchResult:
+               tracer=None, profiler=None) -> LaunchResult:
         """Run ``kernel`` over ``grid`` threadblocks and return timing."""
         cfg = KernelLaunch(kernel, grid, block_threads, args,
                            regs_per_thread, scratchpad_bytes, block_init)
-        return self.launch_cfg(cfg, tracer=tracer)
+        return self.launch_cfg(cfg, tracer=tracer, profiler=profiler)
 
-    def launch_cfg(self, cfg: KernelLaunch, tracer=None) -> LaunchResult:
+    def launch_cfg(self, cfg: KernelLaunch, tracer=None,
+                   profiler=None) -> LaunchResult:
         spec = self.spec
         occ = occupancy_limits(spec, cfg.block_threads,
                                cfg.regs_per_thread, cfg.scratchpad_bytes)
@@ -85,6 +90,16 @@ class Device:
             raise ValueError(
                 f"kernel cannot be scheduled: {occ.limiting_factor}")
         warps_per_block = -(-cfg.block_threads // spec.warp_size)
+
+        # Ambient profiling (repro.telemetry.capture): one pointer test
+        # per launch when off, a full profile per launch when on.
+        if profiler is None:
+            profiler = telemetry_hooks.current()
+        engine_profile = None
+        if profiler is not None:
+            if tracer is None:
+                tracer = profiler.begin_launch()
+            engine_profile = EngineProfile.for_sms(spec.num_sms)
 
         def make_block(block_id: int):
             def factory():
@@ -98,18 +113,26 @@ class Device:
                     cfg.block_init(block)
                 gens = []
                 for w in range(warps_per_block):
-                    ctx = WarpContext(spec, self.memory, block, w)
+                    ctx = WarpContext(spec, self.memory, block, w,
+                                      tracer=tracer)
                     gens.append(cfg.kernel(ctx, *cfg.args))
                 return block, gens
             return factory
 
-        engine = Engine(spec, occ.blocks_per_sm, tracer=tracer)
+        engine = Engine(spec, occ.blocks_per_sm, tracer=tracer,
+                        profile=engine_profile)
         cycles = engine.run([make_block(b) for b in range(cfg.grid)])
         self.total_cycles += cycles
         self.launches += 1
+        launch_profile = None
+        if profiler is not None:
+            launch_profile = profiler.record_launch(
+                device=self, cfg=cfg, occ=occ, engine=engine,
+                tracer=tracer)
         return LaunchResult(
             cycles=cycles,
             seconds=spec.cycles_to_seconds(cycles),
             stats=engine.stats,
             occupancy=occ,
+            profile=launch_profile,
         )

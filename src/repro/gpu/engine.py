@@ -76,6 +76,39 @@ class EngineStats:
         return self.dram_bytes / spec.cycles_to_seconds(self.cycles)
 
 
+@dataclass
+class EngineProfile:
+    """Deep per-launch counters, collected only when profiling is on.
+
+    The engine takes an optional :class:`EngineProfile` and updates it
+    behind ``is not None`` guards, so an unprofiled launch pays one
+    pointer test per dispatched request and nothing else.
+
+    * ``sm_busy`` — issue-server busy cycles per SM; idle is the launch
+      span minus busy (the per-SM utilisation of the paper's Figure 6
+      occupancy sweeps).
+    * ``stalls`` — cycles warps spent not issuing, keyed by reason
+      (``memory``, ``barrier``, ``lock``, ``atomic``, ``io``, ``spin``,
+      ``issue_queue``, ``exec_dependency``, ``scratch``).
+    * ``dram_queue_cycles`` — time memory accesses waited for the DRAM
+      bandwidth server beyond their own issue/dependency chain, i.e.
+      pure bandwidth contention.
+    """
+
+    sm_busy: list[float] = field(default_factory=list)
+    stalls: dict[str, float] = field(default_factory=dict)
+    dram_queue_cycles: float = 0.0
+    dram_queued_accesses: int = 0
+
+    @classmethod
+    def for_sms(cls, total_sms: int) -> "EngineProfile":
+        return cls(sm_busy=[0.0] * total_sms)
+
+    def stall(self, reason: str, cycles: float) -> None:
+        if cycles > 0:
+            self.stalls[reason] = self.stalls.get(reason, 0.0) + cycles
+
+
 class _WarpRunner:
     """Engine-side handle for one executing warp coroutine."""
 
@@ -96,10 +129,12 @@ class Engine:
     """Executes a grid of threadblocks on the simulated GPU."""
 
     def __init__(self, spec: GPUSpec, blocks_per_sm: int, tracer=None,
-                 num_devices: int = 1):
+                 num_devices: int = 1,
+                 profile: EngineProfile | None = None):
         self.spec = spec
         self.blocks_per_sm = max(1, blocks_per_sm)
         self.tracer = tracer
+        self.profile = profile
         self.num_devices = num_devices
         self.stats = EngineStats()
         total_sms = spec.num_sms * num_devices
@@ -220,7 +255,8 @@ class Engine:
             warp = block.block_id * max(block.live_warps, 1)
             self.tracer.record(warp + runner.warp_index,
                                block.block_id,
-                               type(req).__name__.lower(), start, end)
+                               type(req).__name__.lower(), start, end,
+                               sm=block.sm_index)
 
     def _slice_issue(self, req, runner: _WarpRunner, now: float,
                      sm: int) -> bool:
@@ -234,6 +270,9 @@ class Engine:
         self._issue_avail[sm] = start + issue_time
         self.stats.issue_busy += issue_time
         self.stats.instructions += self.ISSUE_SLICE
+        if self.profile is not None:
+            self.profile.sm_busy[sm] += issue_time
+            self.profile.stall("issue_queue", start - now)
         req.count -= self.ISSUE_SLICE
         chain = (req.chain_length() if isinstance(req, Compute)
                  else req.chain)
@@ -261,6 +300,11 @@ class Engine:
                        + req.chain_length() * spec.dependent_issue_cycles)
             self.stats.instructions += req.count
             done = start + max(issue_time, latency)
+            if self.profile is not None:
+                self.profile.sm_busy[sm] += issue_time
+                self.profile.stall("issue_queue", start - now)
+                self.profile.stall("exec_dependency",
+                                   latency - issue_time)
             self._trace(runner, req, start, done)
             self._schedule(runner, done)
         elif isinstance(req, MemAccess):
@@ -272,6 +316,10 @@ class Engine:
             self.stats.instructions += req.count
             self.stats.scratch_accesses += req.count
             done = start + max(issue_time, spec.scratchpad_latency_cycles)
+            if self.profile is not None:
+                self.profile.sm_busy[sm] += issue_time
+                self.profile.stall("issue_queue", start - now)
+                self.profile.stall("scratch", done - start - issue_time)
             self._trace(runner, req, start, done)
             self._schedule(runner, done)
         elif isinstance(req, AtomicOp):
@@ -284,9 +332,13 @@ class Engine:
                 start + spec.atomic_interval_cycles)
             self.stats.atomics += 1
             done = start + spec.atomic_latency_cycles
+            if self.profile is not None:
+                self.profile.stall("atomic", done - now)
             self._trace(runner, req, start, done)
             self._schedule(runner, done)
         elif isinstance(req, LoadFence):
+            if self.profile is not None:
+                self.profile.stall("memory", runner.outstanding - now)
             self._schedule(runner, max(now, runner.outstanding))
         elif isinstance(req, Barrier):
             self._dispatch_barrier(runner, now)
@@ -302,16 +354,18 @@ class Engine:
             else:
                 lock.contended += 1
                 self.stats.lock_contentions += 1
-                lock.waiters.append(runner)
+                lock.waiters.append((runner, now))
         elif isinstance(req, ReleaseLock):
             lock = req.lock
             lock.holder = None
             if lock.waiters:
-                waiter = lock.waiters.pop(0)
+                waiter, enqueued = lock.waiters.pop(0)
                 lock.holder = waiter
                 self.stats.lock_acquisitions += 1
                 cost = (spec.atomic_latency_cycles if lock.latency is None
                         else lock.latency)
+                if self.profile is not None:
+                    self.profile.stall("lock", now - enqueued)
                 self._schedule(waiter, now + cost)
             self._schedule(runner, now)
         elif isinstance(req, PcieTransfer):
@@ -329,6 +383,8 @@ class Engine:
             self.stats.pcie_transactions += 1
             fixed = 0.0 if req.latency_free else spec.pcie_latency_cycles()
             done = start + xfer + fixed
+            if self.profile is not None:
+                self.profile.stall("io", done - now)
             self._trace(runner, req, start, done)
             self._maybe_preempt(runner, now, done)
             self._schedule(runner, done)
@@ -337,6 +393,8 @@ class Engine:
             done = start + req.seconds * spec.clock_hz
             self._host_avail = done
             self.stats.host_seconds += req.seconds
+            if self.profile is not None:
+                self.profile.stall("io", done - now)
             self._trace(runner, req, start, done)
             self._maybe_preempt(runner, now, done)
             self._schedule(runner, done)
@@ -344,6 +402,9 @@ class Engine:
             self.stats.sleep_cycles += req.cycles
             if req.cycles:
                 self._trace(runner, req, now, now + req.cycles)
+            if self.profile is not None:
+                self.profile.stall("spin" if req.io_wait else "sleep",
+                                   req.cycles)
             if req.io_wait:
                 self._maybe_preempt(runner, now, now + req.cycles)
             self._schedule(runner, now + req.cycles)
@@ -368,6 +429,11 @@ class Engine:
         dram_start = max(pre_done, self._dram_avail[dev])
         self._dram_avail[dev] = dram_start + nbytes / self._dram_bpc
         self.stats.dram_busy += nbytes / self._dram_bpc
+        if self.profile is not None:
+            self.profile.sm_busy[sm] += issue_time
+            self.profile.stall("issue_queue", start - now)
+            self.profile.dram_queue_cycles += dram_start - pre_done
+            self.profile.dram_queued_accesses += 1
         if req.is_store:
             self.stats.stores += 1
             self._schedule(runner, max(pre_done, start + issue_time))
@@ -385,6 +451,8 @@ class Engine:
                         + req.overlap_chain * spec.dependent_issue_cycles)
         ready = max(data_ready, overlap_done)
         ready += req.post_chain * spec.dependent_issue_cycles
+        if self.profile is not None:
+            self.profile.stall("memory", ready - (start + issue_time))
         self._schedule(runner, max(ready, start + issue_time))
 
     # ------------------------------------------------------------------
@@ -429,5 +497,7 @@ class Engine:
         if waiting and len(waiting) == running:
             release = max(t for _, t in waiting)
             block.barrier_waiting = []
-            for waiter, _ in waiting:
+            for waiter, arrived in waiting:
+                if self.profile is not None:
+                    self.profile.stall("barrier", release - arrived)
                 self._schedule(waiter, release)

@@ -18,7 +18,7 @@ same way real instructions fill issue slots between memory accesses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
@@ -73,10 +73,11 @@ class WarpContext:
     """
 
     def __init__(self, spec: GPUSpec, memory: GlobalMemory,
-                 block: BlockContext, warp_in_block: int):
+                 block: BlockContext, warp_in_block: int, tracer=None):
         self.spec = spec
         self.memory = memory
         self.block = block
+        self.tracer = tracer
         self.warp_in_block = warp_in_block
         self.warp_size = spec.warp_size
         self.lane = wp.lane_ids(spec.warp_size)
@@ -98,6 +99,22 @@ class WarpContext:
     @property
     def warp_id(self) -> int:
         return self.block.block_id * self.block.warps + self.warp_in_block
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def trace_span(self, kind: str, start: float, end: float,
+                   detail: str = "") -> None:
+        """Record a layer-level span (fault handling, page-in, ...).
+
+        No-op without an attached tracer; call sites on hot paths should
+        still guard with ``if ctx.tracer is not None`` so they do not
+        pay for building ``detail`` strings when tracing is off.
+        """
+        if self.tracer is None:
+            return
+        self.tracer.record(self.warp_id, self.block_id, kind, start, end,
+                           detail, sm=self.block.sm_index)
 
     # ------------------------------------------------------------------
     # Instruction cost accounting

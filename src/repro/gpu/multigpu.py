@@ -16,8 +16,7 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
 
 from repro.gpu.device import Device, LaunchResult
 from repro.gpu.engine import Engine

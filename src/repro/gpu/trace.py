@@ -6,37 +6,55 @@ finished, and what resource it used.  Useful for debugging timing
 anomalies ("why is this kernel latency-bound?") and for asserting
 scheduling properties in tests.
 
+Beyond the engine's macro-ops, the paging and translation layers record
+*spans* through :meth:`repro.gpu.kernel.WarpContext.trace_span` — page
+fetches, fault-filter transforms, warp-level fault handling — so a
+timeline shows faults, not just loads.
+
 Usage::
 
     tracer = Tracer()
     device.launch(kernel, grid=1, block_threads=64, tracer=tracer)
     print(render_timeline(tracer, width=72))
     tracer.summary()
+    json.dump(tracer.to_chrome_trace(device.spec), open("t.json", "w"))
 
-Tracing costs Python time, so it is off unless a tracer is passed.
+The Chrome-trace export loads in ``chrome://tracing`` and in Perfetto
+(https://ui.perfetto.dev): one process per SM, one thread track per
+warp.  Tracing costs Python time, so it is off unless a tracer is
+passed.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One completed macro-op."""
+    """One completed macro-op or layer-level span."""
 
     warp: int              # global warp id (block * warps + warp)
     block: int
-    kind: str              # request class name, lowercased
+    kind: str              # request class name, lowercased, or span name
     start: float
     end: float
     detail: str = ""
+    sm: int = -1           # SM the warp was resident on (-1 = unknown)
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+#: Span kinds emitted by the paging / translation layers (as opposed to
+#: the engine's macro-op kinds).  Used to categorise Chrome-trace events.
+PAGING_SPAN_KINDS = frozenset({
+    "minor_fault", "major_fault", "page_in", "page_out",
+    "filter_in", "filter_out", "translation_fault",
+})
 
 
 class Tracer:
@@ -48,12 +66,12 @@ class Tracer:
         self.dropped = 0
 
     def record(self, warp: int, block: int, kind: str, start: float,
-               end: float, detail: str = "") -> None:
+               end: float, detail: str = "", sm: int = -1) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
         self.events.append(TraceEvent(warp, block, kind, start, end,
-                                      detail))
+                                      detail, sm))
 
     # ------------------------------------------------------------------
     def by_kind(self) -> dict:
@@ -86,6 +104,60 @@ class Tracer:
                          f"{agg['cycles']:12.0f} cycles")
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self, spec=None) -> dict:
+        """Export as a Chrome ``trace_event`` JSON object.
+
+        One process per SM, one thread track per warp; paging spans are
+        categorised ``paging`` so Perfetto can colour them separately.
+        With a :class:`~repro.gpu.specs.GPUSpec`, timestamps convert to
+        microseconds of simulated time; without one they stay in cycles
+        (still loadable — the units are just unlabelled).
+        """
+        scale = 1e6 / spec.clock_hz if spec is not None else 1.0
+        pids = sorted({e.sm for e in self.events})
+        meta: list[dict] = []
+        for sm in pids:
+            pid = sm + 1
+            name = f"SM {sm}" if sm >= 0 else "GPU"
+            meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+        seen_tracks = set()
+        for e in self.events:
+            key = (e.sm + 1, e.warp)
+            if key not in seen_tracks:
+                seen_tracks.add(key)
+                meta.append({"ph": "M", "name": "thread_name",
+                             "pid": key[0], "tid": e.warp,
+                             "args": {"name": f"warp {e.warp}"}})
+        spans = []
+        for e in sorted(self.events, key=lambda e: (e.start, e.end)):
+            args: dict = {"block": e.block}
+            if e.detail:
+                args["detail"] = e.detail
+            spans.append({
+                "name": e.kind,
+                "cat": ("paging" if e.kind in PAGING_SPAN_KINDS
+                        else "engine"),
+                "ph": "X",
+                "ts": e.start * scale,
+                "dur": e.duration * scale,
+                "pid": e.sm + 1,
+                "tid": e.warp,
+                "args": args,
+            })
+        trace = {
+            "traceEvents": meta + spans,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.telemetry",
+                "events": len(self.events),
+                "dropped": self.dropped,
+                "time_unit": "us" if spec is not None else "cycles",
+            },
+        }
+        return trace
+
 
 _GLYPHS = {
     "compute": "#",
@@ -102,24 +174,36 @@ _GLYPHS = {
 
 
 def render_timeline(tracer: Tracer, width: int = 72,
-                    warps: Optional[Iterable[int]] = None) -> str:
+                    warps: Optional[Iterable[int]] = None,
+                    max_warps: int = 16) -> str:
     """ASCII timeline: one row per warp, one glyph per busy bucket.
 
     Each column is a time bucket; the glyph shows the kind of event
     that dominated the warp's busy time in that bucket (blank = idle).
+    Without an explicit ``warps`` selection, at most ``max_warps`` rows
+    render and a ``(+N more warps)`` footer reports the rest.
     """
     t0, t1 = tracer.span()
     if t1 <= t0:
         return "(empty trace)"
     bucket = (t1 - t0) / width
-    rows = []
-    chosen = list(warps) if warps is not None else tracer.warps()[:16]
+    all_warps = tracer.warps()
+    if warps is not None:
+        chosen = list(warps)
+        hidden = 0
+    else:
+        chosen = all_warps[:max_warps]
+        hidden = len(all_warps) - len(chosen)
+    rows = [f"bucket_cycles={bucket:g} span=[{t0:g}, {t1:g}] "
+            f"warps={len(all_warps)}"]
     for warp in chosen:
         busy: list[Counter] = [Counter() for _ in range(width)]
         for e in tracer.for_warp(warp):
-            lo = int((e.start - t0) / bucket)
-            hi = int((e.end - t0) / bucket)
-            for b in range(max(lo, 0), min(hi + 1, width)):
+            # An event ending exactly at the span end belongs to the
+            # last bucket, not a phantom bucket `width`.
+            lo = min(max(int((e.start - t0) / bucket), 0), width - 1)
+            hi = min(int((e.end - t0) / bucket), width - 1)
+            for b in range(lo, hi + 1):
                 b_start = t0 + b * bucket
                 b_end = b_start + bucket
                 overlap = min(e.end, b_end) - max(e.start, b_start)
@@ -130,4 +214,7 @@ def render_timeline(tracer: Tracer, width: int = 72,
             for c in busy)
         rows.append(f"w{warp:<4d} {line}")
     legend = " ".join(f"{g}={k}" for k, g in _GLYPHS.items())
-    return "\n".join(rows + [f"[{legend}]"])
+    rows.append(f"[{legend}]")
+    if hidden > 0:
+        rows.append(f"(+{hidden} more warps)")
+    return "\n".join(rows)

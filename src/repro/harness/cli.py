@@ -6,16 +6,27 @@ Examples::
     repro-experiments table1 table2
     repro-experiments --all --scale quick
     repro-experiments --all --markdown results.md
+    repro-experiments table1 --profile-dir /tmp/profiles
+
+With ``--profile-dir`` every kernel launch inside an experiment is
+profiled (``repro.telemetry``): one ``LaunchProfile`` JSON per launch
+plus Chrome-trace files loadable in Perfetto, written under
+``PROFILE_DIR/<experiment>/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.harness.experiments import ALL_EXPERIMENTS
-from repro.harness.reporting import format_markdown, format_result
+from repro.harness.reporting import (
+    format_markdown,
+    format_profile,
+    format_result,
+)
 
 
 def main(argv=None) -> int:
@@ -33,6 +44,9 @@ def main(argv=None) -> int:
                         help="problem sizes (default: quick)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write results as Markdown")
+    parser.add_argument("--profile-dir", metavar="PATH",
+                        help="profile every launch; write per-launch "
+                             "JSON profiles and Chrome traces here")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -55,18 +69,62 @@ def main(argv=None) -> int:
     markdown_parts = []
     for name in names:
         started = time.time()
-        result = ALL_EXPERIMENTS[name](scale=args.scale)
+        try:
+            result, profiler = _run_one(name, args)
+        except Exception:
+            # Don't lose the experiments that already finished: flush
+            # a partial report, then surface the failure (non-zero
+            # exit via the re-raise).
+            markdown_parts.append(
+                f"### {name} — FAILED after "
+                f"{time.time() - started:.1f}s\n")
+            if args.markdown:
+                _write_markdown(args, markdown_parts, partial=True)
+            print(f"error: experiment {name} raised; "
+                  + (f"partial results in {args.markdown}"
+                     if args.markdown else "no --markdown to save to"),
+                  file=sys.stderr)
+            raise
         elapsed = time.time() - started
         print(format_result(result))
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
-        markdown_parts.append(format_markdown(result))
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        if profiler is not None:
+            out_dir = os.path.join(args.profile_dir, name)
+            written = profiler.write(out_dir)
+            longest = profiler.longest()
+            if longest is not None:
+                print(format_profile(longest))
+            print(f"[{len(profiler.profiles)} launch profiles, "
+                  f"{len(written)} files -> {out_dir}]")
+        print()
+        markdown_parts.append(format_markdown(result, elapsed=elapsed))
 
     if args.markdown:
-        with open(args.markdown, "w") as f:
-            f.write(f"# Reproduction results (scale={args.scale})\n\n")
-            f.write("\n".join(markdown_parts))
+        _write_markdown(args, markdown_parts)
         print(f"markdown written to {args.markdown}")
     return 0
+
+
+def _run_one(name: str, args):
+    """Run one experiment, profiled when --profile-dir is given."""
+    if args.profile_dir:
+        from repro.telemetry import capture
+        with capture() as profiler:
+            result = ALL_EXPERIMENTS[name](scale=args.scale)
+        return result, profiler
+    return ALL_EXPERIMENTS[name](scale=args.scale), None
+
+
+def _write_markdown(args, parts: list, partial: bool = False) -> None:
+    parent = os.path.dirname(args.markdown)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.markdown, "w") as f:
+        header = f"# Reproduction results (scale={args.scale})"
+        if partial:
+            header += " — PARTIAL (an experiment failed)"
+        f.write(header + "\n\n")
+        f.write("\n".join(parts))
 
 
 if __name__ == "__main__":

@@ -1,30 +1,40 @@
-"""Text rendering of experiment results."""
+"""Text rendering of experiment results and launch profiles."""
 
 from __future__ import annotations
+
+import math
 
 from repro.harness.experiments import ExperimentResult
 
 
 def format_result(result: ExperimentResult) -> str:
-    """Render one experiment as an aligned text table."""
+    """Render one experiment as an aligned text table.
+
+    Numeric columns (every present value an int/float) right-align so
+    magnitudes line up; text columns left-align.
+    """
     cols = result.columns
     rows = [[_cell(row.get(c, "")) for c in cols] for row in result.rows]
+    numeric = [_is_numeric_column(result.rows, c) for c in cols]
     widths = [max(len(str(c)), *(len(r[i]) for r in rows)) if rows
               else len(str(c)) for i, c in enumerate(cols)]
     sep = "-+-".join("-" * w for w in widths)
     lines = [
         f"== {result.exp_id}: {result.title} ==",
-        " | ".join(str(c).ljust(w) for c, w in zip(cols, widths)),
+        " | ".join(_align(str(c), w, n)
+                   for c, w, n in zip(cols, widths, numeric)),
         sep,
     ]
     for r in rows:
-        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+        lines.append(" | ".join(_align(v, w, n)
+                                for v, w, n in zip(r, widths, numeric)))
     if result.notes:
         lines.append(f"note: {result.notes}")
     return "\n".join(lines)
 
 
-def format_markdown(result: ExperimentResult) -> str:
+def format_markdown(result: ExperimentResult,
+                    elapsed: float | None = None) -> str:
     """Render one experiment as a Markdown table (for EXPERIMENTS.md)."""
     cols = result.columns
     lines = [
@@ -38,11 +48,88 @@ def format_markdown(result: ExperimentResult) -> str:
             "| " + " | ".join(_cell(row.get(c, "")) for c in cols) + " |")
     if result.notes:
         lines.extend(["", f"*{result.notes}*"])
+    if elapsed is not None:
+        lines.extend(["", f"*wall time: {elapsed:.1f}s*"])
     lines.append("")
     return "\n".join(lines)
 
 
+def format_profile(profile) -> str:
+    """Stall / bandwidth summary of one launch profile.
+
+    Accepts a :class:`~repro.telemetry.LaunchProfile` or its
+    ``to_dict()`` document; renders the headline utilisation figures
+    and a stall-reason table sorted by cost.
+    """
+    doc = profile.to_dict() if hasattr(profile, "to_dict") else profile
+    launch, issue = doc["launch"], doc["issue"]
+    dram, pcie = doc["dram"], doc["pcie"]
+    cycles = launch["cycles"]
+    lines = [
+        f"== profile #{doc['index']}: {doc['name']} ==",
+        f"launch: grid={launch['grid']} x {launch['block_threads']} "
+        f"threads, {launch['blocks_per_sm']} blocks/SM, "
+        f"{cycles:.0f} cycles ({launch['seconds'] * 1e3:.3f} ms)",
+        f"issue : {100 * issue['slot_utilization']:.1f}% of slots, "
+        f"{issue['instructions_per_cycle']:.2f} instr/cycle",
+        f"dram  : {dram['bandwidth_gbs']:.1f} GB/s, server occupancy "
+        f"{100 * dram['occupancy']:.1f}%, mean queue "
+        f"{dram['mean_queue_cycles']:.1f} cycles/access",
+        f"pcie  : {pcie['bytes']} bytes, occupancy "
+        f"{100 * pcie['occupancy']:.1f}%",
+    ]
+    sms = doc.get("sms") or []
+    if sms:
+        utils = [s["utilization"] for s in sms]
+        lines.append(
+            f"SMs   : utilization mean {100 * _mean(utils):.1f}% "
+            f"min {100 * min(utils):.1f}% max {100 * max(utils):.1f}% "
+            f"({len(sms)} SMs)")
+    stalls = doc.get("stalls") or {}
+    if stalls and cycles:
+        lines.append("warp stalls (cycles, x span):")
+        for reason, value in sorted(stalls.items(),
+                                    key=lambda kv: -kv[1]):
+            lines.append(f"  {reason:16s} {value:14.0f} "
+                         f"{value / cycles:8.2f}x")
+    for kind, counters in sorted((doc.get("components") or {}).items()):
+        shown = ", ".join(f"{k}={_cell(v)}"
+                          for k, v in sorted(counters.items()) if v)
+        lines.append(f"{kind}: {shown or '(all zero)'}")
+    return "\n".join(lines)
+
+
+def _mean(values) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _align(value: str, width: int, numeric: bool) -> str:
+    return value.rjust(width) if numeric else value.ljust(width)
+
+
+def _is_numeric_column(rows, col) -> bool:
+    """True when every present value is an int/float (bools are text)."""
+    seen = False
+    for row in rows:
+        value = row.get(col)
+        if value is None or value == "":
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        seen = True
+    return seen
+
+
 def _cell(value) -> str:
+    """One table cell.  ``None`` and non-finite floats render explicitly
+    so a broken measurement is visible instead of masquerading as a
+    number (``nan`` used to print unlabeled)."""
+    if value is None:
+        return "-"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+inf" if value > 0 else "-inf"
         return f"{value:g}"
     return str(value)

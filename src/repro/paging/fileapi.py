@@ -14,8 +14,6 @@ pins the spanned pages, copies the bytes into the destination buffer
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.gpu.kernel import WarpContext
 from repro.paging.gpufs import GPUfs
 

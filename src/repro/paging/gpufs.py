@@ -18,7 +18,7 @@ introduction proposes for a CryptFS-style encrypted GPU file system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -28,6 +28,7 @@ from repro.host.filesys import FileHandle, HostFileSystem, O_RDONLY
 from repro.paging.page_cache import PageCache, PageCacheConfig
 from repro.paging.page_table import PageTableEntry
 from repro.paging.staging import TransferBatcher
+from repro.telemetry import hooks as telemetry_hooks
 
 SPIN_WAIT_CYCLES = 200.0
 
@@ -102,6 +103,10 @@ class GPUfs:
         self.fault_filter = fault_filter
         self.stats = PagingStats()
         self._handles: dict[int, FileHandle] = {}
+        profiler = telemetry_hooks.current()
+        if profiler is not None:
+            profiler.register("paging", self.stats)
+            profiler.register("staging", self.batcher.stats)
 
     # ------------------------------------------------------------------
     # Host-side file management
@@ -138,6 +143,7 @@ class GPUfs:
         address.  Minor faults are table hits; major faults transfer the
         page from the host.
         """
+        t0 = ctx.now
         while True:
             ctx.charge(MINOR_FAULT_INSTRS)
             entry = yield from self.cache.table.lookup(ctx, file_id, fpn)
@@ -153,6 +159,7 @@ class GPUfs:
                 self.cache.touch(entry.frame)
                 if write:
                     entry.dirty = True
+                self._span(ctx, "minor_fault", t0, fpn)
                 return self.cache.frame_addr(entry.frame)
 
             # Publish a busy entry first, then allocate the frame: this
@@ -172,6 +179,7 @@ class GPUfs:
                 self.stats.minor_faults += 1
                 if write:
                     winner.dirty = True
+                self._span(ctx, "minor_fault", t0, fpn)
                 return self.cache.frame_addr(winner.frame)
             break
 
@@ -182,13 +190,16 @@ class GPUfs:
         self.cache.bind(fresh)
         frame_addr = self.cache.frame_addr(frame)
         handle = self.handle_for(file_id)
+        t_fetch = ctx.now
         yield from self.batcher.fetch(
             ctx, handle, fpn * self.page_size, self.page_size, frame_addr)
+        self._span(ctx, "page_in", t_fetch, fpn)
         yield from self._apply_filter_in(ctx, frame_addr, fpn)
         fresh.ready = True
         yield from self.cache.table.add_refs(ctx, fresh, refs)
         if write:
             fresh.dirty = True
+        self._span(ctx, "major_fault", t0, fpn)
         return frame_addr
 
     def release_page(self, ctx: WarpContext, file_id: int, fpn: int,
@@ -231,6 +242,13 @@ class GPUfs:
                 entry.dirty = False
 
     # ------------------------------------------------------------------
+    def _span(self, ctx: WarpContext, kind: str, start: float,
+              fpn: int) -> None:
+        """Telemetry: one timeline span per paging event.  The guard
+        keeps untraced launches from paying for the detail string."""
+        if ctx.tracer is not None:
+            ctx.trace_span(kind, start, ctx.now, f"fpn={fpn}")
+
     def _wait_ready(self, ctx: WarpContext, entry: PageTableEntry):
         while not getattr(entry, "ready", True):
             self.stats.busy_waits += 1
@@ -240,27 +258,33 @@ class GPUfs:
                    frame_addr: int):
         handle = self.handle_for(entry.file_id)
         data = yield from self._apply_filter_out(ctx, frame_addr, entry.fpn)
+        t0 = ctx.now
         yield from self.batcher.writeback(
             ctx, handle, entry.fpn * self.page_size, frame_addr,
             self.page_size, data=data)
+        self._span(ctx, "page_out", t0, entry.fpn)
 
     def _apply_filter_in(self, ctx: WarpContext, frame_addr: int, fpn: int):
         if self.fault_filter is None:
             return
+        t0 = ctx.now
         raw = ctx.memory.read(frame_addr, self.page_size).copy()
         ctx.memory.write(frame_addr,
                          self.fault_filter.page_in(raw, fpn))
         cost = self.fault_filter.instructions_per_byte * self.page_size
         if cost:
             yield from ctx.compute(cost / ctx.warp_size)
+        self._span(ctx, "filter_in", t0, fpn)
 
     def _apply_filter_out(self, ctx: WarpContext, frame_addr: int, fpn: int):
         """Returns the bytes to write to the host (None = frame as-is)."""
         if self.fault_filter is None:
             return None
+        t0 = ctx.now
         raw = ctx.memory.read(frame_addr, self.page_size).copy()
         transformed = self.fault_filter.page_out(raw, fpn)
         cost = self.fault_filter.instructions_per_byte * self.page_size
         if cost:
             yield from ctx.compute(cost / ctx.warp_size)
+        self._span(ctx, "filter_out", t0, fpn)
         return transformed

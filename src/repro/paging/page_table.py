@@ -19,7 +19,7 @@ real device-memory allocation for its slot addresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.gpu.instructions import TimedLock

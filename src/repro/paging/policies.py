@@ -19,7 +19,7 @@ happens under the bucket lock.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional
+from typing import Iterator
 
 
 class EvictionPolicy:

@@ -1,0 +1,43 @@
+"""Unified telemetry for the simulated stack.
+
+Every layer of the reproduction keeps counters — ``APStats`` in the
+translation layer, ``PagingStats`` in GPUfs, ``EngineStats`` in the
+scheduler, the :class:`~repro.gpu.trace.Tracer` event log.  This package
+turns them into one structured, exportable view of a launch:
+
+* :class:`Profiler` / :func:`capture` — observe launches and reduce each
+  to a :class:`LaunchProfile` (per-SM utilisation, DRAM/PCIe occupancy,
+  stall-reason breakdown, component counter deltas).
+* :class:`MetricsRegistry` — aggregates component stats objects and
+  snapshots per-launch deltas.
+* ``Tracer.to_chrome_trace()`` — Chrome ``trace_event`` export, loadable
+  in Perfetto, with paging spans (page-in, fault filters, warp fault
+  handling) on the timeline next to the engine's macro-ops.
+* :func:`validate_profile` — schema check for the profile JSON.
+
+See ``docs/observability.md`` for the counter glossary and a worked
+diagnosis example.
+"""
+
+from repro.telemetry import hooks
+from repro.telemetry.profile import (
+    PROFILE_SCHEMA,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    LaunchProfile,
+    MetricsRegistry,
+    validate_profile,
+)
+from repro.telemetry.profiler import Profiler, capture
+
+__all__ = [
+    "LaunchProfile",
+    "MetricsRegistry",
+    "Profiler",
+    "PROFILE_SCHEMA",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "capture",
+    "hooks",
+    "validate_profile",
+]

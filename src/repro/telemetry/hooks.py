@@ -1,0 +1,31 @@
+"""Ambient profiler registration — the zero-cost-when-off switch.
+
+The harness cannot thread a profiler argument through every experiment,
+workload, and runner, so instrumented constructors (``AVM``, ``GPUfs``)
+and :meth:`Device.launch_cfg` ask this module for the *current* profiler
+instead.  When none is active — the default — ``current()`` returns
+``None`` and every instrumentation site is a single pointer test.
+
+The stack discipline supports nesting (a profiled experiment launching
+a sub-profiled region); :func:`repro.telemetry.capture` is the public
+entry point.
+"""
+
+from __future__ import annotations
+
+_STACK: list = []
+
+
+def current():
+    """The innermost active profiler, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+def push(profiler) -> None:
+    _STACK.append(profiler)
+
+
+def pop(profiler) -> None:
+    if not _STACK or _STACK[-1] is not profiler:
+        raise RuntimeError("profiler deactivation out of order")
+    _STACK.pop()

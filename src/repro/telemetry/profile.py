@@ -1,0 +1,189 @@
+"""The per-launch profile: schema, registry, and validation.
+
+A :class:`LaunchProfile` is one kernel launch reduced to a stable,
+JSON-serialisable document: launch geometry, engine counters, per-SM
+utilisation, DRAM/PCIe server occupancy, a warp-stall-reason breakdown,
+and the per-launch deltas of every registered component counter
+(translation-layer :class:`~repro.core.metrics.APStats`, paging-layer
+``PagingStats``, transfer-batcher stats, ...).
+
+The document format is versioned (``schema`` / ``version`` keys) and
+checked by :func:`validate_profile`, which is what the telemetry tests
+assert against — downstream tooling can rely on the shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+SCHEMA_NAME = "repro.telemetry/launch-profile"
+SCHEMA_VERSION = 1
+
+
+def _numeric_fields(obj) -> dict:
+    """Numeric attributes of a stats object (dataclass or plain)."""
+    out = {}
+    for key, value in vars(obj).items():
+        if isinstance(value, bool) or key.startswith("_"):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = value
+    return out
+
+
+class MetricsRegistry:
+    """Aggregates component stats objects into per-launch deltas.
+
+    Components register once (``register("translation", avm.stats)``);
+    the registry snapshots each object's numeric fields as a baseline.
+    :meth:`collect` returns, per kind, the *sum of deltas* since the
+    last collection — so stats objects that accumulate across launches
+    (one ``AVM`` reused by several kernels) still yield per-launch
+    numbers, and several instances of the same kind (one ``AVM`` per
+    warp) aggregate naturally.
+    """
+
+    def __init__(self):
+        self._components: list[tuple[str, Any, dict]] = []
+        self._ids: set[int] = set()
+
+    def register(self, kind: str, stats: Any) -> None:
+        if id(stats) in self._ids:
+            return
+        self._ids.add(id(stats))
+        self._components.append((kind, stats, _numeric_fields(stats)))
+
+    def kinds(self) -> list[str]:
+        return sorted({kind for kind, _, _ in self._components})
+
+    def collect(self) -> dict:
+        """Summed per-kind deltas since the last collect; rebaselines."""
+        out: dict[str, dict] = {}
+        for i, (kind, stats, baseline) in enumerate(self._components):
+            now = _numeric_fields(stats)
+            agg = out.setdefault(kind, {})
+            for key, value in now.items():
+                delta = value - baseline.get(key, 0)
+                agg[key] = agg.get(key, 0) + delta
+            self._components[i] = (kind, stats, now)
+        # Derived metrics the paper reports directly.
+        tr = out.get("translation")
+        if tr is not None:
+            lookups = tr.get("tlb_hits", 0) + tr.get("tlb_misses", 0)
+            tr["tlb_hit_rate"] = (tr.get("tlb_hits", 0) / lookups
+                                  if lookups else 0.0)
+        return out
+
+
+@dataclass
+class LaunchProfile:
+    """One launch, fully accounted.  See module docstring."""
+
+    index: int
+    name: str
+    spec: dict
+    launch: dict
+    engine: dict
+    issue: dict
+    sms: list = field(default_factory=list)
+    dram: dict = field(default_factory=dict)
+    pcie: dict = field(default_factory=dict)
+    stalls: dict = field(default_factory=dict)
+    components: dict = field(default_factory=dict)
+    trace: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "index": self.index,
+            "name": self.name,
+            "spec": self.spec,
+            "launch": self.launch,
+            "engine": self.engine,
+            "issue": self.issue,
+            "sms": self.sms,
+            "dram": self.dram,
+            "pcie": self.pcie,
+            "stalls": self.stalls,
+            "components": self.components,
+            "trace": self.trace,
+        }
+
+    @property
+    def cycles(self) -> float:
+        return self.launch["cycles"]
+
+
+#: Required keys and their value types, per section of the document.
+#: ``validate_profile`` walks this — it doubles as the schema reference
+#: quoted in ``docs/observability.md``.
+PROFILE_SCHEMA = {
+    "spec": {"name": str, "num_sms": int, "clock_hz": (int, float),
+             "warp_size": int},
+    "launch": {"grid": int, "block_threads": int, "blocks_per_sm": int,
+               "cycles": (int, float), "seconds": (int, float)},
+    "issue": {"slot_utilization": (int, float),
+              "instructions_per_cycle": (int, float)},
+    "dram": {"bytes": int, "transactions": int,
+             "bandwidth_gbs": (int, float), "occupancy": (int, float),
+             "queue_cycles": (int, float), "queued_accesses": int},
+    "pcie": {"bytes": int, "transactions": int,
+             "busy_cycles": (int, float), "occupancy": (int, float)},
+}
+
+_SM_SCHEMA = {"sm": int, "busy_cycles": (int, float),
+              "idle_cycles": (int, float), "utilization": (int, float)}
+
+
+def validate_profile(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid profile document."""
+    if not isinstance(doc, dict):
+        raise ValueError("profile must be a JSON object")
+    if doc.get("schema") != SCHEMA_NAME:
+        raise ValueError(f"bad schema marker: {doc.get('schema')!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported version: {doc.get('version')!r}")
+    for section, fields in PROFILE_SCHEMA.items():
+        sub = doc.get(section)
+        if not isinstance(sub, dict):
+            raise ValueError(f"missing section {section!r}")
+        for key, types in fields.items():
+            if key not in sub:
+                raise ValueError(f"{section}.{key} missing")
+            if not isinstance(sub[key], types) or isinstance(
+                    sub[key], bool):
+                raise ValueError(
+                    f"{section}.{key} has type "
+                    f"{type(sub[key]).__name__}, wanted {types}")
+    sms = doc.get("sms")
+    if not isinstance(sms, list):
+        raise ValueError("sms must be a list")
+    for entry in sms:
+        for key, types in _SM_SCHEMA.items():
+            if key not in entry or isinstance(entry[key], bool) \
+                    or not isinstance(entry[key], types):
+                raise ValueError(f"sms[].{key} missing or mistyped")
+    for section in ("engine", "stalls", "components"):
+        if not isinstance(doc.get(section), dict):
+            raise ValueError(f"{section} must be an object")
+    components = doc["components"]
+    for kind, keys in (("translation", ("tlb_hit_rate", "tlb_hits",
+                                        "tlb_misses",
+                                        "translation_faults")),
+                       ("paging", ("minor_faults", "major_faults"))):
+        sub = components.get(kind)
+        if not isinstance(sub, dict):
+            raise ValueError(f"components.{kind} missing")
+        for key in keys:
+            if not isinstance(sub.get(key), (int, float)) \
+                    or isinstance(sub.get(key), bool):
+                raise ValueError(
+                    f"components.{kind}.{key} missing or mistyped")
+    for key, value in doc["stalls"].items():
+        if not isinstance(value, (int, float)):
+            raise ValueError(f"stalls.{key} must be numeric")
+    trace = doc.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        raise ValueError("trace must be an object or null")

@@ -1,0 +1,219 @@
+"""The per-launch profiler and its activation context.
+
+Two ways to profile:
+
+* **Explicit** — create a :class:`Profiler` and pass it to
+  :meth:`Device.launch(..., profiler=prof) <repro.gpu.device.Device>`;
+  attach component stats with :meth:`Profiler.register`.
+* **Ambient** — ``with capture() as prof:`` activates the profiler for
+  every launch in the block, and instrumented constructors (``AVM``,
+  ``GPUfs``) register their counters automatically.  This is what
+  ``repro-experiments --profile-dir`` uses: experiments need no changes.
+
+Each launch appends one :class:`~repro.telemetry.profile.LaunchProfile`
+to ``prof.profiles`` and (up to ``max_traces``) one execution trace to
+``prof.traces``; :meth:`Profiler.write` serialises both to a directory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+
+from repro.gpu.trace import Tracer
+from repro.telemetry import hooks
+from repro.telemetry.profile import LaunchProfile, MetricsRegistry
+
+
+class Profiler:
+    """Collects one :class:`LaunchProfile` per launch it observes."""
+
+    def __init__(self, trace: bool = True, max_traces: int = 8,
+                 max_trace_events: int = 200_000):
+        self.registry = MetricsRegistry()
+        self.profiles: list[LaunchProfile] = []
+        self.traces: list = []           # parallel to profiles; None ok
+        self.trace = trace
+        self.max_traces = max_traces
+        self.max_trace_events = max_trace_events
+
+    # ------------------------------------------------------------------
+    def register(self, kind: str, stats) -> None:
+        """Attach a component stats object (idempotent per object)."""
+        self.registry.register(kind, stats)
+
+    def begin_launch(self):
+        """Called by the device at launch start; returns the launch's
+        tracer (or ``None`` once ``max_traces`` traces are held)."""
+        if self.trace and len(self.traces) < self.max_traces:
+            return Tracer(max_events=self.max_trace_events)
+        return None
+
+    # ------------------------------------------------------------------
+    def record_launch(self, *, device, cfg, occ, engine,
+                      tracer=None) -> LaunchProfile:
+        """Reduce one finished launch to a :class:`LaunchProfile`."""
+        spec = device.spec
+        stats = engine.stats
+        cycles = stats.cycles
+        prof = engine.profile
+        seconds = spec.cycles_to_seconds(cycles)
+
+        sms = []
+        if prof is not None:
+            for sm, busy in enumerate(prof.sm_busy):
+                sms.append({
+                    "sm": sm,
+                    "busy_cycles": busy,
+                    "idle_cycles": max(cycles - busy, 0.0),
+                    "utilization": busy / cycles if cycles else 0.0,
+                })
+        total_sms = max(len(sms), 1)
+        dram_accesses = (prof.dram_queued_accesses
+                         if prof is not None else 0)
+        profile = LaunchProfile(
+            index=len(self.profiles),
+            name=getattr(cfg.kernel, "__name__", "kernel"),
+            spec={
+                "name": spec.name,
+                "num_sms": spec.num_sms,
+                "clock_hz": spec.clock_hz,
+                "warp_size": spec.warp_size,
+            },
+            launch={
+                "grid": cfg.grid,
+                "block_threads": cfg.block_threads,
+                "blocks_per_sm": occ.blocks_per_sm,
+                "cycles": cycles,
+                "seconds": seconds,
+            },
+            engine=_engine_dict(stats),
+            issue={
+                "slot_utilization": (stats.issue_busy
+                                     / (cycles * total_sms)
+                                     if cycles else 0.0),
+                "instructions_per_cycle": (stats.instructions / cycles
+                                           if cycles else 0.0),
+            },
+            sms=sms,
+            dram={
+                "bytes": stats.dram_bytes,
+                "transactions": stats.dram_transactions,
+                "bandwidth_gbs": stats.dram_bandwidth(spec) / 1e9,
+                "occupancy": (stats.dram_busy / cycles
+                              if cycles else 0.0),
+                "queue_cycles": (prof.dram_queue_cycles
+                                 if prof is not None else 0.0),
+                "queued_accesses": dram_accesses,
+                "mean_queue_cycles": (
+                    prof.dram_queue_cycles / dram_accesses
+                    if prof is not None and dram_accesses else 0.0),
+            },
+            pcie={
+                "bytes": stats.pcie_bytes,
+                "transactions": stats.pcie_transactions,
+                "busy_cycles": stats.pcie_busy,
+                "occupancy": (stats.pcie_busy / cycles
+                              if cycles else 0.0),
+            },
+            stalls=dict(prof.stalls) if prof is not None else {},
+            components=_merge_components(self.registry.collect()),
+            trace=({"events": len(tracer.events),
+                    "dropped": tracer.dropped}
+                   if tracer is not None else None),
+        )
+        self.profiles.append(profile)
+        self.traces.append(tracer)
+        return profile
+
+    # ------------------------------------------------------------------
+    @property
+    def last(self) -> LaunchProfile | None:
+        return self.profiles[-1] if self.profiles else None
+
+    def longest(self) -> LaunchProfile | None:
+        """The launch that dominated wall time — usually the one worth
+        looking at first."""
+        if not self.profiles:
+            return None
+        return max(self.profiles, key=lambda p: p.cycles)
+
+    def write(self, directory, spec=None) -> list[str]:
+        """Write one profile JSON (and trace JSON, when held) per
+        launch; returns the paths written."""
+        os.makedirs(directory, exist_ok=True)
+        written = []
+        for profile, tracer in zip(self.profiles, self.traces):
+            slug = re.sub(r"[^A-Za-z0-9_.-]", "_", profile.name)
+            stem = f"{profile.index:03d}-{slug}"
+            path = os.path.join(directory, f"profile-{stem}.json")
+            with open(path, "w") as f:
+                json.dump(profile.to_dict(), f, indent=2, sort_keys=True)
+            written.append(path)
+            if tracer is not None and tracer.events:
+                # Only clock_hz is needed to convert cycles to us; the
+                # profile recorded it, so callers need not pass a spec.
+                trace_spec = spec if spec is not None else _Clock(
+                    profile.spec["clock_hz"])
+                tpath = os.path.join(directory, f"trace-{stem}.json")
+                with open(tpath, "w") as f:
+                    json.dump(tracer.to_chrome_trace(trace_spec), f)
+                written.append(tpath)
+        return written
+
+
+def _merge_components(collected: dict) -> dict:
+    """Overlay collected counters on zeroed translation/paging sections.
+
+    A launch that never touched the translation or paging layers still
+    gets those sections (all zero), so the profile schema is stable —
+    consumers can always read ``translation.tlb_hit_rate`` and
+    ``paging.minor_faults``.  Imported lazily: by record time the stack
+    is loaded, and module level would be circular (core/paging import
+    telemetry's hooks).
+    """
+    from repro.core.metrics import APStats
+    from repro.paging.gpufs import PagingStats
+    from repro.telemetry.profile import _numeric_fields
+
+    components = {
+        "translation": dict(_numeric_fields(APStats()),
+                            tlb_hit_rate=0.0),
+        "paging": _numeric_fields(PagingStats()),
+    }
+    for kind, counters in collected.items():
+        components.setdefault(kind, {}).update(counters)
+    return components
+
+
+class _Clock:
+    """Minimal spec stand-in for trace export (cycles -> us)."""
+
+    def __init__(self, clock_hz: float):
+        self.clock_hz = clock_hz
+
+
+def _engine_dict(stats) -> dict:
+    out = {}
+    for key, value in vars(stats).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = value
+    return out
+
+
+@contextlib.contextmanager
+def capture(**kwargs):
+    """Activate a :class:`Profiler` for every launch in the block::
+
+        with capture() as prof:
+            run_memcpy(device, use_apointers=True, width=4)
+        prof.write("/tmp/profiles")
+    """
+    profiler = Profiler(**kwargs)
+    hooks.push(profiler)
+    try:
+        yield profiler
+    finally:
+        hooks.pop(profiler)

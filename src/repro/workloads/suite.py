@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gpu.kernel import WarpContext
 from repro.workloads.base import Workload
 
 _LCG_A = np.float64(1664525.0)

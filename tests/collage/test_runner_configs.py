@@ -5,7 +5,6 @@ configuration is selected — short pointers, TLB on, compiler variant —
 since §VI-E's point is that the application code never changes.
 """
 
-import numpy as np
 import pytest
 
 from repro.collage import (

@@ -1,7 +1,6 @@
 """Integration tests: all four collage runners agree and show the
 paper's qualitative ordering."""
 
-import numpy as np
 import pytest
 
 from repro.collage import (

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import APConfig, AVM
 from repro.core.aarray import AArray
 from tests.core.conftest import PAGE, launch, make_avm
 

@@ -4,7 +4,7 @@ reference-counting invariants of §III-B."""
 import numpy as np
 import pytest
 
-from repro.core import APConfig, APtrState, AVM, ImplVariant, PtrFormat
+from repro.core import APConfig, APtrState, PtrFormat
 from repro.core.apointer import BoundsError, ProtectionError
 from tests.core.conftest import PAGE, launch, make_avm
 

@@ -1,10 +1,9 @@
 """Tests for the per-threadblock software TLB and its refcount
 aggregation semantics (§III-E, §IV-D)."""
 
-import numpy as np
 import pytest
 
-from repro.core import APConfig, AVM
+from repro.core import APConfig
 from repro.core.tlb import SoftwareTLB
 from repro.gpu.memory import Scratchpad
 from tests.core.conftest import PAGE, launch, make_avm

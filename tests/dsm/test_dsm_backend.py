@@ -1,9 +1,7 @@
 """Focused tests for the DSMBackend fault/release interface."""
 
-import numpy as np
 import pytest
 
-from repro.core import APConfig, AVM
 from repro.dsm import DSMCluster
 
 PAGE = 4096

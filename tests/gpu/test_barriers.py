@@ -1,6 +1,5 @@
 """Barrier semantics under tricky schedules."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import Device

@@ -1,6 +1,5 @@
 """Unit tests for request dataclasses and TimedLock semantics."""
 
-import pytest
 
 from repro.gpu.instructions import (
     Compute,

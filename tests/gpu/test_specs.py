@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.specs import GPUSpec, K80_SPEC
+from repro.gpu.specs import K80_SPEC
 
 
 class TestK80Spec:

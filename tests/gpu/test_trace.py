@@ -1,6 +1,5 @@
 """Tests for the execution tracer and timeline renderer."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import Device
@@ -76,13 +75,49 @@ class TestTimeline:
     def test_renders_rows_per_warp(self, traced):
         art = render_timeline(traced, width=40)
         lines = art.splitlines()
-        assert len(lines) == 3  # 2 warps + legend
-        assert lines[0].startswith("w")
-        assert len(lines[0]) <= 7 + 40
+        assert len(lines) == 4  # header + 2 warps + legend
+        assert lines[0].startswith("bucket_cycles=")
+        assert lines[1].startswith("w")
+        assert len(lines[1]) <= 7 + 40
 
     def test_empty_trace(self):
         assert render_timeline(Tracer()) == "(empty trace)"
 
     def test_contains_memory_glyph(self, traced):
         art = render_timeline(traced, width=60)
-        assert "m" in art.split("\n")[0] + art.split("\n")[1]
+        assert "m" in art.split("\n")[1] + art.split("\n")[2]
+
+    def test_bucket_header_reports_bucket_size(self, traced):
+        t0, t1 = traced.span()
+        header = render_timeline(traced, width=40).splitlines()[0]
+        assert f"bucket_cycles={(t1 - t0) / 40:g}" in header
+        assert "warps=2" in header
+
+    def test_event_ending_at_span_end_lands_in_last_bucket(self):
+        # Regression: `hi == width` after integer bucketing used to
+        # fall off the row; the closing event must colour the final
+        # column, not a phantom bucket past it.
+        t = Tracer()
+        t.record(0, 0, "compute", 0.0, 40.0)
+        t.record(0, 0, "memaccess", 90.0, 100.0)
+        art = render_timeline(t, width=10)
+        row = art.splitlines()[1]
+        assert row.endswith("m")
+
+    def test_more_warps_footer(self):
+        t = Tracer()
+        for w in range(20):
+            t.record(w, 0, "compute", 0.0, 10.0)
+        art = render_timeline(t, width=20)
+        lines = art.splitlines()
+        assert lines[-1] == "(+4 more warps)"
+        # header + 16 rows + legend + footer
+        assert len(lines) == 1 + 16 + 1 + 1
+
+    def test_no_footer_with_explicit_warp_selection(self):
+        t = Tracer()
+        for w in range(20):
+            t.record(w, 0, "compute", 0.0, 10.0)
+        art = render_timeline(t, width=20, warps=[0, 1])
+        assert "more warps" not in art
+        assert len(art.splitlines()) == 1 + 2 + 1

@@ -1,0 +1,73 @@
+"""CLI behaviour: markdown output, profile-dir wiring, failure paths."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import cli
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.telemetry import validate_profile
+
+
+class TestMarkdownOutput:
+    def test_creates_missing_parent_directories(self, tmp_path, capsys):
+        target = tmp_path / "deep" / "nested" / "results.md"
+        rc = cli.main(["table1", "--markdown", str(target)])
+        assert rc == 0
+        text = target.read_text()
+        assert text.startswith("# Reproduction results")
+        assert "wall time:" in text
+
+    def test_failed_experiment_writes_partial_markdown(
+            self, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "results.md"
+
+        def boom(scale="quick"):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(ALL_EXPERIMENTS, "table1", boom)
+        with pytest.raises(RuntimeError, match="synthetic failure"):
+            cli.main(["table1", "--markdown", str(target)])
+        text = target.read_text()
+        assert "PARTIAL" in text
+        assert "table1 — FAILED" in text
+        assert "partial results" in capsys.readouterr().err
+
+    def test_failure_without_markdown_still_raises(self, monkeypatch,
+                                                   capsys):
+        def boom(scale="quick"):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(ALL_EXPERIMENTS, "table1", boom)
+        with pytest.raises(RuntimeError):
+            cli.main(["table1"])
+
+
+class TestProfileDir:
+    def test_profiles_written_and_schema_valid(self, tmp_path, capsys):
+        rc = cli.main(["table1", "--profile-dir", str(tmp_path)])
+        assert rc == 0
+        out_dir = tmp_path / "table1"
+        profiles = sorted(out_dir.glob("profile-*.json"))
+        traces = sorted(out_dir.glob("trace-*.json"))
+        assert profiles
+        assert traces
+        for path in profiles:
+            validate_profile(json.loads(path.read_text()))
+        # the textual summary reaches the terminal too
+        assert "warp stalls" in capsys.readouterr().out
+
+    def test_no_profiles_without_flag(self, tmp_path, capsys):
+        rc = cli.main(["table1"])
+        assert rc == 0
+        assert not os.listdir(tmp_path)
+
+
+class TestArgErrors:
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert cli.main(["not-an-experiment"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_no_experiments_is_an_error(self, capsys):
+        assert cli.main([]) == 2

@@ -1,6 +1,5 @@
 """Tests for the concurrent page-table hash table."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

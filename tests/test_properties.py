@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import APConfig, AVM, ImplVariant, PtrFormat
+from repro.core import APConfig, ImplVariant, PtrFormat
 from repro.gpu import Device
 from repro.workloads import run_memcpy, run_workload, workload_by_name
 

@@ -1,6 +1,5 @@
 """Tests for the generic workload runner's bookkeeping."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import Device
