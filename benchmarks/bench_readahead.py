@@ -1,0 +1,52 @@
+"""Benchmark: asynchronous page readahead (reproduction extension).
+
+The readahead daemon (``repro.readahead``) pushes pages speculatively
+through the §V transfer batcher once a warp's fault pattern looks
+sequential.  The acceptance bar for the subsystem: at least a 1.3x
+end-to-end speedup on the quick-scale sequential-read filebench versus
+the batching-only baseline, with verified output either way.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.harness import ablation_readahead
+from repro.workloads.filebench import run_sequential_file_read
+
+
+@pytest.mark.benchmark(group="readahead")
+def test_readahead_ablation(benchmark):
+    result = run_experiment(benchmark, ablation_readahead, scale="quick")
+    seq_off = result.row_by(workload="seq-read", readahead=False)
+    seq_on = result.row_by(workload="seq-read", readahead=True)
+    # The subsystem's acceptance bar: >= 1.3x on sequential reads.
+    assert seq_on["speedup"] >= 1.3
+    # Readahead converts major faults into hits, not extra transfers:
+    # almost everything issued is consumed, nothing is wasted.
+    assert seq_on["major_faults"] < seq_off["major_faults"]
+    assert seq_on["ra_hits"] >= 0.8 * seq_on["ra_issued"]
+    assert seq_on["ra_wasted"] <= 0.1 * seq_on["ra_issued"]
+    # The file-memcpy variant (whole-page copies) also benefits.
+    mc_on = result.row_by(workload="file-memcpy", readahead=True)
+    assert mc_on["speedup"] > 1.2
+
+
+@pytest.mark.benchmark(group="readahead")
+def test_readahead_sequential_speedup(benchmark):
+    """Direct workload-level check of the 1.3x criterion."""
+
+    def run_pair():
+        off = run_sequential_file_read(npages=192, readahead=False)
+        on = run_sequential_file_read(npages=192, readahead=True)
+        return off, on
+
+    off, on = benchmark.pedantic(run_pair, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    assert off.verified and on.verified
+    speedup = off.cycles / on.cycles
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["ra_issued"] = on.ra_issued
+    benchmark.extra_info["ra_hits"] = on.ra_hits
+    assert speedup >= 1.3
+    # Off means *off*: the baseline run must not touch the daemon.
+    assert off.ra_issued == 0 and off.transfers == off.major_faults

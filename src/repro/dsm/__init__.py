@@ -25,12 +25,18 @@ model of early software DSMs.
 """
 
 from repro.dsm.directory import Directory, PageState
-from repro.dsm.cluster import DSMCluster, DSMBackend, DSMStats
+from repro.dsm.cluster import (
+    DSMBackend,
+    DSMCluster,
+    DSMFlushTimeoutError,
+    DSMStats,
+)
 
 __all__ = [
     "Directory",
     "PageState",
     "DSMCluster",
     "DSMBackend",
+    "DSMFlushTimeoutError",
     "DSMStats",
 ]

@@ -41,6 +41,15 @@ class ActivePageRevocationError(RuntimeError):
     """A coherence action tried to invalidate a referenced page."""
 
 
+class DSMFlushTimeoutError(RuntimeError):
+    """A flush waited past its cycle budget for an owner's page-in.
+
+    Raised instead of spinning forever: in co-simulation, a page whose
+    transfer never completes would otherwise hang every device that
+    later faults on it.
+    """
+
+
 @dataclass
 class DSMStats:
     read_faults: int = 0
@@ -51,6 +60,12 @@ class DSMStats:
 
 class DSMCluster:
     """N GPUs sharing one region through directory-based coherence."""
+
+    #: Spin interval while waiting on an owner's in-flight page-in.
+    FLUSH_WAIT_RETRY_CYCLES = 200.0
+    #: Give up (:class:`DSMFlushTimeoutError`) after this much waiting —
+    #: generous next to a worst-case batched disk-class page-in.
+    FLUSH_WAIT_BUDGET_CYCLES = 2_000_000.0
 
     def __init__(self, num_devices: int, region_bytes: int,
                  page_size: int = 4096, frames_per_device: int = 256,
@@ -99,9 +114,21 @@ class DSMCluster:
             return
         if not entry.ready:
             # The owner's page-in is still in flight (concurrent
-            # co-simulation): wait for it before flushing.
+            # co-simulation): wait for it before flushing — but only up
+            # to a budget.  An unbounded spin here deadlocks the whole
+            # cluster when the owner's page-in is lost (e.g. its warp
+            # died mid-fault), so give up loudly instead.
+            waited = 0.0
             while not entry.ready:
-                yield from ctx.sleep(200.0, io_wait=True)
+                if waited >= self.FLUSH_WAIT_BUDGET_CYCLES:
+                    raise DSMFlushTimeoutError(
+                        f"device {owner} page {fpn}: page-in still not "
+                        f"ready after {waited:.0f} cycles of flush "
+                        "wait; the owner's transfer appears lost "
+                        "(co-simulation deadlock)")
+                yield from ctx.sleep(self.FLUSH_WAIT_RETRY_CYCLES,
+                                     io_wait=True)
+                waited += self.FLUSH_WAIT_RETRY_CYCLES
         self.stats.flushes += 1
         frame_addr = gpufs.cache.frame_addr(entry.frame)
         data = gpufs.device.memory.read(

@@ -14,6 +14,7 @@ from repro.harness.experiments import (
     ablation_future_hw,
     ablation_io_preemption,
     ablation_prefetch,
+    ablation_readahead,
     ablation_registers,
     figure6,
     figure7,
@@ -39,6 +40,7 @@ __all__ = [
     "ablation_batching",
     "ablation_registers",
     "ablation_eviction",
+    "ablation_readahead",
     "ablation_future_hw",
     "ablation_io_preemption",
     "format_result",

@@ -17,6 +17,7 @@ plus Chrome-trace files loadable in Perfetto, written under
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 import time
@@ -42,6 +43,11 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=("quick", "full"),
                         default="quick",
                         help="problem sizes (default: quick)")
+    parser.add_argument("--eviction-policy", metavar="POLICY",
+                        choices=("clock", "fifo", "lru", "random"),
+                        help="page-cache eviction policy override, for "
+                             "experiments that take one (e.g. "
+                             "ablation_eviction, ablation_readahead)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write results as Markdown")
     parser.add_argument("--profile-dir", metavar="PATH",
@@ -107,12 +113,20 @@ def main(argv=None) -> int:
 
 def _run_one(name: str, args):
     """Run one experiment, profiled when --profile-dir is given."""
+    fn = ALL_EXPERIMENTS[name]
+    kwargs = {"scale": args.scale}
+    if args.eviction_policy:
+        # Only experiments that expose the knob receive it; the rest
+        # run unchanged rather than erroring on an unknown kwarg.
+        params = inspect.signature(fn).parameters
+        if "eviction_policy" in params:
+            kwargs["eviction_policy"] = args.eviction_policy
     if args.profile_dir:
         from repro.telemetry import capture
         with capture() as profiler:
-            result = ALL_EXPERIMENTS[name](scale=args.scale)
+            result = fn(**kwargs)
         return result, profiler
-    return ALL_EXPERIMENTS[name](scale=args.scale), None
+    return fn(**kwargs), None
 
 
 def _write_markdown(args, parts: list, partial: bool = False) -> None:

@@ -526,12 +526,18 @@ def ablation_future_hw(scale: str = "quick") -> ExperimentResult:
     return result
 
 
-def ablation_eviction(scale: str = "quick") -> ExperimentResult:
+def ablation_eviction(scale: str = "quick",
+                      eviction_policy: Optional[str] = None
+                      ) -> ExperimentResult:
     """Eviction-policy ablation under cache thrash.
 
     The paper leaves the replacement policy unspecified; this sweep
     runs the §VI-C page-walk workload with a cache holding half the
-    working set and compares clock/FIFO/LRU/random.
+    working set and compares clock/FIFO/LRU/random.  The policy is
+    plumbed through :class:`~repro.paging.gpufs.GPUfsConfig`
+    (``eviction_policy``) rather than swapped in after construction;
+    passing ``eviction_policy`` (the CLI's ``--eviction-policy``)
+    restricts the sweep to that one policy.
     """
     from repro.workloads.filebench import make_file_env
 
@@ -543,12 +549,13 @@ def ablation_eviction(scale: str = "quick") -> ExperimentResult:
         notes="Sequential-with-reuse sweep; the differences are small "
               "because the access pattern cycles through the file.",
     )
-    for policy in ("clock", "fifo", "lru", "random"):
+    policies = ((eviction_policy,) if eviction_policy
+                else ("clock", "fifo", "lru", "random"))
+    for policy in policies:
         device, gpufs, fid, _ = make_file_env(
             npages * PAGE, num_frames=npages // 2,
-            memory_bytes=npages * PAGE + 128 * 1024 * 1024)
-        from repro.paging.policies import make_policy
-        gpufs.cache.policy = make_policy(policy, npages // 2)
+            memory_bytes=npages * PAGE + 128 * 1024 * 1024,
+            eviction_policy=policy)
         nwarps = 32
 
         def kern(ctx):
@@ -564,6 +571,64 @@ def ablation_eviction(scale: str = "quick") -> ExperimentResult:
             "major_faults": gpufs.stats.major_faults,
             "evictions": gpufs.cache.evictions,
         })
+    return result
+
+
+def ablation_readahead(scale: str = "quick",
+                       eviction_policy: Optional[str] = None
+                       ) -> ExperimentResult:
+    """Asynchronous page readahead, off vs on (reproduction extension).
+
+    §V's batching amortises the PCIe transaction cost of *demand*
+    faults; ``repro.readahead`` goes further and has the host daemon
+    push pages speculatively once a warp's faults look sequential.
+    Cold-cache streaming reads are the best case: the first faults of
+    each warp train the stream detector, and the rest of the file
+    arrives before the warps ask for it.
+    """
+    from repro.workloads.filebench import run_sequential_file_read
+
+    # (npages, warps): file-memcpy uses fewer warps so each stream is
+    # long enough for the detector to train before the warp finishes.
+    (seq_pages, seq_warps), (mc_pages, mc_warps) = _sizes(
+        scale, ((192, 32), (128, 16)), ((768, 32), (384, 16)))
+    policy = eviction_policy or "clock"
+    result = ExperimentResult(
+        exp_id="ablation_readahead",
+        title="Asynchronous page readahead (cold cache, sequential)",
+        columns=["workload", "readahead", "cycles", "speedup",
+                 "major_faults", "ra_issued", "ra_hits", "ra_wasted",
+                 "ra_cancelled"],
+        notes="Extension beyond §V: a host-side readahead daemon "
+              "issues speculative page-ins through the same transfer "
+              "batcher, so speculative and demand transfers coalesce. "
+              "`speedup` is vs the batching-only baseline of the same "
+              "workload; output is verified against file contents.",
+    )
+    for workload, pages, nwarps, copy in (
+            ("seq-read", seq_pages, seq_warps, False),
+            ("file-memcpy", mc_pages, mc_warps, True)):
+        base = None
+        for ra in (False, True):
+            r = run_sequential_file_read(npages=pages, warps=nwarps,
+                                         copy_pages=copy, readahead=ra,
+                                         eviction_policy=policy)
+            if not r.verified:
+                raise AssertionError(
+                    f"{workload} (readahead={ra}) read wrong data")
+            if base is None:
+                base = r.cycles
+            result.rows.append({
+                "workload": workload,
+                "readahead": ra,
+                "cycles": round(r.cycles),
+                "speedup": round(base / r.cycles, 3),
+                "major_faults": r.major_faults,
+                "ra_issued": r.ra_issued,
+                "ra_hits": r.ra_hits,
+                "ra_wasted": r.ra_wasted,
+                "ra_cancelled": r.ra_cancelled,
+            })
     return result
 
 
@@ -651,6 +716,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation_batching": ablation_batching,
     "ablation_registers": ablation_registers,
     "ablation_eviction": ablation_eviction,
+    "ablation_readahead": ablation_readahead,
     "ablation_future_hw": ablation_future_hw,
     "ablation_io_preemption": ablation_io_preemption,
 }

@@ -52,6 +52,15 @@ class GPUfsConfig:
     batching: bool = True
     max_batch: int = 64
     eviction_policy: str = "clock"
+    # Asynchronous page readahead (repro.readahead).  Off by default:
+    # with the knob off the paging layer behaves exactly as before and
+    # existing experiments are unchanged.
+    readahead: bool = False
+    readahead_window: int = 4        # initial window, pages
+    readahead_min_window: int = 2
+    readahead_max_window: int = 64
+    readahead_max_streams: int = 64
+    readahead_max_stride: int = 64
 
 
 @dataclass
@@ -103,10 +112,27 @@ class GPUfs:
         self.fault_filter = fault_filter
         self.stats = PagingStats()
         self._handles: dict[int, FileHandle] = {}
+        if config.readahead:
+            from repro.readahead import ReadaheadConfig, ReadaheadEngine
+            self.readahead = ReadaheadEngine(
+                self.cache, self.batcher, self.handle_for,
+                config.page_size,
+                ReadaheadConfig(
+                    initial_window=config.readahead_window,
+                    min_window=config.readahead_min_window,
+                    max_window=config.readahead_max_window,
+                    max_streams=config.readahead_max_streams,
+                    max_stride=config.readahead_max_stride,
+                ))
+            self.cache.spec_listener = self.readahead
+        else:
+            self.readahead = None
         profiler = telemetry_hooks.current()
         if profiler is not None:
             profiler.register("paging", self.stats)
             profiler.register("staging", self.batcher.stats)
+            if self.readahead is not None:
+                profiler.register("readahead", self.readahead.stats)
 
     # ------------------------------------------------------------------
     # Host-side file management
@@ -144,10 +170,15 @@ class GPUfs:
         page from the host.
         """
         t0 = ctx.now
+        if self.readahead is not None:
+            # Feed the stream detector and let the daemon issue
+            # speculative page-ins for the pages ahead of this one.
+            self.readahead.on_demand_access(ctx, file_id, fpn)
         while True:
             ctx.charge(MINOR_FAULT_INSTRS)
             entry = yield from self.cache.table.lookup(ctx, file_id, fpn)
             if entry is not None:
+                was_inflight = entry.speculative and not entry.ready
                 yield from self._wait_ready(ctx, entry)
                 yield from self.cache.table.add_refs(ctx, entry, refs)
                 if entry.removed:
@@ -156,6 +187,9 @@ class GPUfs:
                     yield from self.cache.table.add_refs(ctx, entry, -refs)
                     continue
                 self.stats.minor_faults += 1
+                if self.readahead is not None and entry.speculative:
+                    self.readahead.on_hit(ctx, entry,
+                                          waited=was_inflight)
                 self.cache.touch(entry.frame)
                 if write:
                     entry.dirty = True
@@ -169,6 +203,7 @@ class GPUfs:
             fresh = PageTableEntry(file_id, fpn, frame=-1, ready=False)
             winner = yield from self.cache.table.insert(ctx, fresh)
             if winner is not fresh:
+                was_inflight = winner.speculative and not winner.ready
                 yield from self._wait_ready(ctx, winner)
                 yield from self.cache.table.add_refs(ctx, winner, refs)
                 if winner.removed:
@@ -177,6 +212,9 @@ class GPUfs:
                     continue
                 self.stats.lost_insert_races += 1
                 self.stats.minor_faults += 1
+                if self.readahead is not None and winner.speculative:
+                    self.readahead.on_hit(ctx, winner,
+                                          waited=was_inflight)
                 if write:
                     winner.dirty = True
                 self._span(ctx, "minor_fault", t0, fpn)
@@ -250,6 +288,17 @@ class GPUfs:
             ctx.trace_span(kind, start, ctx.now, f"fpn={fpn}")
 
     def _wait_ready(self, ctx: WarpContext, entry: PageTableEntry):
+        if not entry.ready and entry.ready_at is not None:
+            # In-flight readahead transfer: wait only for the remaining
+            # time on the daemon timeline, not a whole page-in.
+            t0 = ctx.now
+            remaining = entry.ready_at - ctx.now
+            if remaining > 0:
+                yield from ctx.sleep(remaining, io_wait=True)
+            entry.ready = True
+            entry.ready_at = None
+            self._span(ctx, "readahead_wait", t0, entry.fpn)
+            return
         while not getattr(entry, "ready", True):
             self.stats.busy_waits += 1
             yield from ctx.sleep(SPIN_WAIT_CYCLES, io_wait=True)

@@ -60,6 +60,9 @@ class PageCache:
                                   config.num_frames)
         self.evictions = 0
         self.writebacks = 0
+        #: Optional readahead engine: notified (``on_spec_evicted``)
+        #: when a speculative frame is evicted before its first touch.
+        self.spec_listener = None
 
     # ------------------------------------------------------------------
     def frame_addr(self, frame: int) -> int:
@@ -107,7 +110,26 @@ class PageCache:
             "(refcounts > 0)")
 
     def _evict_one(self, ctx, writeback):
+        # Let the readahead daemon complete any finished speculative
+        # transfers first: an in-flight frame (ready=False) is not
+        # evictable, and without this poll a demand allocation could
+        # starve retrying against frames nobody else will ever flip.
+        if self.spec_listener is not None:
+            self.spec_listener.poll(ctx.now)
+        # Untouched speculative (readahead) frames are sacrificed
+        # before any demand page, whatever the policy's order.
+        if self.policy.low_priority:
+            frame = yield from self._evict_scan(ctx, writeback,
+                                                low_only=True)
+            if frame is not None:
+                return frame
+        return (yield from self._evict_scan(ctx, writeback,
+                                            low_only=False))
+
+    def _evict_scan(self, ctx, writeback, low_only: bool):
         for frame in self.policy.candidates():
+            if low_only and frame not in self.policy.low_priority:
+                continue
             entry = self._owner[frame]
             if entry is None or entry.refcount > 0 or not entry.ready:
                 continue
@@ -125,10 +147,17 @@ class PageCache:
                 self.writebacks += 1
                 yield from writeback(ctx, entry, self.frame_addr(frame))
                 entry.dirty = False
-            self._owner[frame] = None
-            self.evictions += 1
+            self._retire(entry, frame)
             return frame
         return None
+
+    def _retire(self, entry, frame: int) -> None:
+        """Common bookkeeping once ``entry`` lost its frame."""
+        self._owner[frame] = None
+        self.evictions += 1
+        self.policy.set_low_priority(frame, False)
+        if entry.speculative and self.spec_listener is not None:
+            self.spec_listener.on_spec_evicted(entry)
 
     def bind(self, entry: PageTableEntry) -> None:
         """Record that ``entry`` now owns its frame."""
@@ -143,4 +172,40 @@ class PageCache:
         """Return a never-bound frame to the free list (insert raced)."""
         self._owner[frame] = None
         self._free.append(frame)
+        self.policy.set_low_priority(frame, False)
         self.policy.on_release(frame)
+
+    # ------------------------------------------------------------------
+    # Speculative (readahead) frames
+    # ------------------------------------------------------------------
+    def mark_speculative(self, frame: int) -> None:
+        """Flag a freshly bound readahead frame as low priority."""
+        self.policy.set_low_priority(frame, True)
+
+    def promote_frame(self, frame: int) -> None:
+        """First demand touch of a readahead frame: normal priority."""
+        self.policy.set_low_priority(frame, False)
+        self.policy.on_touch(frame)
+
+    def allocate_speculative(self) -> Optional[int]:
+        """Non-blocking, untimed frame grab for the readahead daemon.
+
+        Takes a free frame, or reclaims an *untouched speculative*
+        frame (stale readahead is fair game), but never evicts a demand
+        page and never waits — the daemon backs off instead.  Returns
+        ``None`` under pressure.
+        """
+        if self._free:
+            return self._free.pop()
+        for frame in self.policy.candidates():
+            entry = self._owner[frame]
+            if (entry is None or not entry.speculative
+                    or entry.refcount > 0 or not entry.ready):
+                continue
+            if not self.table.host_remove(entry):
+                continue
+            # Speculative pages are clean by construction (promotion
+            # precedes any write), so no writeback is needed.
+            self._retire(entry, frame)
+            return frame
+        return None

@@ -52,6 +52,12 @@ class PageTableEntry:
     dirty: bool = False
     ready: bool = True   # False while the page-in transfer is in flight
     removed: bool = False  # set (under the bucket lock) by eviction
+    # Readahead state: a speculative page was brought in by the
+    # readahead daemon and not yet touched by any warp; ``ready_at``
+    # is the daemon-timeline completion time of its in-flight transfer
+    # (None once the data has landed).
+    speculative: bool = False
+    ready_at: Optional[float] = None
 
     @property
     def key(self) -> tuple[int, int]:
@@ -103,6 +109,53 @@ class PageTable:
     def entries(self) -> list[PageTableEntry]:
         """All resident entries (functional, host-side / test use)."""
         return [self._slots[s] for s in self._index.values()]
+
+    def host_insert(self, entry: PageTableEntry) -> PageTableEntry:
+        """Untimed insert by the host readahead daemon.
+
+        The daemon updates the table from the host side (its RPC cost
+        is folded into the speculative transfer time), so no warp is
+        charged.  If the key is already present the existing entry wins
+        and the caller's is discarded, mirroring :meth:`insert`.
+        """
+        existing = self.get(entry.file_id, entry.fpn)
+        if existing is not None:
+            return existing
+        free_slot = None
+        for slot in self._probe_chain(entry.file_id, entry.fpn):
+            current = self._slots[slot]
+            if current is TOMBSTONE:
+                if free_slot is None:
+                    free_slot = slot
+                continue
+            if current is None:
+                if free_slot is None:
+                    free_slot = slot
+                break
+        if free_slot is None:
+            raise RuntimeError("page table full")
+        self._slots[free_slot] = entry
+        self._index[entry.key] = free_slot
+        self.inserts += 1
+        return entry
+
+    def host_remove(self, entry: PageTableEntry) -> bool:
+        """Untimed removal by the host readahead daemon.
+
+        Only succeeds on the exact entry while it is ready and
+        unreferenced — the same eligibility the timed
+        :meth:`remove_if_unreferenced` enforces, since the daemon must
+        never yank a page out from under a faulting warp.
+        """
+        slot = self._index.get(entry.key)
+        current = self._slots[slot] if slot is not None else None
+        if current is not entry or entry.refcount > 0 or not entry.ready:
+            return False
+        entry.removed = True
+        self._slots[slot] = TOMBSTONE
+        del self._index[entry.key]
+        self.removes += 1
+        return True
 
     @property
     def load_factor(self) -> float:

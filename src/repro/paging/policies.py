@@ -23,16 +23,31 @@ from typing import Iterator
 
 
 class EvictionPolicy:
-    """Strategy interface: propose victim frames, newest info first."""
+    """Strategy interface: propose victim frames, newest info first.
+
+    Frames can additionally be marked *low priority* (speculative
+    readahead pages that no warp has touched yet): every policy prefers
+    evicting those before any normal frame, in its own candidate order.
+    The page cache clears the mark when the page is promoted on first
+    touch, evicted, or its frame is released.
+    """
 
     name = "?"
 
     def __init__(self, num_frames: int):
         self.num_frames = num_frames
+        self.low_priority: set[int] = set()
 
     def candidates(self) -> Iterator[int]:
         """Yield frame indices in preferred eviction order."""
         raise NotImplementedError
+
+    def set_low_priority(self, frame: int, low: bool) -> None:
+        """Mark/unmark ``frame`` as preferred for eviction."""
+        if low:
+            self.low_priority.add(frame)
+        else:
+            self.low_priority.discard(frame)
 
     def on_bind(self, frame: int) -> None:
         """A page was installed into ``frame``."""

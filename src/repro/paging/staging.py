@@ -29,6 +29,10 @@ class BatcherStats:
     transfers: int = 0
     batches: int = 0
     bytes_moved: int = 0
+    #: Of ``transfers``, how many were speculative (readahead daemon).
+    speculative: int = 0
+    #: Times a fetch had to wait for a staging slot to free up.
+    slot_waits: int = 0
 
     def mean_batch_size(self) -> float:
         return self.transfers / self.batches if self.batches else 0.0
@@ -48,13 +52,18 @@ class TransferBatcher:
         # a batch opens before issuing the DMA (§V batching).
         self.aggregation_cycles = aggregation_cycles
         self.stats = BatcherStats()
-        # Staging ring: enough slots that an in-flight copy can never be
-        # clobbered by later fetches reusing its slot.
+        # Staging ring: sized so slot reuse is rare, with per-slot
+        # busy tracking so an in-flight copy is never clobbered even
+        # when concurrent fetches outnumber the slots.
         self.num_slots = max_batch * 4
         self.staging_base = device.alloc(self.num_slots * page_size)
         self._next_slot = 0
+        self._slot_busy = [False] * self.num_slots
         self._window_end = -1.0
         self._window_count = 0
+
+    #: Spin interval while every staging slot holds an in-flight copy.
+    SLOT_RETRY_CYCLES = 400.0
 
     @property
     def spec(self):
@@ -92,8 +101,54 @@ class TransferBatcher:
                                 + nbytes / self.spec.pcie_bytes_per_cycle())
             yield from ctx.host_compute(self.spec.host_rpc_s)
             yield from ctx.pcie(nbytes, to_device=True)
-        slot_addr = self._claim_slot(ctx, data, nbytes)
-        yield from self._device_copy(ctx, slot_addr, dst_addr, nbytes)
+        slot = yield from self._claim_slot(ctx, data, nbytes)
+        try:
+            yield from self._device_copy(ctx, self._slot_addr(slot),
+                                         dst_addr, nbytes)
+        finally:
+            self._slot_busy[slot] = False
+
+    def fetch_async(self, now: float, handle, file_offset: int,
+                    nbytes: int, dst_addr: int) -> float:
+        """Speculative daemon-side fetch; returns its completion time.
+
+        Called by the readahead engine: no warp is charged — the cost
+        lives entirely in the returned ``done_at`` timestamp.  The
+        request shares the demand path's batching window, so
+        speculative and demand transfers coalesce into the same DMA
+        batches (a speculative fetch landing inside an open window
+        rides it; one landing outside opens a window that subsequent
+        demand fetches can join).  The daemon's staging-to-frame copy
+        is folded into the completion time rather than claiming a ring
+        slot, since no warp performs it.
+        """
+        if nbytes > self.page_size:
+            raise ValueError("fetch larger than a page")
+        data = handle.pread(file_offset, nbytes)
+        self.stats.transfers += 1
+        self.stats.speculative += 1
+        self.stats.bytes_moved += nbytes
+        spec = self.spec
+        dma_cycles = nbytes / spec.pcie_bytes_per_cycle()
+        if (self.enabled and now <= self._window_end
+                and self._window_count < self.max_batch):
+            self._window_count += 1
+            self._window_end += dma_cycles
+            done_at = now + spec.pcie_latency_cycles() + dma_cycles
+        else:
+            self.stats.batches += 1
+            self._window_count = 1
+            self._window_end = (now + self.aggregation_cycles
+                                + spec.pcie_latency_cycles()
+                                + dma_cycles)
+            done_at = (now + spec.host_rpc_s * spec.clock_hz
+                       + spec.pcie_latency_cycles() + dma_cycles)
+        if data.size < nbytes:
+            padded = np.zeros(nbytes, dtype=np.uint8)
+            padded[:data.size] = data
+            data = padded
+        self._device.memory.write(dst_addr, data)
+        return done_at
 
     def writeback(self, ctx: WarpContext, handle, file_offset: int,
                   src_addr: int, nbytes: int, data=None):
@@ -110,17 +165,34 @@ class TransferBatcher:
         yield from ctx.pcie(nbytes, to_device=False)
 
     # ------------------------------------------------------------------
+    def _slot_addr(self, slot: int) -> int:
+        return self.staging_base + slot * self.page_size
+
     def _claim_slot(self, ctx: WarpContext, data: np.ndarray,
-                    nbytes: int) -> int:
-        slot = self._next_slot
-        self._next_slot = (self._next_slot + 1) % self.num_slots
-        addr = self.staging_base + slot * self.page_size
-        if data.size < nbytes:
-            padded = np.zeros(nbytes, dtype=np.uint8)
-            padded[:data.size] = data
-            data = padded
-        ctx.memory.write(addr, data)  # the DMA landing in staging
-        return addr
+                    nbytes: int):
+        """Timed: claim a free staging slot and land the DMA bytes.
+
+        The slot stays busy until the claimant's staging-to-frame copy
+        completes, so a burst of concurrent fetches larger than the
+        ring can never clobber an in-flight slot — late arrivals wait
+        for a slot to free instead.
+        """
+        while True:
+            for i in range(self.num_slots):
+                slot = (self._next_slot + i) % self.num_slots
+                if self._slot_busy[slot]:
+                    continue
+                self._next_slot = (slot + 1) % self.num_slots
+                self._slot_busy[slot] = True
+                if data.size < nbytes:
+                    padded = np.zeros(nbytes, dtype=np.uint8)
+                    padded[:data.size] = data
+                    data = padded
+                # The DMA landing in staging.
+                ctx.memory.write(self._slot_addr(slot), data)
+                return slot
+            self.stats.slot_waits += 1
+            yield from ctx.sleep(self.SLOT_RETRY_CYCLES, io_wait=True)
 
     def _device_copy(self, ctx: WarpContext, src_addr: int,
                      dst_addr: int, nbytes: int):

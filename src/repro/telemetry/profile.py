@@ -18,17 +18,30 @@ from dataclasses import dataclass, field
 from typing import Any
 
 SCHEMA_NAME = "repro.telemetry/launch-profile"
-SCHEMA_VERSION = 1
+#: v2 added the ``components.readahead`` section (always present, like
+#: ``translation``/``paging``) and flattened-histogram counters.
+SCHEMA_VERSION = 2
 
 
 def _numeric_fields(obj) -> dict:
-    """Numeric attributes of a stats object (dataclass or plain)."""
+    """Numeric attributes of a stats object (dataclass or plain).
+
+    A ``dict``-valued attribute holding numeric values (a histogram,
+    e.g. ``ReadaheadStats.window_hist``) is flattened to
+    ``<attr>_<bucket>`` keys so registries can delta and export it like
+    any scalar counter.
+    """
     out = {}
     for key, value in vars(obj).items():
         if isinstance(value, bool) or key.startswith("_"):
             continue
         if isinstance(value, (int, float)):
             out[key] = value
+        elif isinstance(value, dict):
+            for bucket, count in value.items():
+                if isinstance(count, (int, float)) \
+                        and not isinstance(count, bool):
+                    out[f"{key}_{bucket}"] = count
     return out
 
 
@@ -73,6 +86,11 @@ class MetricsRegistry:
             lookups = tr.get("tlb_hits", 0) + tr.get("tlb_misses", 0)
             tr["tlb_hit_rate"] = (tr.get("tlb_hits", 0) / lookups
                                   if lookups else 0.0)
+        ra = out.get("readahead")
+        if ra is not None:
+            issued = ra.get("issued", 0)
+            ra["hit_rate"] = (ra.get("hits", 0) / issued
+                              if issued else 0.0)
         return out
 
 
@@ -172,7 +190,9 @@ def validate_profile(doc: dict) -> None:
     for kind, keys in (("translation", ("tlb_hit_rate", "tlb_hits",
                                         "tlb_misses",
                                         "translation_faults")),
-                       ("paging", ("minor_faults", "major_faults"))):
+                       ("paging", ("minor_faults", "major_faults")),
+                       ("readahead", ("issued", "hits", "wasted",
+                                      "cancelled", "hit_rate"))):
         sub = components.get(kind)
         if not isinstance(sub, dict):
             raise ValueError(f"components.{kind} missing")

@@ -176,12 +176,15 @@ def _merge_components(collected: dict) -> dict:
     """
     from repro.core.metrics import APStats
     from repro.paging.gpufs import PagingStats
+    from repro.readahead import ReadaheadStats
     from repro.telemetry.profile import _numeric_fields
 
     components = {
         "translation": dict(_numeric_fields(APStats()),
                             tlb_hit_rate=0.0),
         "paging": _numeric_fields(PagingStats()),
+        "readahead": dict(_numeric_fields(ReadaheadStats()),
+                          hit_rate=0.0),
     }
     for kind, counters in collected.items():
         components.setdefault(kind, {}).update(counters)

@@ -36,6 +36,9 @@ def make_file_env(total_bytes: int, *, page_size: int = 4096,
                   num_frames: int = 1024,
                   memory_bytes: int = 256 * 1024 * 1024,
                   batching: bool = True,
+                  eviction_policy: str = "clock",
+                  readahead: bool = False,
+                  readahead_window: int = 4,
                   seed: int = 7) -> tuple[Device, GPUfs, int, np.ndarray]:
     """Create a device + GPUfs + RAMfs file filled with random floats."""
     rng = np.random.RandomState(seed)
@@ -45,7 +48,10 @@ def make_file_env(total_bytes: int, *, page_size: int = 4096,
     device = Device(memory_bytes=memory_bytes)
     gpufs = GPUfs(device, HostFileSystem(fs),
                   GPUfsConfig(page_size=page_size, num_frames=num_frames,
-                              batching=batching))
+                              batching=batching,
+                              eviction_policy=eviction_policy,
+                              readahead=readahead,
+                              readahead_window=readahead_window))
     fid = gpufs.open("bench")
     return device, gpufs, fid, data
 
@@ -156,6 +162,109 @@ def run_workload_file(workload: Workload, *, use_apointers: bool,
         verified=verified,
         dram_bytes=result.stats.dram_bytes,
         instructions=result.stats.instructions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential streaming read (readahead ablation workload)
+# ----------------------------------------------------------------------
+@dataclass
+class SequentialReadResult:
+    """One cold-cache sequential read, with readahead counters."""
+
+    readahead: bool
+    cycles: float
+    seconds: float
+    verified: bool
+    major_faults: int
+    minor_faults: int
+    ra_issued: int = 0
+    ra_hits: int = 0
+    ra_inflight_hits: int = 0
+    ra_wasted: int = 0
+    ra_cancelled: int = 0
+    batches: int = 0
+    transfers: int = 0
+
+
+def run_sequential_file_read(*, npages: int, warps: int = 32,
+                             copy_pages: bool = False,
+                             readahead: bool = False,
+                             eviction_policy: str = "clock",
+                             num_frames: Optional[int] = None,
+                             readahead_window: int = 4,
+                             seed: int = 13) -> SequentialReadResult:
+    """Cold-cache sequential file read — the readahead ablation workload.
+
+    Each warp streams a contiguous chunk of ``npages // warps`` pages in
+    file order through ``gmmap()``, the filebench "sequential read"
+    pattern the readahead stream detector is built for.  With
+    ``copy_pages`` each warp copies every page to an output buffer
+    (file-memcpy); otherwise it reads one coalesced 128-byte line per
+    page.  Either way the output is verified against the file contents,
+    so a readahead bug that serves stale or wrong bytes fails loudly.
+    """
+    if npages % warps:
+        raise ValueError("npages must divide evenly among warps")
+    if warps > 32 and warps % 32:
+        raise ValueError("warps beyond one block must fill blocks of 32")
+    total_bytes = npages * 4096
+    frames = num_frames if num_frames is not None else npages + 32
+    device, gpufs, fid, data = make_file_env(
+        total_bytes, num_frames=frames,
+        memory_bytes=(frames + npages + 64) * 4096 + 64 * 1024 * 1024,
+        eviction_policy=eviction_policy, readahead=readahead,
+        readahead_window=readahead_window, seed=seed)
+    page = gpufs.page_size
+    line = 32 * 4
+    out_bytes = npages * (page if copy_pages else line)
+    out = device.alloc(out_bytes)
+    ppw = npages // warps
+
+    def kernel(ctx: WarpContext):
+        base = ctx.warp_id * ppw
+        for i in range(ppw):
+            p = base + i
+            addr = yield from gpufs.gmmap(ctx, fid, p * page)
+            if copy_pages:
+                step = 8 * ctx.warp_size
+                for off in range(0, page, step):
+                    lane = off + ctx.lane * 8
+                    ctx.charge(4)
+                    vals = yield from ctx.load(addr + lane, "u8")
+                    yield from ctx.store(out + p * page + lane,
+                                         vals, "u8")
+            else:
+                ctx.charge(2, chain=2)
+                vals = yield from ctx.load(addr + ctx.lane * 4, "f4")
+                yield from ctx.store(out + p * line + ctx.lane * 4,
+                                     vals, "f4")
+            yield from gpufs.gmunmap(ctx, fid, p * page)
+
+    res = device.launch(kernel, grid=max(warps // 32, 1),
+                        block_threads=min(warps, 32) * 32)
+    got = device.memory.read(out, out_bytes)
+    if copy_pages:
+        verified = bool(np.array_equal(got, data.view(np.uint8)))
+    else:
+        floats = got.view(np.float32).reshape(npages, 32)
+        expect = data.reshape(npages, page // 4)[:, :32]
+        verified = bool(np.array_equal(floats, expect))
+    ra = gpufs.readahead.stats if gpufs.readahead is not None else None
+    return SequentialReadResult(
+        readahead=readahead,
+        cycles=res.cycles,
+        seconds=res.seconds,
+        verified=verified,
+        major_faults=gpufs.stats.major_faults,
+        minor_faults=gpufs.stats.minor_faults,
+        ra_issued=ra.issued if ra else 0,
+        ra_hits=ra.hits if ra else 0,
+        ra_inflight_hits=ra.inflight_hits if ra else 0,
+        ra_wasted=ra.wasted if ra else 0,
+        ra_cancelled=ra.cancelled if ra else 0,
+        batches=gpufs.batcher.stats.batches,
+        transfers=gpufs.batcher.stats.transfers,
     )
 
 

@@ -137,6 +137,52 @@ class TestCoherenceInvariant:
             run_on(cluster, 0, writer)
 
 
+class TestFlushBudget:
+    def test_flush_wait_on_lost_page_in_raises(self, cluster):
+        """A flush waiting on a page-in that never completes must fail
+        loudly within its cycle budget instead of spinning forever."""
+        from repro.dsm import DSMFlushTimeoutError
+        from repro.paging.page_table import PageTableEntry
+
+        # Fabricate a lost page-in on device 0: an entry stuck not-ready
+        # with no transfer that will ever complete it.
+        gpufs0 = cluster.gpufs[0]
+        stuck = PageTableEntry(cluster.fids[0], 0, frame=0, ready=False)
+        gpufs0.cache.table.host_insert(stuck)
+        gpufs0.cache.bind(stuck)
+        cluster.FLUSH_WAIT_BUDGET_CYCLES = 10_000.0  # keep the test fast
+
+        def kern(ctx):
+            yield from cluster.flush_page(ctx, 0, 0)
+
+        with pytest.raises(DSMFlushTimeoutError, match="page-in still"):
+            cluster.devices[1].launch(kern, grid=1, block_threads=32)
+
+    def test_flush_waits_out_inflight_page_in(self, cluster):
+        """Within budget, a flush still waits for a page-in to finish."""
+        gpufs0 = cluster.gpufs[0]
+        entry_holder = []
+
+        def kern(ctx):
+            if ctx.warp_id == 0:
+                # A real page-in on device 0's timeline...
+                yield from gpufs0.gmmap(ctx, cluster.fids[0], 0)
+                yield from gpufs0.gmunmap(ctx, cluster.fids[0], 0)
+            else:
+                # ...while the flush path waits for it to become ready.
+                while not entry_holder:
+                    e = gpufs0.cache.table.get(cluster.fids[0], 0)
+                    if e is not None:
+                        entry_holder.append(e)
+                        break
+                    yield from ctx.sleep(50.0)
+                yield from cluster.flush_page(ctx, 0, 0)
+
+        cluster.devices[0].launch(kern, grid=1, block_threads=64)
+        assert cluster.stats.flushes == 1
+        assert entry_holder[0].ready
+
+
 class TestConcurrent:
     def test_concurrent_disjoint_writers(self, cluster):
         """Both GPUs run at the same time on disjoint pages of the

@@ -64,6 +64,24 @@ class TestProfileDir:
         assert not os.listdir(tmp_path)
 
 
+class TestEvictionPolicyFlag:
+    def test_policy_reaches_experiments_that_take_it(self, capsys):
+        rc = cli.main(["ablation_eviction", "--eviction-policy", "lru"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The sweep collapsed to the requested policy only.
+        assert "lru" in out
+        assert "fifo" not in out and "random" not in out
+
+    def test_experiments_without_the_knob_still_run(self, capsys):
+        rc = cli.main(["table1", "--eviction-policy", "lru"])
+        assert rc == 0
+
+    def test_unknown_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["ablation_eviction", "--eviction-policy", "mru"])
+
+
 class TestArgErrors:
     def test_unknown_experiment_is_an_error(self, capsys):
         assert cli.main(["not-an-experiment"]) == 2

@@ -21,7 +21,8 @@ class TestRegistry:
                     "figure6c", "figure7", "figure9", "unaligned",
                     "ablation_prefetch", "ablation_batching",
                     "ablation_registers", "ablation_eviction",
-                    "ablation_future_hw", "ablation_io_preemption"}
+                    "ablation_readahead", "ablation_future_hw",
+                    "ablation_io_preemption"}
         assert expected <= set(ALL_EXPERIMENTS)
 
     def test_registry_entries_accept_scale(self):

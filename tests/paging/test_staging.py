@@ -105,6 +105,111 @@ class TestBatching:
         assert on.cycles < off.cycles
 
 
+class TestStagingRing:
+    def _shrunk_ring(self, device, slots):
+        """A batcher whose staging ring is smaller than the burst the
+        tests throw at it (the constructor sizes the ring generously,
+        so shrink it to force reuse pressure)."""
+        batcher = TransferBatcher(device, PAGE)
+        batcher.num_slots = slots
+        batcher._slot_busy = [False] * slots
+        batcher._next_slot = 0
+        return batcher
+
+    def test_more_fetches_than_slots_no_clobber(self, env):
+        """Regression: concurrent fetches beyond the ring size must not
+        overwrite a slot whose staging-to-frame copy is in flight."""
+        device, handle, data = env
+        batcher = self._shrunk_ring(device, 4)
+        dst = device.alloc(16 * PAGE)
+
+        def kern(ctx):
+            p = ctx.warp_id
+            yield from batcher.fetch(ctx, handle, p * PAGE, PAGE,
+                                     dst + p * PAGE)
+
+        # 16 warps fetch batched pages concurrently through 4 slots.
+        device.launch(kern, grid=1, block_threads=16 * 32)
+        got = device.memory.read(dst, 16 * PAGE)
+        assert np.array_equal(got, data)
+        # Every slot was released once its copy finished.
+        assert not any(batcher._slot_busy)
+
+    def test_saturated_ring_waits_instead_of_clobbering(self, env):
+        device, handle, data = env
+        batcher = self._shrunk_ring(device, 2)
+        dst = device.alloc(16 * PAGE)
+
+        def kern(ctx):
+            p = ctx.warp_id
+            yield from batcher.fetch(ctx, handle, p * PAGE, PAGE,
+                                     dst + p * PAGE)
+
+        device.launch(kern, grid=1, block_threads=16 * 32)
+        assert batcher.stats.slot_waits > 0
+        assert np.array_equal(device.memory.read(dst, 16 * PAGE), data)
+
+
+class TestSpeculative:
+    """BatcherStats invariants when daemon-side (fetch_async) traffic
+    shares the batching window with demand fetches."""
+
+    def test_mixed_demand_and_speculative_counters(self, env):
+        device, handle, data = env
+        batcher = TransferBatcher(device, PAGE)
+        dst = device.alloc(16 * PAGE)
+        done_at = []
+
+        def kern(ctx):
+            p = ctx.warp_id
+            if p < 8:
+                yield from batcher.fetch(ctx, handle, p * PAGE, PAGE,
+                                         dst + p * PAGE)
+            elif p == 8:
+                # One warp plays readahead daemon: untimed speculative
+                # fetches issued into the same aggregation windows.
+                for q in range(8, 16):
+                    done_at.append(batcher.fetch_async(
+                        ctx.now, handle, q * PAGE, PAGE,
+                        dst + q * PAGE))
+                yield from ctx.sleep(1.0)
+
+        res = device.launch(kern, grid=1, block_threads=9 * 32)
+        assert batcher.stats.transfers == 16
+        assert batcher.stats.speculative == 8
+        assert batcher.stats.speculative <= batcher.stats.transfers
+        assert batcher.stats.bytes_moved == 16 * PAGE
+        # Speculative fetches coalesce rather than opening a batch each.
+        assert batcher.stats.batches < 16
+        assert batcher.stats.mean_batch_size() > 1.0
+        # Completion times are in the future but within the launch.
+        assert all(0 < d <= res.cycles + 1e6 for d in done_at)
+        # The speculative bytes landed correctly too.
+        got = device.memory.read(dst, 16 * PAGE)
+        assert np.array_equal(got, data)
+
+    def test_fetch_async_opens_window_demand_joins(self, env):
+        device, handle, _ = env
+        batcher = TransferBatcher(device, PAGE)
+        dst = device.alloc(2 * PAGE)
+        batcher.fetch_async(0.0, handle, 0, PAGE, dst)
+        assert batcher.stats.batches == 1
+
+        def kern(ctx):
+            yield from batcher.fetch(ctx, handle, PAGE, PAGE, dst + PAGE)
+
+        device.launch(kern, grid=1, block_threads=32)
+        # The demand fetch rode the window the daemon opened.
+        assert batcher.stats.batches == 1
+        assert batcher.stats.transfers == 2
+
+    def test_fetch_async_rejects_oversized(self, env):
+        device, handle, _ = env
+        batcher = TransferBatcher(device, PAGE)
+        with pytest.raises(ValueError):
+            batcher.fetch_async(0.0, handle, 0, 2 * PAGE, 0)
+
+
 class TestWriteback:
     def test_writeback_reaches_file(self, env):
         device, handle, _ = env

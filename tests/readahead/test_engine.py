@@ -1,0 +1,226 @@
+"""Integration tests: readahead engine inside the GPUfs fault path."""
+
+import numpy as np
+
+from repro.gpu import Device
+from repro.host import HostFileSystem
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+
+PAGE = 4096
+FILE_PAGES = 64
+
+
+def make_env(num_frames=96, readahead=True, **cfg):
+    rng = np.random.RandomState(7)
+    data = rng.randint(0, 256, FILE_PAGES * PAGE, dtype=np.uint8)
+    fs = RamFS()
+    fs.create("data", data)
+    device = Device(memory_bytes=64 * 1024 * 1024)
+    gpufs = GPUfs(device, HostFileSystem(fs),
+                  GPUfsConfig(page_size=PAGE, num_frames=num_frames,
+                              readahead=readahead, **cfg))
+    fid = gpufs.open("data")
+    return device, gpufs, fid, data
+
+
+def walk_pages(device, gpufs, fid, pages, block_threads=32):
+    def kern(ctx):
+        for p in pages:
+            yield from gpufs.gmmap(ctx, fid, p * PAGE)
+            yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+
+    return device.launch(kern, grid=1, block_threads=block_threads)
+
+
+class TestOffByDefault:
+    def test_default_config_builds_no_engine(self):
+        device, gpufs, fid, _ = make_env(readahead=False)
+        assert gpufs.readahead is None
+        walk_pages(device, gpufs, fid, range(8))
+        # Pure demand paging: one major fault per page, no speculation.
+        assert gpufs.stats.major_faults == 8
+        assert gpufs.batcher.stats.speculative == 0
+
+
+class TestSequentialPrefetch:
+    def test_sequential_walk_converts_majors_to_hits(self):
+        device, gpufs, fid, data = make_env()
+        walk_pages(device, gpufs, fid, range(16))
+        ra = gpufs.readahead.stats
+        assert ra.issued > 0
+        assert ra.hits > 0
+        # The first two faults train the detector; everything after
+        # should come from readahead.
+        assert gpufs.stats.major_faults < 16
+        assert gpufs.stats.major_faults + ra.hits >= 16
+        # Prefetched pages carry the right bytes.
+        for p in range(16):
+            entry = gpufs.cache.table.get(fid, p)
+            assert entry is not None and entry.ready
+            got = device.memory.read(
+                gpufs.cache.frame_addr(entry.frame), PAGE)
+            assert np.array_equal(got, data[p * PAGE:(p + 1) * PAGE])
+
+    def test_readahead_is_faster_on_sequential(self):
+        device_off, gpufs_off, fid_off, _ = make_env(readahead=False)
+        off = walk_pages(device_off, gpufs_off, fid_off, range(16))
+        device_on, gpufs_on, fid_on, _ = make_env()
+        on = walk_pages(device_on, gpufs_on, fid_on, range(16))
+        assert on.cycles < off.cycles
+
+    def test_random_access_stays_quiet(self):
+        device, gpufs, fid, _ = make_env()
+        # Strictly decreasing: every delta is negative, so no stream
+        # ever confirms.
+        pages = [63, 50, 40, 30, 20, 10, 5, 0]
+        walk_pages(device, gpufs, fid, pages)
+        ra = gpufs.readahead.stats
+        assert ra.issued == 0
+        assert gpufs.stats.major_faults == len(pages)
+
+    def test_window_grows_on_sustained_streaming(self):
+        device, gpufs, fid, _ = make_env(readahead_window=2)
+        walk_pages(device, gpufs, fid, range(32))
+        ra = gpufs.readahead.stats
+        assert ra.window_grows > 0
+        # The histogram saw more than one window size.
+        assert len(ra.window_hist) > 1
+
+
+class TestInflight:
+    def test_demand_fault_on_inflight_page_counts_inflight_hit(self):
+        device, gpufs, fid, data = make_env()
+        got = []
+
+        def kern(ctx):
+            if ctx.warp_id == 0:
+                # Trains the detector; its second fault issues 2..5.
+                for p in range(2):
+                    yield from gpufs.gmmap(ctx, fid, p * PAGE)
+                    yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+            else:
+                # Pounces on page 2 the moment it is issued — the
+                # speculative transfer is guaranteed still in flight.
+                while gpufs.readahead.stats.issued == 0:
+                    yield from ctx.sleep(50.0)
+                addr = yield from gpufs.gmmap(ctx, fid, 2 * PAGE)
+                got.append(ctx.memory.read(addr, PAGE).copy())
+                yield from gpufs.gmunmap(ctx, fid, 2 * PAGE)
+
+        device.launch(kern, grid=1, block_threads=64)
+        ra = gpufs.readahead.stats
+        assert ra.inflight_hits == 1
+        assert ra.inflight_hits <= ra.hits
+        # The partial wait still yielded the right bytes.
+        assert np.array_equal(got[0], data[2 * PAGE:3 * PAGE])
+
+    def test_launch_boundary_completes_inflight(self):
+        device, gpufs, fid, _ = make_env()
+        walk_pages(device, gpufs, fid, [0, 1])   # issues pages 2..5
+        assert gpufs.readahead.inflight_pages > 0
+        majors = gpufs.stats.major_faults
+        walk_pages(device, gpufs, fid, [2, 3])
+        # The daemon finished during the inter-launch gap: the second
+        # launch sees ready pages, no new major faults.
+        assert gpufs.stats.major_faults == majors
+        assert gpufs.readahead.stats.hits >= 2
+
+
+class TestPoliteness:
+    def test_allocate_speculative_never_evicts_demand(self):
+        device, gpufs, fid, _ = make_env(num_frames=4, readahead=False)
+        walk_pages(device, gpufs, fid, range(4))     # fill with demand
+        assert gpufs.cache.allocate_speculative() is None
+        # Every demand page is still resident.
+        for p in range(4):
+            assert gpufs.cache.table.get(fid, p) is not None
+
+    def test_allocate_speculative_reclaims_stale_speculation(self):
+        device, gpufs, fid, _ = make_env(num_frames=4, readahead=False)
+        walk_pages(device, gpufs, fid, range(4))
+        victim = gpufs.cache.table.get(fid, 2)
+        victim.speculative = True
+        gpufs.cache.mark_speculative(victim.frame)
+        wasted = []
+        gpufs.cache.spec_listener = type(
+            "L", (), {"on_spec_evicted":
+                      staticmethod(lambda e: wasted.append(e))})()
+        frame = gpufs.cache.allocate_speculative()
+        assert frame == victim.frame
+        assert gpufs.cache.table.get(fid, 2) is None
+        assert wasted == [victim]
+
+    def test_eviction_prefers_speculative_frames(self):
+        device, gpufs, fid, _ = make_env(num_frames=4, readahead=False)
+        walk_pages(device, gpufs, fid, range(4))
+        spec = gpufs.cache.table.get(fid, 2)
+        spec.speculative = True
+        gpufs.cache.mark_speculative(spec.frame)
+        # Demand-fault a fifth page: eviction must pick the marked
+        # frame even though the clock hand points at page 0's.
+        walk_pages(device, gpufs, fid, [4])
+        assert gpufs.cache.table.get(fid, 2) is None
+        for p in (0, 1, 3, 4):
+            assert gpufs.cache.table.get(fid, p) is not None
+
+    def test_cache_pressure_cancels_and_shrinks(self):
+        device, gpufs, fid, _ = make_env(num_frames=6,
+                                         readahead_window=8)
+        # Hold a reference to each mapped page for the whole kernel so
+        # frames stay pinned and speculative allocation runs dry.
+        npages = 6
+
+        def kern(ctx):
+            for p in range(npages):
+                yield from gpufs.gmmap(ctx, fid, p * PAGE)
+            for p in range(npages):
+                yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+
+        device.launch(kern, grid=1, block_threads=32)
+        ra = gpufs.readahead.stats
+        assert ra.cancelled > 0
+        assert ra.window_shrinks > 0
+        # Back-off is invisible to correctness: all pages resident.
+        assert gpufs.stats.major_faults + ra.hits >= npages
+
+
+class TestWasteFeedback:
+    def test_spec_eviction_counts_wasted_and_shrinks(self):
+        device, gpufs, fid, _ = make_env()
+        walk_pages(device, gpufs, fid, [0, 1])
+        engine = gpufs.readahead
+        (file_id, fpn), stream = next(iter(engine._origin.items()))
+        before = stream.window
+        entry = gpufs.cache.table.get(file_id, fpn)
+        engine.on_spec_evicted(entry)
+        assert engine.stats.wasted == 1
+        assert stream.window <= before
+        assert (file_id, fpn) not in engine._origin
+
+
+class TestTelemetry:
+    def test_profile_exports_readahead_section(self):
+        from repro.telemetry import capture, validate_profile
+
+        with capture() as prof:
+            device, gpufs, fid, _ = make_env()
+            walk_pages(device, gpufs, fid, range(16))
+        doc = prof.longest().to_dict()
+        validate_profile(doc)
+        ra = doc["components"]["readahead"]
+        assert ra["issued"] > 0
+        assert ra["hits"] > 0
+        assert 0.0 < ra["hit_rate"] <= 1.0
+        assert any(k.startswith("window_hist_") for k in ra)
+
+    def test_profile_readahead_zeroed_when_off(self):
+        from repro.telemetry import capture, validate_profile
+
+        with capture() as prof:
+            device, gpufs, fid, _ = make_env(readahead=False)
+            walk_pages(device, gpufs, fid, range(4))
+        doc = prof.longest().to_dict()
+        validate_profile(doc)
+        ra = doc["components"]["readahead"]
+        assert ra["issued"] == 0 and ra["hit_rate"] == 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for the readahead stream detector."""
+
+from repro.readahead import DetectorParams, StreamDetector
+
+
+def feed(det, fpns, file_id=0, hint=0):
+    """Feed a page sequence; return the observe() results."""
+    return [det.observe(file_id, fpn, hint=hint) for fpn in fpns]
+
+
+class TestConfirmation:
+    def test_sequential_confirms_on_second_access(self):
+        det = StreamDetector()
+        first, second = feed(det, [10, 11])
+        assert first is None
+        assert second is not None and second.confirmed
+        assert second.stride == 1
+        assert second.window == DetectorParams().initial_window
+
+    def test_strided_stream_confirms(self):
+        det = StreamDetector()
+        results = feed(det, [0, 32, 64])
+        assert results[0] is None
+        assert results[1].stride == 32
+        assert results[2].run == 3
+
+    def test_stride_beyond_max_never_confirms(self):
+        det = StreamDetector(DetectorParams(max_stride=16))
+        results = feed(det, [0, 100, 300, 600])
+        assert all(r is None for r in results)
+
+    def test_backward_access_never_confirms(self):
+        det = StreamDetector()
+        results = feed(det, [100, 90, 80, 70])
+        assert all(r is None for r in results)
+
+    def test_refault_of_same_page_is_neutral(self):
+        det = StreamDetector()
+        feed(det, [5, 6])
+        stream = det.observe(0, 6)
+        assert stream is not None and stream.run == 2
+        # An unconfirmed stream's refault stays unconfirmed.
+        det2 = StreamDetector()
+        det2.observe(0, 5)
+        assert det2.observe(0, 5) is None
+
+
+class TestStreamIdentity:
+    def test_hints_separate_interleaved_streams(self):
+        det = StreamDetector()
+        # Two warps interleave sequential runs over disjoint regions;
+        # with per-hint streams both confirm.
+        a1 = det.observe(0, 0, hint=0)
+        b1 = det.observe(0, 100, hint=1)
+        a2 = det.observe(0, 1, hint=0)
+        b2 = det.observe(0, 101, hint=1)
+        assert a1 is None and b1 is None
+        assert a2.confirmed and b2.confirmed
+        assert a2 is not b2
+
+    def test_files_do_not_share_streams(self):
+        det = StreamDetector()
+        det.observe(0, 0)
+        assert det.observe(1, 1) is None  # new embryo, not a confirm
+
+    def test_lru_recycling_bounds_stream_count(self):
+        det = StreamDetector(DetectorParams(max_streams=2))
+        for hint in range(5):
+            det.observe(0, hint * 10, hint=hint)
+        assert len(det.streams) == 2
+        assert det.counters.streams_recycled == 3
+        assert det.counters.streams_created == 5
+
+
+class TestWindowFeedback:
+    def test_grow_doubles_and_clamps(self):
+        det = StreamDetector(DetectorParams(initial_window=4,
+                                            max_window=16))
+        stream = feed(det, [0, 1])[1]
+        assert det.grow(stream) and stream.window == 8
+        assert det.grow(stream) and stream.window == 16
+        assert not det.grow(stream) and stream.window == 16
+
+    def test_shrink_halves_and_clamps(self):
+        det = StreamDetector(DetectorParams(initial_window=8,
+                                            min_window=2))
+        stream = feed(det, [0, 1])[1]
+        assert det.shrink(stream) and stream.window == 4
+        assert det.shrink(stream) and stream.window == 2
+        assert not det.shrink(stream) and stream.window == 2
+
+    def test_pattern_break_keeps_learnt_window(self):
+        det = StreamDetector()
+        stream = feed(det, [0, 1])[1]
+        det.grow(stream)
+        grown = stream.window
+        # A backward seek breaks the pattern ...
+        assert det.observe(0, 1000) is None
+        assert not stream.confirmed and stream.next_ra is None
+        # ... but re-confirming resumes with the learnt window.
+        again = det.observe(0, 1001)
+        assert again is stream and again.confirmed
+        assert again.window == grown

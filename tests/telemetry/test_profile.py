@@ -68,6 +68,8 @@ class TestLaunchProfileSchema:
             lambda d: d.update(version=99),
             lambda d: d["launch"].update(cycles="fast"),
             lambda d: d["components"].pop("paging"),
+            lambda d: d["components"].pop("readahead"),
+            lambda d: d["components"]["readahead"].pop("hit_rate"),
             lambda d: d["components"]["translation"].pop("tlb_hit_rate"),
             lambda d: d["sms"][0].pop("busy_cycles"),
         ):
