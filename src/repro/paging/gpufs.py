@@ -190,6 +190,11 @@ class GPUfs:
                 if self.readahead is not None and entry.speculative:
                     self.readahead.on_hit(ctx, entry,
                                           waited=was_inflight)
+                    # The daemon lands raw file bytes; the page-in
+                    # filter (e.g. decryption) runs on the GPU at first
+                    # touch, charged to the touching warp.
+                    yield from self._apply_filter_in(
+                        ctx, self.cache.frame_addr(entry.frame), fpn)
                 self.cache.touch(entry.frame)
                 if write:
                     entry.dirty = True
@@ -215,6 +220,8 @@ class GPUfs:
                 if self.readahead is not None and winner.speculative:
                     self.readahead.on_hit(ctx, winner,
                                           waited=was_inflight)
+                    yield from self._apply_filter_in(
+                        ctx, self.cache.frame_addr(winner.frame), fpn)
                 if write:
                     winner.dirty = True
                 self._span(ctx, "minor_fault", t0, fpn)

@@ -187,20 +187,27 @@ class PageCache:
         self.policy.set_low_priority(frame, False)
         self.policy.on_touch(frame)
 
-    def allocate_speculative(self) -> Optional[int]:
+    def allocate_speculative(self, protect=frozenset()) -> Optional[int]:
         """Non-blocking, untimed frame grab for the readahead daemon.
 
         Takes a free frame, or reclaims an *untouched speculative*
         frame (stale readahead is fair game), but never evicts a demand
         page and never waits — the daemon backs off instead.  Returns
         ``None`` under pressure.
+
+        ``protect`` is a set of ``(file_id, fpn)`` keys exempt from
+        speculative reclaim — the engine passes the page the
+        triggering fault is about to consume and the issuing stream's
+        outstanding pages, so readahead never cannibalises its own
+        imminent hits to read further ahead.
         """
         if self._free:
             return self._free.pop()
         for frame in self.policy.candidates():
             entry = self._owner[frame]
             if (entry is None or not entry.speculative
-                    or entry.refcount > 0 or not entry.ready):
+                    or entry.refcount > 0 or not entry.ready
+                    or entry.key in protect):
                 continue
             if not self.table.host_remove(entry):
                 continue

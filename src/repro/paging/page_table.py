@@ -110,14 +110,23 @@ class PageTable:
         """All resident entries (functional, host-side / test use)."""
         return [self._slots[s] for s in self._index.values()]
 
-    def host_insert(self, entry: PageTableEntry) -> PageTableEntry:
+    def host_insert(self, entry: PageTableEntry) -> Optional[PageTableEntry]:
         """Untimed insert by the host readahead daemon.
 
         The daemon updates the table from the host side (its RPC cost
         is folded into the speculative transfer time), so no warp is
         charged.  If the key is already present the existing entry wins
         and the caller's is discarded, mirroring :meth:`insert`.
+
+        Returns ``None`` (insert deferred) when the key's bucket lock
+        is held: a warp may be mid-:meth:`insert` of this very key —
+        its entry is unpublished until the scan completes, so racing
+        past the lock could create two live entries for one key.  The
+        daemon backs off and retries on a later access instead.
         """
+        if self._lock_for(self._hash(entry.file_id,
+                                     entry.fpn)).holder is not None:
+            return None
         existing = self.get(entry.file_id, entry.fpn)
         if existing is not None:
             return existing
@@ -197,36 +206,46 @@ class PageTable:
         lock = self._lock_for(home)
         yield from ctx.lock(lock)
         ctx.charge(HASH_COST_INSTRS)
-        winner = None
-        free_slot = None
-        for slot in self._probe_chain(entry.file_id, entry.fpn):
-            self.probes += 1
-            yield from ctx.load_scalar(self._slot_addr(slot), "u8")
-            existing = self._slots[slot]
-            if existing is TOMBSTONE:
-                if free_slot is None:
-                    free_slot = slot
+        while True:
+            winner = None
+            free_slot = None
+            for slot in self._probe_chain(entry.file_id, entry.fpn):
+                self.probes += 1
+                yield from ctx.load_scalar(self._slot_addr(slot), "u8")
+                existing = self._slots[slot]
+                if existing is TOMBSTONE:
+                    if free_slot is None:
+                        free_slot = slot
+                    continue
+                if existing is None:
+                    if free_slot is None:
+                        free_slot = slot
+                    break
+                if existing.key == entry.key:
+                    winner = existing
+                    break
+            if winner is not None:
+                yield from ctx.unlock(lock)
+                return winner
+            if free_slot is None:
+                yield from ctx.unlock(lock)
+                raise RuntimeError("page table full")
+            # The probe loads yielded, so the host readahead daemon may
+            # have run meanwhile.  host_insert defers same-key inserts
+            # while our lock is held, but a *different* key's chain can
+            # land in the slot we picked — re-validate before
+            # publishing and rescan if it was taken.
+            if self._slots[free_slot] is not None \
+                    and self._slots[free_slot] is not TOMBSTONE:
                 continue
-            if existing is None:
-                if free_slot is None:
-                    free_slot = slot
-                break
-            if existing.key == entry.key:
-                winner = existing
-                break
-        if winner is not None:
+            self._slots[free_slot] = entry
+            self._index[entry.key] = free_slot
+            self.inserts += 1
+            yield from ctx.store_scalar(
+                self._slot_addr(free_slot),
+                entry.frame & 0xFFFFFFFFFFFFFFFF, "u8")
             yield from ctx.unlock(lock)
-            return winner
-        if free_slot is None:
-            yield from ctx.unlock(lock)
-            raise RuntimeError("page table full")
-        self._slots[free_slot] = entry
-        self._index[entry.key] = free_slot
-        self.inserts += 1
-        yield from ctx.store_scalar(self._slot_addr(free_slot),
-                                    entry.frame & 0xFFFFFFFFFFFFFFFF, "u8")
-        yield from ctx.unlock(lock)
-        return entry
+            return entry
 
     def remove(self, ctx: WarpContext, file_id: int, fpn: int):
         """Timed removal under the bucket lock (used by eviction)."""

@@ -72,6 +72,7 @@ class ReadaheadStats:
     inflight_hits: int = 0      # of those, transfer still in flight
     wasted: int = 0             # speculative frames evicted untouched
     cancelled: int = 0          # issues dropped: no non-blocking frame
+    deferred: int = 0           # issues skipped: bucket lock held / raced
     window_grows: int = 0
     window_shrinks: int = 0
     streams_created: int = 0
@@ -119,6 +120,18 @@ class ReadaheadEngine:
         launch_no = self._device.launches
         still: list[tuple[PageTableEntry, float, int]] = []
         for entry, done_at, launch in self._inflight:
+            if not entry.speculative or entry.removed:
+                # Promoted (on_hit) or retired (eviction): those paths
+                # already popped ``_origin``; the defensive pop keeps
+                # the map clean even if a future path forgets.
+                self._origin.pop((entry.file_id, entry.fpn), None)
+                continue
+            if entry.ready:
+                # A demand touch flipped it via GPUfs._wait_ready; the
+                # imminent on_hit owns the ``_origin`` entry (it feeds
+                # the window-grow decision), so only drop it from the
+                # in-flight list.
+                continue
             if launch != launch_no or done_at <= now:
                 entry.ready = True
                 entry.ready_at = None
@@ -142,7 +155,7 @@ class ReadaheadEngine:
         self.poll(ctx.now)
         stream = self.detector.observe(file_id, fpn, hint=ctx.warp_id)
         if stream is not None and stream.confirmed:
-            self._issue(ctx, stream)
+            self._issue(ctx, stream, trigger=(file_id, fpn))
 
     def on_hit(self, ctx, entry: PageTableEntry,
                waited: bool = False) -> None:
@@ -173,7 +186,8 @@ class ReadaheadEngine:
     # ------------------------------------------------------------------
     # Issue path
     # ------------------------------------------------------------------
-    def _issue(self, ctx, stream: Stream) -> None:
+    def _issue(self, ctx, stream: Stream,
+               trigger: tuple[int, int]) -> None:
         handle = self._handle_for(stream.file_id)
         npages = -(-handle.size() // self.page_size)
         stride = stream.stride
@@ -184,9 +198,17 @@ class ReadaheadEngine:
         issued = 0
         first = fpn
         last_done = ctx.now
+        # Never reclaim the page the triggering fault is about to
+        # consume (we run before its table lookup, so a ready
+        # speculative entry for it is a guaranteed hit), nor this
+        # stream's own outstanding speculative pages — churning them to
+        # read further ahead trades hits for wasted evictions.  Under
+        # pressure the daemon backs off instead.
+        protect = {trigger}
+        protect.update(k for k, s in self._origin.items() if s is stream)
         while fpn <= window_end and fpn < npages:
             if self.table.get(stream.file_id, fpn) is None:
-                frame = self.cache.allocate_speculative()
+                frame = self.cache.allocate_speculative(protect)
                 if frame is None:
                     # Cache pressure: back off instead of evicting a
                     # demand page; try again with a smaller window.
@@ -196,6 +218,12 @@ class ReadaheadEngine:
                     break
                 done_at = self._start_transfer(ctx, stream, fpn, frame,
                                                handle)
+                if done_at is None:
+                    # host_insert deferred (a warp holds the bucket
+                    # lock, likely mid-fault on this very page) or the
+                    # key appeared since the residency check: skip it.
+                    fpn += stride
+                    continue
                 last_done = max(last_done, done_at)
                 issued += 1
             fpn += stride
@@ -211,10 +239,18 @@ class ReadaheadEngine:
                     f"x{issued} stride={stride} w={stream.window}")
 
     def _start_transfer(self, ctx, stream: Stream, fpn: int, frame: int,
-                        handle) -> float:
+                        handle):
+        """Returns the transfer's completion time, or ``None`` if the
+        table insert was deferred/raced and no transfer started."""
         entry = PageTableEntry(stream.file_id, fpn, frame=frame,
                                ready=False, speculative=True)
-        self.table.host_insert(entry)
+        if self.table.host_insert(entry) is not entry:
+            # Deferred (a warp holds the key's bucket lock mid-insert)
+            # or the key is suddenly resident: hand the frame back —
+            # it was never bound — and let the demand path win.
+            self.cache.release_frame(frame)
+            self.stats.deferred += 1
+            return None
         self.cache.bind(entry)
         self.cache.mark_speculative(frame)
         done_at = self.batcher.fetch_async(

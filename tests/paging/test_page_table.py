@@ -137,3 +137,78 @@ class TestCollisionRate:
         for (fid, fpn), e in entries.items():
             assert t.get(fid, fpn) is e
         assert t.get(99, 99) is None
+
+
+class TestHostInsertLockDiscipline:
+    """The host readahead daemon must not race a warp's bucket-locked
+    insert (REVIEW: duplicate live entries for one key)."""
+
+    def test_host_insert_defers_while_bucket_lock_held(self, device, table):
+        e = PageTableEntry(1, 7, frame=0, ready=False, speculative=True)
+        lock = table._lock_for(table._hash(1, 7))
+        lock.holder = object()          # a warp is mid-insert here
+        assert table.host_insert(e) is None
+        assert table.get(1, 7) is None
+        lock.holder = None
+        assert table.host_insert(e) is e
+        assert table.get(1, 7) is e
+
+    def test_host_insert_returns_existing_entry(self, device, table):
+        first = PageTableEntry(1, 7, frame=0)
+        assert table.host_insert(first) is first
+        dup = PageTableEntry(1, 7, frame=1)
+        assert table.host_insert(dup) is first
+        assert table.get(1, 7) is first
+
+    def test_insert_rescans_when_daemon_takes_free_slot(self, device, table):
+        """A host_insert of a *different* key (different bucket lock,
+        overlapping probe chain) landing in the slot a mid-flight
+        insert() picked must not be clobbered: the warp re-validates
+        before publishing and probes on."""
+        # Pin the hash so the warp's key homes at slot 64 and the
+        # daemon's key at slot 56 — different lock groups (8 slots per
+        # lock), but the daemon's chain walks 56..63 (pre-filled) and
+        # reaches 64.
+        mapping = {(1, 3): 64, (2, 9): 56}
+        mapping.update({(3, i): 56 + i for i in range(8)})
+        orig = PageTable._hash
+        table._hash = lambda fid, fpn: mapping.get(
+            (fid, fpn), orig(table, fid, fpn))
+        for i in range(8):
+            table.host_insert(PageTableEntry(3, i, frame=10 + i))
+        # A tombstone at 64: the warp picks it as free_slot, then keeps
+        # probing (yielding) past the occupied 65 — the daemon's window.
+        doomed = PageTableEntry(1, 3, frame=2)
+        table.host_insert(doomed)
+        assert table.host_remove(doomed)
+        blocker = PageTableEntry(4, 0, frame=3)
+        mapping[(4, 0)] = 65
+        table.host_insert(blocker)
+
+        warp_entry = PageTableEntry(1, 3, frame=0)
+        daemon_entry = PageTableEntry(2, 9, frame=1, ready=False,
+                                      speculative=True)
+        p0 = table.probes
+        fired = []
+
+        def kern(ctx):
+            gen = table.insert(ctx, warp_entry)
+            try:
+                step = gen.send(None)
+                while True:
+                    # Fire once the warp has chosen the tombstone at 64
+                    # and is mid-probe on slot 65.
+                    if not fired and table.probes >= p0 + 2:
+                        fired.append(table.host_insert(daemon_entry))
+                    step = gen.send((yield step))
+            except StopIteration:
+                pass
+
+        device.launch(kern, grid=1, block_threads=32)
+        assert fired and fired[0] is daemon_entry
+        assert table._slots[64] is daemon_entry
+        assert table.get(2, 9) is daemon_entry
+        assert table.get(1, 3) is warp_entry
+        live = [s for s in table._slots if isinstance(s, PageTableEntry)]
+        assert live.count(daemon_entry) == 1
+        assert live.count(warp_entry) == 1

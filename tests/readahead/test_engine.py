@@ -224,3 +224,157 @@ class TestTelemetry:
         validate_profile(doc)
         ra = doc["components"]["readahead"]
         assert ra["issued"] == 0 and ra["hit_rate"] == 0.0
+
+
+class TestFaultFilterIntegration:
+    """REVIEW (high): readahead-served pages must still pass through
+    FaultFilter.page_in — the daemon lands raw file bytes and the GPU
+    applies the filter (e.g. decryption) at first touch."""
+
+    XOR = 0xA5
+
+    def make_filtered_env(self, **cfg):
+        from repro.paging.gpufs import FaultFilter
+
+        rng = np.random.RandomState(11)
+        plain = rng.randint(0, 256, FILE_PAGES * PAGE, dtype=np.uint8)
+        fs = RamFS()
+        fs.create("data", plain ^ np.uint8(self.XOR))   # "ciphertext"
+        device = Device(memory_bytes=64 * 1024 * 1024)
+        key = self.XOR
+
+        class XorFilter(FaultFilter):
+            instructions_per_byte = 0.5
+
+            def page_in(self, data, fpn):
+                return data ^ np.uint8(key)
+
+            def page_out(self, data, fpn):
+                return data ^ np.uint8(key)
+
+        gpufs = GPUfs(device, HostFileSystem(fs),
+                      GPUfsConfig(page_size=PAGE, num_frames=96,
+                                  readahead=True, **cfg),
+                      fault_filter=XorFilter())
+        fid = gpufs.open("data")
+        return device, gpufs, fid, plain
+
+    def test_readahead_hits_see_filtered_bytes(self):
+        device, gpufs, fid, plain = self.make_filtered_env()
+        got = {}
+
+        def kern(ctx):
+            for p in range(16):
+                addr = yield from gpufs.gmmap(ctx, fid, p * PAGE)
+                got[p] = ctx.memory.read(addr, PAGE).copy()
+                yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+
+        device.launch(kern, grid=1, block_threads=32)
+        # Readahead actually served most pages...
+        assert gpufs.readahead.stats.hits > 0
+        assert gpufs.stats.major_faults < 16
+        # ...and every page came back decrypted.
+        for p in range(16):
+            assert np.array_equal(got[p], plain[p * PAGE:(p + 1) * PAGE]), \
+                f"page {p} bytes wrong (filter skipped?)"
+
+    def test_filter_applied_exactly_once_per_page(self):
+        device, gpufs, fid, plain = self.make_filtered_env()
+        got = {}
+
+        def kern(ctx):
+            for p in list(range(16)) + list(range(16)):   # touch twice
+                addr = yield from gpufs.gmmap(ctx, fid, p * PAGE)
+                got[p] = ctx.memory.read(addr, PAGE).copy()
+                yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+
+        device.launch(kern, grid=1, block_threads=32)
+        # A second touch of a promoted page must not re-apply the XOR
+        # (which would re-encrypt it).
+        for p in range(16):
+            assert np.array_equal(got[p], plain[p * PAGE:(p + 1) * PAGE])
+
+    def test_untouched_speculative_pages_stay_raw_until_touch(self):
+        device, gpufs, fid, plain = self.make_filtered_env()
+        walk_pages(device, gpufs, fid, range(4))
+        # Find a speculative page beyond the walk that already landed.
+        gpufs.readahead.poll(float("inf"))
+        spec = [e for e in gpufs.cache.table.entries()
+                if e.speculative and e.ready]
+        assert spec, "expected outstanding speculative pages"
+        # Touching it now must produce filtered bytes.
+        e = spec[0]
+        got = []
+
+        def kern(ctx):
+            addr = yield from gpufs.gmmap(ctx, fid, e.fpn * PAGE)
+            got.append(ctx.memory.read(addr, PAGE).copy())
+            yield from gpufs.gmunmap(ctx, fid, e.fpn * PAGE)
+
+        device.launch(kern, grid=1, block_threads=32)
+        assert np.array_equal(
+            got[0], plain[e.fpn * PAGE:(e.fpn + 1) * PAGE])
+
+
+class TestDaemonRaces:
+    """REVIEW (medium/low): daemon-vs-warp table and frame races."""
+
+    def test_start_transfer_defers_under_bucket_lock(self):
+        import types
+
+        device, gpufs, fid, _ = make_env()
+        engine = gpufs.readahead
+        table = gpufs.cache.table
+        lock = table._lock_for(table._hash(fid, 9))
+        lock.holder = object()          # a warp is mid-insert
+        free_before = len(gpufs.cache._free)
+        frame = gpufs.cache.allocate_speculative()
+        out = engine._start_transfer(
+            types.SimpleNamespace(now=0.0),
+            types.SimpleNamespace(file_id=fid), 9, frame,
+            gpufs.handle_for(fid))
+        lock.holder = None
+        assert out is None
+        assert engine.stats.deferred == 1
+        assert table.get(fid, 9) is None
+        # The frame went back to the free list, not leaked.
+        assert len(gpufs.cache._free) == free_before
+        assert engine.inflight_pages == 0
+
+    def test_allocate_speculative_spares_protected_pages(self):
+        device, gpufs, fid, _ = make_env(num_frames=4, readahead=False)
+        walk_pages(device, gpufs, fid, range(4))
+        for p in range(4):
+            e = gpufs.cache.table.get(fid, p)
+            e.speculative = True
+            gpufs.cache.mark_speculative(e.frame)
+        everything = {(fid, p) for p in range(4)}
+        assert gpufs.cache.allocate_speculative(everything) is None
+        for p in range(4):
+            assert gpufs.cache.table.get(fid, p) is not None
+        # Exempting all but page 2 reclaims exactly page 2's frame.
+        spared = everything - {(fid, 2)}
+        frame = gpufs.cache.allocate_speculative(spared)
+        assert frame is not None
+        assert gpufs.cache.table.get(fid, 2) is None
+        for p in (0, 1, 3):
+            assert gpufs.cache.table.get(fid, p) is not None
+
+    def test_poll_drops_promoted_and_landed_entries(self):
+        device, gpufs, fid, _ = make_env()
+        walk_pages(device, gpufs, fid, [0, 1])   # issues a window
+        engine = gpufs.readahead
+        assert len(engine._inflight) >= 2
+        promoted = engine._inflight[0][0]
+        landed = engine._inflight[1][0]
+        promoted.speculative = False    # as on_hit would
+        landed.ready = True             # as GPUfs._wait_ready would
+        pkey, lkey = promoted.key, landed.key
+        assert lkey in engine._origin
+        engine.poll(0.0)
+        live = [e for e, _, _ in engine._inflight]
+        assert promoted not in live and landed not in live
+        # The promoted entry's origin record is swept defensively; the
+        # landed-but-untouched one stays for on_hit's window feedback.
+        assert pkey not in engine._origin
+        assert lkey in engine._origin
