@@ -1,0 +1,32 @@
+"""Static analysis and runtime sanitization for kernel coroutines.
+
+Two layers share this package:
+
+* the **linter** (``repro-lint`` / :mod:`repro.analysis.linter`): an
+  AST pass over kernel source that needs nothing but the standard
+  library - safe for fast CI jobs;
+* the **sanitizer** (:mod:`repro.analysis.sanitizer`): an opt-in
+  runtime mode (``GPUfsConfig(sanitize=True)``) that wraps live
+  :class:`~repro.gpu.kernel.WarpContext` objects to check SIMT
+  lockstep, pin balance, and cross-warp write races during a run.
+
+The sanitizer pulls in numpy via the simulator, so it is exported
+lazily: importing :mod:`repro.analysis` alone keeps the linter path
+dependency-free.
+"""
+
+from repro.analysis.model import RULES, Finding
+
+__all__ = ["RULES", "Finding", "Sanitizer", "Violation",
+           "SanitizerStats"]
+
+_LAZY = {"Sanitizer", "Violation", "SanitizerStats",
+         "SanitizedWarpContext"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.analysis import sanitizer as _sanitizer
+        return getattr(_sanitizer, name)
+    raise AttributeError(
+        f"module 'repro.analysis' has no attribute {name!r}")

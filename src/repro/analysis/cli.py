@@ -1,0 +1,65 @@
+"""``repro-lint``: command-line front end for :mod:`repro.analysis`.
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage errors -
+the contract the CI lint job keys on.  ``--format=json`` emits a
+machine-readable envelope (findings + counts) on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.linter import lint_paths
+from repro.analysis.model import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("Static analysis for SIMT kernel coroutines: "
+                     "un-driven timed generators, divergent yields, "
+                     "apointer lifecycle, lock order, uncalibrated "
+                     "costs."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name, desc in RULES.items():
+            print(f"{name}: {desc}")
+        return 0
+    result = lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_dict() for f in result.findings],
+            "files_checked": result.files_checked,
+            "kernels_checked": result.kernels_checked,
+            "errors": [{"path": p, "message": m}
+                       for p, m in result.errors],
+        }, indent=2))
+    else:
+        for finding in result.findings:
+            where = f" in {finding.function}" if finding.function else ""
+            print(f"{finding.location()}: [{finding.rule}]{where}: "
+                  f"{finding.message}")
+        print(f"repro-lint: {len(result.findings)} finding(s) in "
+              f"{result.files_checked} file(s), "
+              f"{result.kernels_checked} kernel(s) checked",
+              file=sys.stderr)
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

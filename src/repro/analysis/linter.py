@@ -1,0 +1,145 @@
+"""Orchestrates the five ``repro-lint`` rules over a set of files.
+
+Deliberately dependency-free (``ast`` + ``tokenize`` only) so the CI
+lint job does not pay the numpy import tax: ``lint_paths`` never
+imports the simulator, only parses its source.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis import (
+    rules_calibration,
+    rules_divergence,
+    rules_lifecycle,
+    rules_locks,
+    rules_yield,
+)
+from repro.analysis.kernels import index_module
+from repro.analysis.model import Finding, parse_suppressions
+
+#: Per-kernel rules, run in reporting order.
+_KERNEL_RULES = (
+    rules_yield.check,
+    rules_divergence.check,
+    rules_lifecycle.check,
+    rules_calibration.check,
+)
+
+
+@dataclass
+class LintResult:
+    """Findings plus bookkeeping for one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    kernels_checked: int = 0
+    #: files that failed to parse: (path, message) - reported as
+    #: findings too, but kept separate for the JSON envelope.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = [d for d in dirs
+                           if not d.startswith(".")
+                           and d != "__pycache__"]
+                for name in files:
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+    return sorted(out)
+
+
+def lint_source(path: str, source: str,
+                lock_graph: rules_locks.LockOrderGraph | None = None,
+                ) -> list[Finding]:
+    """Lint one file's source; pure function used by the tests.
+
+    When ``lock_graph`` is omitted a private graph is created and its
+    inversion pass runs immediately; callers that share a graph across
+    files run ``inversions()`` themselves once every file is in.
+    """
+    result = LintResult()
+    private_graph = lock_graph is None
+    graph = lock_graph if lock_graph is not None \
+        else rules_locks.LockOrderGraph()
+    _lint_one(path, source, graph, result)
+    if private_graph:
+        suppressions = parse_suppressions(source)
+        result.findings.extend(
+            f for f in graph.inversions() if suppressions.allows(f))
+        result.findings.sort(
+            key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result.findings
+
+
+def lint_paths(paths: list[str]) -> LintResult:
+    """Lint every ``.py`` file reachable from ``paths``."""
+    result = LintResult()
+    lock_graph = rules_locks.LockOrderGraph()
+    for path in iter_python_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            result.errors.append((path, str(exc)))
+            continue
+        _lint_one(path, source, lock_graph, result)
+    # Lock-order inversions are global: only known once every file's
+    # acquisition sites are in the graph.  Inversion findings honour
+    # the suppressions of the file they are reported in.
+    inversions = lock_graph.inversions()
+    if inversions:
+        sup_cache = {}
+        for finding in inversions:
+            if finding.path not in sup_cache:
+                try:
+                    with open(finding.path, encoding="utf-8") as fh:
+                        sup_cache[finding.path] = parse_suppressions(
+                            fh.read())
+                except OSError:
+                    sup_cache[finding.path] = parse_suppressions("")
+            if sup_cache[finding.path].allows(finding):
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def _lint_one(path: str, source: str,
+              lock_graph: rules_locks.LockOrderGraph,
+              result: LintResult) -> None:
+    result.files_checked += 1
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        msg = f"syntax error: {exc.msg} (line {exc.lineno})"
+        result.errors.append((path, msg))
+        result.findings.append(Finding(
+            rule="parse-error", path=path, line=exc.lineno or 1,
+            col=exc.offset or 0, message=msg))
+        return
+    suppressions = parse_suppressions(source)
+    index = index_module(path, tree)
+    raw: list[Finding] = []
+    for kernel in index.kernels:
+        result.kernels_checked += 1
+        for rule in _KERNEL_RULES:
+            raw.extend(rule(kernel, index))
+        raw.extend(lock_graph.scan(kernel, index))
+    for line, directive in suppressions.bad_directives:
+        raw.append(Finding(
+            rule="bad-suppression", path=path, line=line, col=0,
+            message=(f"malformed aplint directive '{directive}' - "
+                     f"unknown rule name or bad syntax, nothing was "
+                     f"suppressed")))
+    result.findings.extend(
+        f for f in raw if suppressions.allows(f))

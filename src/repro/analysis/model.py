@@ -1,0 +1,116 @@
+"""Findings, rule metadata, and inline suppressions for ``repro-lint``.
+
+A :class:`Finding` is one diagnosed problem at one source location.
+Rules are identified by short kebab-case names (``missing-yield-from``)
+which are also what the inline suppression comment takes::
+
+    yield ctx.load(addr, "f4")   # aplint: disable=missing-yield-from
+
+A bare ``# aplint: disable`` suppresses every rule on that line.
+Suppressions apply to the physical line a finding is reported on.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from dataclasses import dataclass, field
+
+#: Registry of rule names -> one-line description.  ``repro-lint
+#: --list-rules`` prints this and the docs quote it; rule modules
+#: look their own entry up so the two cannot drift.
+RULES: dict[str, str] = {
+    "missing-yield-from":
+        "a timed generator (ctx.load, ptr.read, gmmap, ...) is called "
+        "but never driven with `yield from` - a silent timing no-op",
+    "divergent-yield":
+        "a yield is reachable only under a lane-divergent condition "
+        "(derived from ctx.lane and friends) - breaks SIMT lockstep",
+    "aptr-lifecycle":
+        "an APtr created by gvmmap/clone does not reach destroy() on "
+        "every exit path, or is used after destroy()",
+    "lock-order":
+        "ctx.lock acquisition order is inconsistent across call sites "
+        "- a lock-order inversion that can deadlock",
+    "uncalibrated-cost":
+        "ctx.charge/ctx.compute with a bare magic-number cost - map it "
+        "to a CostModel field or a named module constant",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter diagnosis, stable enough for CI to key on."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    function: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Per-line rule suppressions parsed from ``# aplint:`` comments."""
+
+    #: line -> set of suppressed rule names; the sentinel ``"*"``
+    #: suppresses every rule on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: malformed directives (unknown rule names), reported as findings
+    #: so a typoed suppression cannot silently disable nothing.
+    bad_directives: list[tuple[int, str]] = field(default_factory=list)
+
+    def allows(self, finding: Finding) -> bool:
+        rules = self.by_line.get(finding.line)
+        if not rules:
+            return True
+        return finding.rule not in rules and "*" not in rules
+
+
+_MARKER = "aplint:"
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``# aplint: disable[=rule,...]`` comments from source."""
+    sup = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith(_MARKER):
+                continue
+            directive = text[len(_MARKER):].strip()
+            line = tok.start[0]
+            if directive == "disable":
+                sup.by_line.setdefault(line, set()).add("*")
+                continue
+            if not directive.startswith("disable="):
+                sup.bad_directives.append((line, directive))
+                continue
+            names = [n.strip() for n in
+                     directive[len("disable="):].split(",") if n.strip()]
+            unknown = [n for n in names if n not in RULES]
+            if unknown or not names:
+                sup.bad_directives.append((line, directive))
+            for name in names:
+                if name in RULES:
+                    sup.by_line.setdefault(line, set()).add(name)
+    except tokenize.TokenError:
+        pass  # syntax errors are reported by the parser, not here
+    return sup

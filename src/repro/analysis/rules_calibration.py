@@ -1,0 +1,90 @@
+"""Rule ``uncalibrated-cost``: magic-number costs in charge/compute.
+
+Every cycle the simulator accounts should trace back to the calibrated
+:class:`~repro.core.calibration.CostModel` (instruction counts measured
+from the paper's SASS listings) or to a *named* constant whose name
+documents what was counted.  A bare ``ctx.compute(60)`` is a cost that
+can silently drift from the hardware it claims to model and that no
+reader can audit.
+
+The rule fires on ``ctx.charge(...)`` / ``ctx.compute(...)`` calls
+whose cost operands (first positional argument and the ``chain=`` /
+``arith=`` keywords) are *all-literal* expressions with a magnitude
+above :data:`LITERAL_THRESHOLD`.  Small literals stay legal: idiomatic
+kernels charge 1-4 instructions for a compare or an index bump, and
+naming every one of those would hurt more than help.  Any expression
+containing a ``Name`` or ``Attribute`` operand - a CostModel field, a
+module constant, an argument - passes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.kernels import (
+    KernelFn,
+    ModuleIndex,
+    call_name,
+    receiver_is_ctx,
+)
+from repro.analysis.model import Finding
+
+RULE = "uncalibrated-cost"
+
+#: Largest bare integer cost that is accepted without a name.  Chosen
+#: so the common "couple of arithmetic ops" charges pass while block
+#: costs (a hash round, a distance computation) must be named.
+LITERAL_THRESHOLD = 8
+
+#: Keyword operands of charge/compute that carry instruction counts.
+_COST_KEYWORDS = frozenset({"chain", "arith"})
+
+
+def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(kernel.node):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name not in ("charge", "compute") \
+                or not receiver_is_ctx(node, kernel.ctx_names):
+            continue
+        operands: list[ast.expr] = list(node.args[:1]) + [
+            kw.value for kw in node.keywords
+            if kw.arg in _COST_KEYWORDS]
+        for operand in operands:
+            worst = _literal_magnitude(operand)
+            if worst is not None and worst > LITERAL_THRESHOLD:
+                findings.append(Finding(
+                    rule=RULE, path=index.path, line=operand.lineno,
+                    col=operand.col_offset, function=kernel.qualname,
+                    message=(
+                        f"ctx.{name} cost '{ast.unparse(operand)}' is "
+                        f"a bare literal > {LITERAL_THRESHOLD} - bind "
+                        f"it to a CostModel field or a named constant "
+                        f"so the calibration stays auditable")))
+                break   # one finding per call site is enough
+    return findings
+
+
+def _literal_magnitude(node: ast.expr) -> int | None:
+    """Max abs literal in an all-literal expression, else ``None``.
+
+    ``None`` means the expression references at least one name and is
+    therefore considered calibrated (or at least auditable).
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)):
+            return None
+        return abs(int(node.value))
+    if isinstance(node, ast.BinOp):
+        left = _literal_magnitude(node.left)
+        right = _literal_magnitude(node.right)
+        if left is None or right is None:
+            return None
+        return max(left, right)
+    if isinstance(node, ast.UnaryOp):
+        return _literal_magnitude(node.operand)
+    # Name, Attribute, Call, Subscript, ... - auditable by definition.
+    return None

@@ -1,0 +1,214 @@
+"""Rule ``divergent-yield``: yields under lane-divergent control flow.
+
+In SIMT execution every lane of a warp must reach the same timed
+operations in the same order; the coroutine representation encodes one
+warp as one generator, so a ``yield`` guarded by a condition derived
+from *per-lane* values models a warp whose lanes disagree about whether
+to execute a timed instruction - the lockstep-deadlock bug of the
+paper's SIV discussion.
+
+The analysis is a small forward taint pass per kernel:
+
+* **taint sources** - the lane-indexed context vectors (``ctx.lane``,
+  ``ctx.global_tid``, ``ctx.block_tid``, ``ctx.active``) and any name
+  assigned from a tainted expression;
+* **uniformizers** - warp votes and reductions (``ctx.any``,
+  ``ctx.all``, ``ctx.ballot``, ``wp.*_sync``, ``.any()``, ``.sum()``,
+  ``np.all``, ...), and subscripting with a *constant* index (a fixed
+  lane's value is broadcast-uniform); these launder taint;
+* **violation** - a ``yield``/``yield from`` lexically inside an
+  ``if``/``while`` whose test is still tainted, or inside an ``if``
+  whose test subscripts a tainted vector with a loop variable (the
+  serialized per-lane-yield anti-pattern).
+
+The correct idiom never fires: ``if ctx.any(pred):`` is warp-uniform,
+and masked accesses (``ctx.load(addr, mask=pred)``) keep the whole
+warp at the same yield site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.kernels import (
+    LANE_VECTOR_ATTRS,
+    UNIFORM_ATTRS,
+    UNIFORM_REDUCERS,
+    KernelFn,
+    ModuleIndex,
+    call_name,
+)
+from repro.analysis.model import Finding
+
+RULE = "divergent-yield"
+
+
+def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+    checker = _Checker(kernel, index)
+    checker.run()
+    return checker.findings
+
+
+class _Checker:
+    def __init__(self, kernel: KernelFn, index: ModuleIndex):
+        self.kernel = kernel
+        self.index = index
+        self.findings: list[Finding] = []
+        self.tainted: set[str] = set()
+        #: conditions currently guarding execution: (test node, tainted)
+        self.guards: list[tuple[ast.expr, bool]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self._visit_body(self.kernel.node.body)
+
+    def _visit_body(self, body: list) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested kernels are linted separately
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._track_assignment(stmt)
+            self._scan_yields(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            divergent = self._is_tainted(stmt.test)
+            self.guards.append((stmt.test, divergent))
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+            self.guards.pop()
+            return
+        if isinstance(stmt, ast.While):
+            divergent = self._is_tainted(stmt.test)
+            self.guards.append((stmt.test, divergent))
+            self._visit_body(stmt.body)
+            self.guards.pop()
+            self._visit_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.For):
+            # The loop target of an iteration over a tainted vector is
+            # itself per-lane data.
+            if self._is_tainted(stmt.iter):
+                self._taint_target(stmt.target)
+                self.guards.append((stmt.iter, True))
+                self._visit_body(stmt.body)
+                self.guards.pop()
+            else:
+                self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With,)):
+            self._visit_body(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body)
+            self._visit_body(stmt.orelse)
+            self._visit_body(stmt.finalbody)
+            return
+        self._scan_yields(stmt)
+
+    # ------------------------------------------------------------------
+    def _scan_yields(self, stmt: ast.stmt) -> None:
+        if not any(tainted for _, tainted in self.guards):
+            return
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                test, _ = next((g for g in self.guards if g[1]))
+                self.findings.append(Finding(
+                    rule=RULE, path=self.index.path,
+                    line=node.lineno, col=node.col_offset,
+                    function=self.kernel.qualname,
+                    message=(
+                        "yield guarded by lane-divergent condition "
+                        f"'{ast.unparse(test)}' (line {test.lineno}) - "
+                        "lanes would leave lockstep; reduce with "
+                        "ctx.any/ctx.all/ctx.ballot or use a masked "
+                        "access"),
+                ))
+
+    # ------------------------------------------------------------------
+    def _track_assignment(self, stmt) -> None:
+        value = getattr(stmt, "value", None)
+        if value is None:
+            return
+        tainted = self._is_tainted(value)
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if isinstance(stmt, ast.AugAssign):
+                if isinstance(target, ast.Name):
+                    if tainted:
+                        self.tainted.add(target.id)
+                continue
+            if tainted:
+                self._taint_target(target)
+            else:
+                self._untaint_target(target)
+
+    def _taint_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._taint_target(elt)
+
+    def _untaint_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._untaint_target(elt)
+
+    # ------------------------------------------------------------------
+    def _is_tainted(self, node: ast.expr) -> bool:
+        """Does ``node`` carry per-lane (warp-divergent) data?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) \
+                    and node.value.id in self.kernel.ctx_names:
+                return node.attr in LANE_VECTOR_ATTRS
+            if node.attr in UNIFORM_ATTRS:
+                return False
+            return self._is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in UNIFORM_REDUCERS:
+                return False
+            # Method reductions on a tainted value: pred.any(), .sum()
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in UNIFORM_REDUCERS:
+                return False
+            return any(self._is_tainted(a) for a in node.args) \
+                or any(self._is_tainted(kw.value)
+                       for kw in node.keywords)
+        if isinstance(node, ast.Subscript):
+            if not self._is_tainted(node.value):
+                return False
+            # A constant index selects one lane's value, which is the
+            # same for the whole warp (broadcast); a variable index is
+            # lane-dependent selection and stays divergent.
+            return not isinstance(node.slice, ast.Constant)
+        if isinstance(node, (ast.BinOp,)):
+            return self._is_tainted(node.left) \
+                or self._is_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_tainted(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return any(self._is_tainted(v) for v in node.values)
+        if isinstance(node, ast.Compare):
+            return self._is_tainted(node.left) \
+                or any(self._is_tainted(c) for c in node.comparators)
+        if isinstance(node, ast.IfExp):
+            return (self._is_tainted(node.test)
+                    or self._is_tainted(node.body)
+                    or self._is_tainted(node.orelse))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self._is_tainted(e) for e in node.elts)
+        if isinstance(node, ast.YieldFrom):
+            return False   # results of timed ops: treated as uniform
+        return False

@@ -1,0 +1,255 @@
+"""Rule ``lock-order``: inconsistent ``ctx.lock`` acquisition order.
+
+The spinlock table (paper Section 4.3: per-xpage locks guarding frame
+install) is keyed by integer ids; two warps that acquire the same pair
+of locks in opposite orders can deadlock the simulated machine just
+like real firmware.  Because lock keys are expressions, the rule
+canonicalizes each ``ctx.lock(expr)`` argument with ``ast.unparse`` and
+builds a *global* acquisition-order graph across all linted files: an
+edge ``A -> B`` whenever ``B`` is acquired while ``A`` is still held.
+Any cycle in that graph is a potential inversion and every
+participating acquisition site is reported.
+
+Also reported per function:
+
+* re-acquiring a key already held (self-deadlock on a non-reentrant
+  spinlock);
+* ``ctx.unlock`` of a key that is not currently held (unbalanced
+  pairing the static scan can prove wrong).
+
+The scan is lexical per function: ``yield from ctx.lock(k)`` pushes
+``k``, ``yield from ctx.unlock(k)`` pops it, and branches are walked
+with a copy of the held stack so an unlock on one arm does not leak
+into the other.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.kernels import (
+    KernelFn,
+    ModuleIndex,
+    call_name,
+    receiver_is_ctx,
+)
+from repro.analysis.model import Finding
+
+RULE = "lock-order"
+
+
+@dataclass
+class _Acquire:
+    """One ``ctx.lock`` site in the global order graph."""
+
+    key: str
+    path: str
+    line: int
+    col: int
+    function: str
+
+
+@dataclass
+class LockOrderGraph:
+    """Acquisition-order edges accumulated across every linted file.
+
+    The linter feeds each kernel through :meth:`scan` and calls
+    :meth:`inversions` once at the end; per-function findings
+    (re-acquire, unmatched unlock) are returned from :meth:`scan`
+    directly.
+    """
+
+    #: held-key -> acquired-key -> list of witnessing acquire sites
+    edges: dict[str, dict[str, list[_Acquire]]] = field(
+        default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def scan(self, kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        self._walk_body(kernel.node.body, [], kernel, index, findings)
+        return findings
+
+    def _walk_body(self, body: list, held: list[str],
+                   kernel: KernelFn, index: ModuleIndex,
+                   findings: list[Finding]) -> tuple[list[str], bool]:
+        """Walk statements tracking held locks path-sensitively.
+
+        Returns ``(held_after, terminated)``: the held stack at the
+        end of the straight-line path, and whether every path through
+        ``body`` ends in return/raise/break/continue (in which case
+        the caller must not propagate this arm's stack).
+        """
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, held, kernel, index, findings)
+                arms = [
+                    self._walk_body(stmt.body, list(held),
+                                    kernel, index, findings),
+                    self._walk_body(stmt.orelse, list(held),
+                                    kernel, index, findings),
+                ]
+                live = [h for h, terminated in arms if not terminated]
+                if not live:
+                    return held, True
+                held = live[0] if len(live) == 1 \
+                    else _merge_stacks(live[0], live[1])
+                continue
+            if isinstance(stmt, (ast.While, ast.For)):
+                test = stmt.test if isinstance(stmt, ast.While) \
+                    else stmt.iter
+                self._scan_expr(test, held, kernel, index, findings)
+                # Loop bodies are assumed lock-balanced per iteration:
+                # walk with a copy so an early break/continue does not
+                # poison the fall-through stack.
+                self._walk_body(stmt.body, list(held),
+                                kernel, index, findings)
+                held, terminated = self._walk_body(
+                    stmt.orelse, held, kernel, index, findings)
+                if terminated:
+                    return held, True
+                continue
+            if isinstance(stmt, ast.Try):
+                held, terminated = self._walk_body(
+                    stmt.body, held, kernel, index, findings)
+                for handler in stmt.handlers:
+                    self._walk_body(handler.body, list(held),
+                                    kernel, index, findings)
+                if not terminated:
+                    held, terminated = self._walk_body(
+                        stmt.orelse, held, kernel, index, findings)
+                held, fin_term = self._walk_body(
+                    stmt.finalbody, held, kernel, index, findings)
+                if terminated or fin_term:
+                    return held, True
+                continue
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, held,
+                                    kernel, index, findings)
+                held, terminated = self._walk_body(
+                    stmt.body, held, kernel, index, findings)
+                if terminated:
+                    return held, True
+                continue
+            # Leaf statement: process lock/unlock calls in its
+            # expressions, then handle control transfer.
+            self._scan_expr(stmt, held, kernel, index, findings)
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break,
+                                 ast.Continue)):
+                return held, True
+        return held, False
+
+    def _scan_expr(self, node, held: list[str], kernel: KernelFn,
+                   index: ModuleIndex, findings: list[Finding]) -> None:
+        if node is None:
+            return
+        calls = [n for n in ast.walk(node)
+                 if isinstance(n, ast.Call)
+                 and call_name(n) in ("lock", "unlock")
+                 and receiver_is_ctx(n, kernel.ctx_names)
+                 and n.args]
+        calls.sort(key=lambda n: (n.lineno, n.col_offset))
+        for call in calls:
+            key = _canonical_key(call.args[0])
+            if call_name(call) == "lock":
+                if key in held:
+                    findings.append(Finding(
+                        rule=RULE, path=index.path,
+                        line=call.lineno, col=call.col_offset,
+                        function=kernel.qualname,
+                        message=(
+                            f"lock key '{key}' acquired while "
+                            f"already held - self-deadlock on a "
+                            f"non-reentrant spinlock")))
+                site = _Acquire(key=key, path=index.path,
+                                line=call.lineno, col=call.col_offset,
+                                function=kernel.qualname)
+                for prior in held:
+                    if prior != key:
+                        self.edges.setdefault(prior, {}) \
+                            .setdefault(key, []).append(site)
+                held.append(key)
+            else:
+                if key in held:
+                    # Pop the most recent acquisition of the key.
+                    held.reverse()
+                    held.remove(key)
+                    held.reverse()
+                else:
+                    findings.append(Finding(
+                        rule=RULE, path=index.path,
+                        line=call.lineno, col=call.col_offset,
+                        function=kernel.qualname,
+                        message=(
+                            f"unlock of '{key}' which is not held "
+                            f"on this path - unbalanced "
+                            f"lock/unlock pairing")))
+
+    # ------------------------------------------------------------------
+    def inversions(self) -> list[Finding]:
+        """Cycle detection over the accumulated order graph."""
+        findings: list[Finding] = []
+        seen_pairs: set[tuple[str, str]] = set()
+        for a, succs in sorted(self.edges.items()):
+            for b in sorted(succs):
+                if (a, b) in seen_pairs:
+                    continue
+                if not self._reaches(b, a):
+                    continue
+                seen_pairs.add((a, b))
+                seen_pairs.add((b, a))
+                for site in succs[b] + self.edges.get(b, {}).get(a, []):
+                    findings.append(Finding(
+                        rule=RULE, path=site.path, line=site.line,
+                        col=site.col, function=site.function,
+                        message=(
+                            f"lock-order inversion: '{a}' and '{b}' "
+                            f"are acquired in both orders across the "
+                            f"codebase - pick one global order "
+                            f"(e.g. sort keys before locking)")))
+        return findings
+
+    def _reaches(self, src: str, dst: str) -> bool:
+        stack, seen = [src], {src}
+        while stack:
+            cur = stack.pop()
+            if cur == dst:
+                return True
+            for nxt in self.edges.get(cur, {}):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+
+def _merge_stacks(a: list[str], b: list[str]) -> list[str]:
+    """Union of two live branch stacks, preserving first-seen order.
+
+    Taking the union (rather than intersection) means a key released
+    on only one arm is still considered held afterwards - the walk
+    over-approximates held sets, which can only create order edges,
+    never false unlock-not-held reports.
+    """
+    merged = list(a)
+    for key in b:
+        if key not in merged:
+            merged.append(key)
+    return merged
+
+
+def _canonical_key(expr: ast.expr) -> str:
+    """A stable string for a lock-key expression.
+
+    Variable names are kept (``xpage.lock_id``); constant folding is
+    not attempted.  Distinct expressions that alias the same runtime
+    key are treated as distinct - the rule under-approximates rather
+    than guess.
+    """
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return "<unknown>"

@@ -1,0 +1,117 @@
+"""Rule ``missing-yield-from``: un-driven timed generator calls.
+
+Every timed operation in this codebase is a generator: calling it
+builds the coroutine but does nothing until something iterates it.  A
+kernel that writes ``ctx.load(addr, "f4")`` instead of ``yield from
+ctx.load(addr, "f4")`` compiles, runs, and silently accounts zero
+cycles and issues zero memory transactions - the exact failure mode
+this subsystem exists to catch.
+
+Flagged shapes (``g`` = a timed generator call):
+
+* ``g`` as a bare expression statement;
+* ``yield g`` (plain yield of the generator object - the engine would
+  receive a generator instead of a Request and crash *only* at
+  runtime, and only if that path executes);
+* ``x = g`` where ``x`` is never subsequently iterated, yielded from,
+  passed on, or returned.
+
+Not flagged: ``yield from g``, ``for _ in g``, ``return g`` /
+``yield from x`` after assignment, and generators passed as arguments
+(ownership transferred).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.kernels import (
+    KernelFn,
+    ModuleIndex,
+    call_name,
+    is_timed_generator_call,
+    parent,
+    walk_function,
+)
+from repro.analysis.model import Finding
+
+RULE = "missing-yield-from"
+
+
+def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    assigned: dict[str, ast.Call] = {}
+    for node in walk_function(kernel.node):
+        if not isinstance(node, ast.Call):
+            continue
+        if not is_timed_generator_call(node, kernel, index):
+            continue
+        up = parent(node)
+        if isinstance(up, ast.YieldFrom):
+            continue
+        if isinstance(up, ast.Expr):
+            findings.append(_finding(
+                kernel, index, node,
+                f"result of timed generator '{call_name(node)}' is "
+                f"discarded - prefix with 'yield from' or the "
+                f"operation is a timing no-op"))
+        elif isinstance(up, ast.Yield):
+            findings.append(_finding(
+                kernel, index, node,
+                f"'yield {call_name(node)}(...)' yields the generator "
+                f"object itself - use 'yield from'"))
+        elif isinstance(up, (ast.Assign, ast.AnnAssign, ast.NamedExpr)):
+            target = _single_name_target(up)
+            if target is not None:
+                assigned[target] = node
+        elif isinstance(up, ast.Return):
+            # ``return ctx.load(...)`` from a helper delegates the
+            # generator to the caller; legitimate.
+            continue
+        # Calls in other positions (arguments, comprehensions, for
+        # iterables) hand the generator to something that drives it.
+    for name, call in assigned.items():
+        if not _name_is_consumed(kernel.node, name, call):
+            findings.append(_finding(
+                kernel, index, call,
+                f"generator assigned to '{name}' is never iterated - "
+                f"drive it with 'yield from {name}'"))
+    return findings
+
+
+def _single_name_target(stmt) -> str | None:
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+            and isinstance(stmt.targets[0], ast.Name):
+        return stmt.targets[0].id
+    if isinstance(stmt, (ast.AnnAssign, ast.NamedExpr)) \
+            and isinstance(stmt.target, ast.Name):
+        return stmt.target.id
+    return None
+
+
+def _name_is_consumed(fn: ast.FunctionDef, name: str,
+                      assignment: ast.Call) -> bool:
+    """True if ``name`` is iterated/forwarded anywhere in ``fn``."""
+    for node in walk_function(fn):
+        if not (isinstance(node, ast.Name) and node.id == name
+                and isinstance(node.ctx, ast.Load)):
+            continue
+        up = parent(node)
+        if isinstance(up, (ast.YieldFrom, ast.Return, ast.Yield)):
+            return True
+        if isinstance(up, ast.For) and up.iter is node:
+            return True
+        if isinstance(up, ast.Call) and node in up.args:
+            return True   # next(g), list(g), helper(g, ...)
+        if isinstance(up, ast.comprehension) and up.iter is node:
+            return True
+        if isinstance(up, ast.Attribute):
+            return True   # g.send(...), g.close(...)
+    return False
+
+
+def _finding(kernel: KernelFn, index: ModuleIndex, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(rule=RULE, path=index.path, line=node.lineno,
+                   col=node.col_offset, message=message,
+                   function=kernel.qualname)

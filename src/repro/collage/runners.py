@@ -39,6 +39,11 @@ from repro.paging import GPUfs, GPUfsConfig
 #: LSH key computation, derived from the operation counts.
 HIST_INSTRS = 32 * 32 * 3 * 2 / 32          # bin increments
 ARGMIN_INSTRS = 6
+#: Dependent-op depth of the histogram + LSH key computation: the bin
+#: reduction tree feeding the hash rounds serializes ~60 ops.
+HIST_LSH_CHAIN = 60
+#: Dependent-op depth of the 768-wide L2 distance reduction.
+DISTANCE_CHAIN = 30
 
 #: CPU-side post-processing (assembling the output collage) per block.
 CPU_FINAL_SECONDS_PER_BLOCK = 2e-7
@@ -84,7 +89,7 @@ def _search_block(ctx, query, cand_ids, read_candidate):
     q = query.astype(np.float64)
     for cid in cand_ids:
         hist = yield from read_candidate(int(cid))
-        ctx.charge(_distance_instrs(), chain=30)
+        ctx.charge(_distance_instrs(), chain=DISTANCE_CHAIN)
         diff = hist.astype(np.float64) - q
         dist = float(np.sqrt((diff * diff).sum()))
         ctx.charge(ARGMIN_INSTRS)
@@ -181,7 +186,8 @@ def run_cpu_gpu(problem: CollageProblem,
                 yield from ctx.load_wide(
                     image_base + b * HIST_BYTES + i * 512 + ctx.lane * 16,
                     "f4", 4)
-            yield from ctx.compute(HIST_INSTRS + lsh_instrs, chain=60)
+            yield from ctx.compute(HIST_INSTRS + lsh_instrs,
+                                   chain=HIST_LSH_CHAIN)
 
         grid = -(-len(chunk) // warps_per_tb)
         r1 = device.launch(keys_kernel, grid=grid,
@@ -307,7 +313,8 @@ def _run_gpufs_common(problem: CollageProblem, *, use_apointers: bool,
                     yield from ctx.load_wide(
                         image_base + b * HIST_BYTES + i * 512
                         + ctx.lane * 16, "f4", 4)
-                yield from ctx.compute(HIST_INSTRS + lsh_instrs, chain=60)
+                yield from ctx.compute(HIST_INSTRS + lsh_instrs,
+                                   chain=HIST_LSH_CHAIN)
 
             if use_apointers:
                 ptr = avm.gvmmap(ctx, d.total_bytes, fid)

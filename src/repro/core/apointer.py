@@ -83,6 +83,8 @@ class APtr:
         # write through a read-only link must re-fault (the upgrade
         # fault that lets paging backends observe S->M transitions).
         self.linked_write = np.zeros(n, dtype=bool)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.register_aptr(ctx, self)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -65,6 +65,9 @@ class Device:
                                    spec.dram_transaction_bytes)
         self.total_cycles = 0.0
         self.launches = 0
+        #: Installed by ``GPUfs(config=GPUfsConfig(sanitize=True))``;
+        #: when set, launches run under the runtime sanitizer.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     def alloc(self, nbytes: int, align: int = 256) -> int:
@@ -112,13 +115,22 @@ class Device:
                 if cfg.block_init is not None:
                     cfg.block_init(block)
                 gens = []
+                san = self.sanitizer
                 for w in range(warps_per_block):
-                    ctx = WarpContext(spec, self.memory, block, w,
-                                      tracer=tracer)
-                    gens.append(cfg.kernel(ctx, *cfg.args))
+                    if san is None:
+                        ctx = WarpContext(spec, self.memory, block, w,
+                                          tracer=tracer)
+                        gens.append(cfg.kernel(ctx, *cfg.args))
+                    else:
+                        ctx = san.make_context(spec, self.memory,
+                                               block, w, tracer=tracer)
+                        gens.append(san.watch(
+                            cfg.kernel(ctx, *cfg.args), ctx))
                 return block, gens
             return factory
 
+        if self.sanitizer is not None:
+            self.sanitizer.begin_launch()
         engine = Engine(spec, occ.blocks_per_sm, tracer=tracer,
                         profile=engine_profile)
         cycles = engine.run([make_block(b) for b in range(cfg.grid)])

@@ -72,6 +72,12 @@ class WarpContext:
     hooks used by the ActivePointers layer.
     """
 
+    #: Runtime sanitizer (``repro.analysis.sanitizer``) observing this
+    #: warp, or ``None``.  A class attribute so instrumentation sites
+    #: (``APtr.__init__``, ``GPUfs.gmmap``) pay one attribute test when
+    #: sanitization is off, mirroring the ``tracer is None`` guard.
+    sanitizer = None
+
     def __init__(self, spec: GPUSpec, memory: GlobalMemory,
                  block: BlockContext, warp_in_block: int, tracer=None):
         self.spec = spec

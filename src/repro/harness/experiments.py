@@ -645,6 +645,10 @@ def ablation_io_preemption(scale: str = "quick") -> ExperimentResult:
     from repro.gpu.specs import K80_SPEC
     from repro.workloads.filebench import make_file_env
 
+    # One synthetic compute burst for the compute-bound blocks: enough
+    # dependent arithmetic to keep an SM busy through an I/O stall
+    # window without touching memory.
+    burst_instrs, burst_chain = 150, 20
     compute_ops = _sizes(scale, 40, 64)
     result = ExperimentResult(
         exp_id="ablation_io_preemption",
@@ -684,7 +688,8 @@ def ablation_io_preemption(scale: str = "quick") -> ExperimentResult:
                 else:
                     # Compute-bound: no memory traffic at all.
                     for _ in range(compute_ops):
-                        yield from ctx.compute(150, chain=20)
+                        yield from ctx.compute(burst_instrs,
+                                               chain=burst_chain)
 
             res = device.launch(kern, grid=io_blocks + compute_blocks,
                                 block_threads=1024)

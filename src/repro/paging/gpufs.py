@@ -61,6 +61,11 @@ class GPUfsConfig:
     readahead_max_window: int = 64
     readahead_max_streams: int = 64
     readahead_max_stride: int = 64
+    # Runtime sanitizer (repro.analysis.sanitizer).  Off by default:
+    # launches on the device are completely unchanged (same context
+    # class, no wrapper generators); on, every warp is watched for
+    # lockstep, torn-write, and pin-balance violations.
+    sanitize: bool = False
 
 
 @dataclass
@@ -127,12 +132,20 @@ class GPUfs:
             self.cache.spec_listener = self.readahead
         else:
             self.readahead = None
+        if config.sanitize:
+            from repro.analysis.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer()
+            device.sanitizer = self.sanitizer
+        else:
+            self.sanitizer = None
         profiler = telemetry_hooks.current()
         if profiler is not None:
             profiler.register("paging", self.stats)
             profiler.register("staging", self.batcher.stats)
             if self.readahead is not None:
                 profiler.register("readahead", self.readahead.stats)
+            if self.sanitizer is not None:
+                profiler.register("sanitizer", self.sanitizer.stats)
 
     # ------------------------------------------------------------------
     # Host-side file management
@@ -268,12 +281,16 @@ class GPUfs:
         fpn, in_page = divmod(offset, self.page_size)
         frame_addr = yield from self.handle_fault(
             ctx, file_id, fpn, refs=1, write=write)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.note_pin(ctx, file_id, fpn)
         return frame_addr + in_page
 
     def gmunmap(self, ctx: WarpContext, file_id: int, offset: int):
         """Timed: release the pin taken by :meth:`gmmap`."""
         fpn = offset // self.page_size
         yield from self.release_page(ctx, file_id, fpn, refs=1)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.note_unpin(ctx, file_id, fpn)
 
     # ------------------------------------------------------------------
     # Shutdown / maintenance

@@ -20,7 +20,25 @@ from typing import Any
 SCHEMA_NAME = "repro.telemetry/launch-profile"
 #: v2 added the ``components.readahead`` section (always present, like
 #: ``translation``/``paging``) and flattened-histogram counters.
-SCHEMA_VERSION = 2
+#: v3 added the ``components.sanitizer`` section (runtime invariant
+#: checker, ``repro.analysis.sanitizer``).
+SCHEMA_VERSION = 3
+
+#: Versions ``validate_profile`` accepts: current plus archived ones
+#: whose required sections are a subset of what we still emit.
+ACCEPTED_VERSIONS = frozenset({2, SCHEMA_VERSION})
+
+#: components.* keys required per version (cumulative: version N
+#: requires every entry with ``since <= N``).
+_COMPONENT_KEYS = (
+    ("translation", 1, ("tlb_hit_rate", "tlb_hits", "tlb_misses",
+                        "translation_faults")),
+    ("paging", 1, ("minor_faults", "major_faults")),
+    ("readahead", 2, ("issued", "hits", "wasted", "cancelled",
+                      "hit_rate")),
+    ("sanitizer", 3, ("warps_watched", "lockstep_violations",
+                      "torn_writes", "pin_leaks")),
+)
 
 
 def _numeric_fields(obj) -> dict:
@@ -161,8 +179,9 @@ def validate_profile(doc: dict) -> None:
         raise ValueError("profile must be a JSON object")
     if doc.get("schema") != SCHEMA_NAME:
         raise ValueError(f"bad schema marker: {doc.get('schema')!r}")
-    if doc.get("version") != SCHEMA_VERSION:
-        raise ValueError(f"unsupported version: {doc.get('version')!r}")
+    version = doc.get("version")
+    if version not in ACCEPTED_VERSIONS:
+        raise ValueError(f"unsupported version: {version!r}")
     for section, fields in PROFILE_SCHEMA.items():
         sub = doc.get(section)
         if not isinstance(sub, dict):
@@ -187,12 +206,9 @@ def validate_profile(doc: dict) -> None:
         if not isinstance(doc.get(section), dict):
             raise ValueError(f"{section} must be an object")
     components = doc["components"]
-    for kind, keys in (("translation", ("tlb_hit_rate", "tlb_hits",
-                                        "tlb_misses",
-                                        "translation_faults")),
-                       ("paging", ("minor_faults", "major_faults")),
-                       ("readahead", ("issued", "hits", "wasted",
-                                      "cancelled", "hit_rate"))):
+    for kind, since, keys in _COMPONENT_KEYS:
+        if version < since:
+            continue
         sub = components.get(kind)
         if not isinstance(sub, dict):
             raise ValueError(f"components.{kind} missing")

@@ -174,6 +174,7 @@ def _merge_components(collected: dict) -> dict:
     is loaded, and module level would be circular (core/paging import
     telemetry's hooks).
     """
+    from repro.analysis.sanitizer import SanitizerStats
     from repro.core.metrics import APStats
     from repro.paging.gpufs import PagingStats
     from repro.readahead import ReadaheadStats
@@ -185,6 +186,7 @@ def _merge_components(collected: dict) -> dict:
         "paging": _numeric_fields(PagingStats()),
         "readahead": dict(_numeric_fields(ReadaheadStats()),
                           hit_rate=0.0),
+        "sanitizer": _numeric_fields(SanitizerStats()),
     }
     for kind, counters in collected.items():
         components.setdefault(kind, {}).update(counters)

@@ -124,6 +124,9 @@ class FFTWorkload(Workload):
     name = "FFT"
     compute_rank = 14.0
     apointer_artifact_instrs = 90.0
+    #: Per-stage butterfly cost: complex twiddle multiply plus
+    #: add/sub - 10 dependent arithmetic instructions.
+    twiddle_instrs = 10
 
     def consume(self, ctx, values, acc):
         n = values.size
@@ -142,8 +145,7 @@ class FFTWorkload(Workload):
             k = (lane & (half - 1)) * (16 >> stage)
             ang = -2.0 * np.pi * k / 32.0
             wr, wi = np.cos(ang), np.sin(ang)
-            # 10 instructions: complex twiddle multiply and add/sub.
-            ctx.charge(10, chain=10)
+            ctx.charge(self.twiddle_instrs, chain=self.twiddle_instrs)
             tr = np.where(upper, re, pre)
             ti = np.where(upper, im, pim)
             br = np.where(upper, pre, re)

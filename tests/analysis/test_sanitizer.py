@@ -1,0 +1,274 @@
+"""Runtime sanitizer: one deliberately broken kernel per invariant.
+
+Each breaking kernel must produce *exactly one* structured
+:class:`~repro.analysis.sanitizer.Violation` of the right kind, and
+the corrected twin must produce none.  The off-mode tests pin the
+zero-cost contract: no sanitizer object, no wrapper contexts, and
+bit-identical cycle counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import SanitizedWarpContext
+from repro.gpu import Device
+from repro.gpu.instructions import TimedLock
+from repro.gpu.kernel import WarpContext
+from repro.host import HostFileSystem
+from repro.host.ramfs import RamFS
+from repro.paging import GPUfs, GPUfsConfig
+from repro.telemetry import capture
+
+PAGE = 4096
+
+
+def make_env(sanitize: bool = True, pages: int = 8):
+    device = Device(memory_bytes=32 * 1024 * 1024)
+    fs = RamFS()
+    fs.create("data", np.arange(pages * PAGE, dtype=np.uint8))
+    gpufs = GPUfs(device, HostFileSystem(fs),
+                  GPUfsConfig(page_size=PAGE, num_frames=16,
+                              sanitize=sanitize))
+    fid = gpufs.open("data")
+    return device, gpufs, fid
+
+
+@pytest.fixture
+def env():
+    return make_env()
+
+
+class TestLockstep:
+    def test_unbalanced_barrier_is_exactly_one_violation(self, env):
+        device, gpufs, _ = env
+
+        def kernel(ctx):
+            yield from ctx.syncthreads()
+            if ctx.warp_in_block == 0:
+                yield from ctx.syncthreads()
+
+        device.launch(kernel, grid=1, block_threads=64)
+        violations = gpufs.sanitizer.violations
+        assert len(violations) == 1
+        [v] = violations
+        assert v.invariant == "lockstep"
+        assert v.block_id == 0
+        assert {v.details["barriers"], v.details["expected"]} == {1, 2}
+
+    def test_balanced_barriers_are_clean(self, env):
+        device, gpufs, _ = env
+
+        def kernel(ctx):
+            yield from ctx.syncthreads()
+            yield from ctx.syncthreads()
+
+        device.launch(kernel, grid=2, block_threads=64)
+        assert gpufs.sanitizer.violations == []
+
+
+class TestPinLeak:
+    def test_gmmap_without_gmunmap_is_exactly_one_violation(self, env):
+        device, gpufs, fid = env
+
+        def kernel(ctx):
+            addr = yield from gpufs.gmmap(ctx, fid, 0)
+            _ = yield from ctx.load(addr + ctx.lane * 4, "f4")
+
+        device.launch(kernel, grid=1, block_threads=32)
+        violations = gpufs.sanitizer.violations
+        assert len(violations) == 1
+        [v] = violations
+        assert v.invariant == "pin-leak"
+        assert v.details["pins"] == {f"{fid}:0": 1}
+
+    def test_balanced_pins_are_clean(self, env):
+        device, gpufs, fid = env
+
+        def kernel(ctx):
+            addr = yield from gpufs.gmmap(ctx, fid, 0)
+            _ = yield from ctx.load(addr + ctx.lane * 4, "f4")
+            yield from gpufs.gmunmap(ctx, fid, 0)
+
+        device.launch(kernel, grid=1, block_threads=32)
+        assert gpufs.sanitizer.violations == []
+
+    def test_undestroyed_apointer_is_exactly_one_violation(self, env):
+        from repro.core import APConfig, AVM
+
+        device, gpufs, _ = env
+        avm = AVM(APConfig())
+        src = device.alloc(PAGE)
+
+        def kernel(ctx):
+            ptr = avm.gvmmap_device(ctx, src, PAGE)
+            _ = yield from ptr.read(ctx, "f4")
+            # missing: yield from ptr.destroy(ctx)
+
+        device.launch(kernel, grid=1, block_threads=32)
+        violations = gpufs.sanitizer.violations
+        assert len(violations) == 1
+        [v] = violations
+        assert v.invariant == "pin-leak"
+        assert "apointer" in v.message
+        assert v.details["linked_lanes"] > 0
+
+    def test_destroyed_apointer_is_clean(self, env):
+        from repro.core import APConfig, AVM
+
+        device, gpufs, _ = env
+        avm = AVM(APConfig())
+        src = device.alloc(PAGE)
+
+        def kernel(ctx):
+            ptr = avm.gvmmap_device(ctx, src, PAGE)
+            _ = yield from ptr.read(ctx, "f4")
+            yield from ptr.destroy(ctx)
+
+        device.launch(kernel, grid=1, block_threads=32)
+        assert gpufs.sanitizer.violations == []
+
+
+class TestTornWrite:
+    def test_overlapping_unordered_stores_are_one_violation(self, env):
+        device, gpufs, _ = env
+        buf = device.alloc(PAGE)
+
+        def kernel(ctx):
+            yield from ctx.store(buf + ctx.lane * 4,
+                                 np.ones(32, np.float32), "f4")
+
+        device.launch(kernel, grid=1, block_threads=64)
+        violations = gpufs.sanitizer.violations
+        assert len(violations) == 1
+        [v] = violations
+        assert v.invariant == "torn-write"
+        assert v.details["other_warp"] != v.warp_id
+
+    def test_disjoint_stores_are_clean(self, env):
+        device, gpufs, _ = env
+        buf = device.alloc(PAGE)
+
+        def kernel(ctx):
+            yield from ctx.store(buf + ctx.global_tid * 4,
+                                 np.ones(32, np.float32), "f4")
+
+        device.launch(kernel, grid=1, block_threads=64)
+        assert gpufs.sanitizer.violations == []
+
+    def test_barrier_orders_the_writes(self, env):
+        device, gpufs, _ = env
+        buf = device.alloc(PAGE)
+
+        def kernel(ctx):
+            if ctx.warp_in_block == 0:
+                yield from ctx.store(buf + ctx.lane * 4,
+                                     np.ones(32, np.float32), "f4")
+            yield from ctx.syncthreads()
+            if ctx.warp_in_block == 1:
+                yield from ctx.store(buf + ctx.lane * 4,
+                                     np.zeros(32, np.float32), "f4")
+
+        device.launch(kernel, grid=1, block_threads=64)
+        assert gpufs.sanitizer.violations == []
+
+    def test_common_lock_orders_the_writes(self, env):
+        device, gpufs, _ = env
+        buf = device.alloc(PAGE)
+        lk = TimedLock()
+
+        def kernel(ctx):
+            yield from ctx.lock(lk)
+            yield from ctx.store(buf + ctx.lane * 4,
+                                 np.ones(32, np.float32), "f4")
+            yield from ctx.unlock(lk)
+
+        device.launch(kernel, grid=1, block_threads=64)
+        assert gpufs.sanitizer.violations == []
+
+    def test_history_does_not_leak_across_launches(self, env):
+        device, gpufs, _ = env
+        buf = device.alloc(PAGE)
+
+        def kernel(ctx):
+            yield from ctx.store(buf + ctx.lane * 4,
+                                 np.ones(32, np.float32), "f4")
+
+        # Two sequential single-warp launches write the same bytes;
+        # launches are serialized, so this is not a race.
+        device.launch(kernel, grid=1, block_threads=32)
+        device.launch(kernel, grid=1, block_threads=32)
+        assert gpufs.sanitizer.violations == []
+
+
+class TestZeroCostWhenOff:
+    def test_off_mode_installs_nothing(self):
+        device, gpufs, _ = make_env(sanitize=False)
+        assert gpufs.sanitizer is None
+        assert device.sanitizer is None
+        seen = []
+
+        def kernel(ctx):
+            seen.append(ctx)
+            yield from ctx.syncthreads()
+
+        device.launch(kernel, grid=1, block_threads=32)
+        assert type(seen[0]) is WarpContext
+        assert seen[0].sanitizer is None
+
+    def test_on_mode_wraps_contexts(self, env):
+        device, gpufs, _ = env
+        seen = []
+
+        def kernel(ctx):
+            seen.append(ctx)
+            yield from ctx.syncthreads()
+
+        device.launch(kernel, grid=1, block_threads=32)
+        assert type(seen[0]) is SanitizedWarpContext
+        assert seen[0].sanitizer is gpufs.sanitizer
+
+    def test_sanitizer_is_timing_neutral(self):
+        def kernel(ctx, buf):
+            v = yield from ctx.load(buf + ctx.global_tid * 4, "f4")
+            yield from ctx.store(buf + ctx.global_tid * 4, v + 1, "f4")
+            yield from ctx.syncthreads()
+
+        cycles = []
+        for sanitize in (False, True):
+            device, gpufs, _ = make_env(sanitize=sanitize)
+            buf = device.alloc(PAGE * 2)
+            r = device.launch(kernel, grid=2, block_threads=64,
+                              args=(buf,))
+            cycles.append(r.cycles)
+        assert cycles[0] == cycles[1]
+
+
+class TestTelemetryIntegration:
+    def test_sanitizer_component_in_profile(self):
+        with capture() as prof:
+            device, gpufs, fid = make_env()
+            buf = device.alloc(PAGE)
+
+            def kernel(ctx):
+                yield from ctx.store(buf + ctx.lane * 4,
+                                     np.ones(32, np.float32), "f4")
+
+            device.launch(kernel, grid=1, block_threads=64)
+        doc = prof.last.to_dict()
+        san = doc["components"]["sanitizer"]
+        assert san["warps_watched"] == 2
+        assert san["torn_writes"] == 1
+        assert san["lockstep_violations"] == 0
+        assert san["pin_leaks"] == 0
+
+    def test_unsanitized_profile_has_zeroed_section(self):
+        with capture() as prof:
+            device, gpufs, _ = make_env(sanitize=False)
+
+            def kernel(ctx):
+                yield from ctx.syncthreads()
+
+            device.launch(kernel, grid=1, block_threads=32)
+        san = prof.last.to_dict()["components"]["sanitizer"]
+        assert san["warps_watched"] == 0
+        assert san["torn_writes"] == 0

@@ -1,0 +1,115 @@
+"""Inline ``# aplint: disable`` suppression semantics."""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.linter import lint_paths, lint_source
+
+
+def _lint(code: str) -> list:
+    return lint_source("<test>", textwrap.dedent(code))
+
+
+#: A line that violates *two* rules at once: an undriven timed
+#: generator AND an over-threshold literal cost feed the same call.
+_TWO_BUG_LINE = """
+    def kernel(ctx, addr):
+        ctx.compute(500, chain=500){suffix}
+        yield from ctx.fence()
+"""
+
+
+class TestSuppressions:
+    def test_both_rules_fire_unsuppressed(self):
+        findings = _lint(_TWO_BUG_LINE.format(suffix=""))
+        assert {f.rule for f in findings} == {
+            "missing-yield-from", "uncalibrated-cost"}
+
+    def test_suppressing_one_rule_keeps_the_other(self):
+        # The load-bearing property: a targeted disable only silences
+        # the named rule; the second violation on the same line still
+        # fires.
+        findings = _lint(_TWO_BUG_LINE.format(
+            suffix="   # aplint: disable=uncalibrated-cost"))
+        assert {f.rule for f in findings} == {"missing-yield-from"}
+
+        findings = _lint(_TWO_BUG_LINE.format(
+            suffix="   # aplint: disable=missing-yield-from"))
+        assert {f.rule for f in findings} == {"uncalibrated-cost"}
+
+    def test_bare_disable_suppresses_all_on_line(self):
+        findings = _lint(_TWO_BUG_LINE.format(
+            suffix="   # aplint: disable"))
+        assert not findings
+
+    def test_multi_rule_directive(self):
+        findings = _lint(_TWO_BUG_LINE.format(
+            suffix="   # aplint: disable=missing-yield-from,"
+                   "uncalibrated-cost"))
+        assert not findings
+
+    def test_suppression_is_line_scoped(self):
+        findings = _lint("""
+            def kernel(ctx, addr):
+                ctx.load(addr, "f4")   # aplint: disable=missing-yield-from
+                ctx.store(addr, 0, "f4")
+        """)
+        assert [f.rule for f in findings] == ["missing-yield-from"]
+        assert findings[0].line == 4
+
+    def test_unknown_rule_name_is_reported(self):
+        # A typoed directive must not silently disable nothing.
+        findings = _lint("""
+            def kernel(ctx, addr):
+                v = yield from ctx.load(addr, "f4")   # aplint: disable=misspelled-rule
+        """)
+        assert [f.rule for f in findings] == ["bad-suppression"]
+
+
+class TestCLI:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True, text=True)
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        f = tmp_path / "good.py"
+        f.write_text("def kernel(ctx, a):\n"
+                     "    v = yield from ctx.load(a, 'f4')\n")
+        proc = self._run(str(f))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_findings_exit_one_and_json_shape(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def kernel(ctx, a):\n"
+                     "    ctx.load(a, 'f4')\n"
+                     "    yield from ctx.fence()\n")
+        proc = self._run("--format=json", str(f))
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["files_checked"] == 1
+        [finding] = doc["findings"]
+        assert finding["rule"] == "missing-yield-from"
+        assert finding["line"] == 2
+        assert finding["function"] == "kernel"
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for rule in ("missing-yield-from", "divergent-yield",
+                     "aptr-lifecycle", "lock-order",
+                     "uncalibrated-cost"):
+            assert rule in proc.stdout
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_lints_clean(self):
+        # The acceptance gate CI enforces: the repository's own
+        # kernels, examples and benchmarks carry zero findings.
+        result = lint_paths(["src/repro", "examples", "benchmarks"])
+        assert result.files_checked > 50
+        assert result.kernels_checked > 50
+        assert not result.errors
+        assert result.findings == []

@@ -79,6 +79,52 @@ class TestLaunchProfileSchema:
                 validate_profile(broken)
 
 
+class TestSchemaVersioning:
+    FIXTURE = "tests/telemetry/fixtures/profile-v2.json"
+
+    def test_live_profiles_are_current_version(self, memcpy_profile):
+        from repro.telemetry.profile import SCHEMA_VERSION
+        doc = memcpy_profile.profiles[0].to_dict()
+        assert doc["version"] == SCHEMA_VERSION == 3
+
+    def test_v3_requires_sanitizer_component(self, memcpy_profile):
+        doc = memcpy_profile.profiles[0].to_dict()
+        san = doc["components"]["sanitizer"]
+        for key in ("warps_watched", "lockstep_violations",
+                    "torn_writes", "pin_leaks"):
+            assert key in san
+        broken = json.loads(json.dumps(doc))
+        broken["components"].pop("sanitizer")
+        with pytest.raises(ValueError):
+            validate_profile(broken)
+
+    def test_archived_v2_profile_still_validates(self):
+        # Regression gate for the v2 -> v3 bump: profiles written
+        # before the sanitizer component existed must keep loading.
+        with open(self.FIXTURE) as f:
+            doc = json.load(f)
+        assert doc["version"] == 2
+        assert "sanitizer" not in doc["components"]
+        validate_profile(doc)
+
+    def test_v2_document_claiming_v3_is_rejected(self):
+        # The fixture lacks components.sanitizer, so stamping it as v3
+        # must fail: version gating is real, not cosmetic.
+        with open(self.FIXTURE) as f:
+            doc = json.load(f)
+        doc["version"] = 3
+        with pytest.raises(ValueError, match="sanitizer"):
+            validate_profile(doc)
+
+    def test_unknown_versions_rejected(self):
+        with open(self.FIXTURE) as f:
+            doc = json.load(f)
+        for version in (1, 4, "2", None):
+            doc["version"] = version
+            with pytest.raises(ValueError, match="version"):
+                validate_profile(doc)
+
+
 class TestEngineInvariants:
     def test_per_sm_busy_plus_idle_sums_to_span(self, memcpy_profile):
         for profile in memcpy_profile.profiles:
