@@ -9,19 +9,11 @@ bench_table3 / bench_figure7.)
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import (
-    ablation_batching,
-    ablation_eviction,
-    ablation_future_hw,
-    ablation_io_preemption,
-    ablation_prefetch,
-    ablation_registers,
-)
 
 
 @pytest.mark.benchmark(group="ablations")
 def test_prefetch_ablation(benchmark):
-    result = run_experiment(benchmark, ablation_prefetch, scale="quick")
+    result = run_experiment(benchmark, "ablation_prefetch", scale="quick")
     ptx = result.row_by(variant="optimized_ptx")
     pf = result.row_by(variant="prefetching")
     # Prefetching reduces fault-free read latency (282 -> 271 in the
@@ -32,7 +24,7 @@ def test_prefetch_ablation(benchmark):
 
 @pytest.mark.benchmark(group="ablations")
 def test_register_pressure_ablation(benchmark):
-    result = run_experiment(benchmark, ablation_registers, scale="quick")
+    result = run_experiment(benchmark, "ablation_registers", scale="quick")
     r64 = result.row_by(regs_per_thread=64)
     r128 = result.row_by(regs_per_thread=128)
     # §VII: doubling registers/thread halves occupancy and hurts the
@@ -43,7 +35,7 @@ def test_register_pressure_ablation(benchmark):
 
 @pytest.mark.benchmark(group="ablations")
 def test_future_hw_ablation(benchmark):
-    result = run_experiment(benchmark, ablation_future_hw, scale="quick")
+    result = run_experiment(benchmark, "ablation_future_hw", scale="quick")
     sw = result.row_by(variant="prefetching")
     hw = result.row_by(variant="hw_assisted")
     # §VII: dedicated instructions cut both latency and the issue
@@ -55,7 +47,7 @@ def test_future_hw_ablation(benchmark):
 
 @pytest.mark.benchmark(group="ablations")
 def test_eviction_policy_ablation(benchmark):
-    result = run_experiment(benchmark, ablation_eviction, scale="quick")
+    result = run_experiment(benchmark, "ablation_eviction", scale="quick")
     cycles = [row["cycles"] for row in result.rows]
     # Policies are within a modest band on the cyclic sweep; all are
     # functional (majors bounded by rounds x pages).
@@ -66,7 +58,7 @@ def test_eviction_policy_ablation(benchmark):
 
 @pytest.mark.benchmark(group="ablations")
 def test_io_preemption_ablation(benchmark):
-    result = run_experiment(benchmark, ablation_io_preemption,
+    result = run_experiment(benchmark, "ablation_io_preemption",
                             scale="quick")
     host_on = result.row_by(io_path="host-mediated", io_preemption=True)
     p2p_on = result.row_by(io_path="p2p-dma", io_preemption=True)
@@ -81,7 +73,7 @@ def test_io_preemption_ablation(benchmark):
 
 @pytest.mark.benchmark(group="ablations")
 def test_batching_ablation(benchmark):
-    result = run_experiment(benchmark, ablation_batching, scale="quick")
+    result = run_experiment(benchmark, "ablation_batching", scale="quick")
     on = result.row_by(batching=True)
     off = result.row_by(batching=False)
     # §V: batching is the difference between one fixed PCIe cost per

@@ -9,7 +9,6 @@ translation cost, and FFT stays anomalous (compiler artifact).
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import figure6
 
 
 def _avg(result, col, exclude_fft=True):
@@ -20,7 +19,7 @@ def _avg(result, col, exclude_fft=True):
 
 @pytest.mark.benchmark(group="figure6")
 def test_figure6a_4byte(benchmark):
-    result = run_experiment(benchmark, figure6, scale="quick", width=4)
+    result = run_experiment(benchmark, "figure6a", scale="quick")
     first, last = "tb=1", "tb=52"
     # Add and Read improve roughly two-fold with occupancy (§VI-B says
     # "more than two-fold"; the quick-scale sweep sits right at the
@@ -35,7 +34,7 @@ def test_figure6a_4byte(benchmark):
 
 @pytest.mark.benchmark(group="figure6")
 def test_figure6b_16byte(benchmark):
-    result = run_experiment(benchmark, figure6, scale="quick", width=16)
+    result = run_experiment(benchmark, "figure6b", scale="quick")
     # Paper: average 20% (7% excluding FFT) at full occupancy.
     assert _avg(result, "tb=52", exclude_fft=True) < 25
     assert _avg(result, "tb=52", exclude_fft=False) < 40
@@ -46,8 +45,7 @@ def test_figure6b_16byte(benchmark):
 
 @pytest.mark.benchmark(group="figure6")
 def test_figure6c_with_page_cache(benchmark):
-    result = run_experiment(benchmark, figure6, scale="quick",
-                            with_gpufs=True)
+    result = run_experiment(benchmark, "figure6c", scale="quick")
     # Compute-intensity ordering holds at every occupancy: the heavier
     # the per-element compute, the smaller the apointer overhead.
     for col in result.columns[1:]:

@@ -3,12 +3,11 @@
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import figure7
 
 
 @pytest.mark.benchmark(group="figure7")
 def test_figure7_tlb_crossover(benchmark):
-    result = run_experiment(benchmark, figure7, scale="quick")
+    result = run_experiment(benchmark, "figure7", scale="quick")
 
     def row(tlb):
         return result.row_by(tlb=tlb)

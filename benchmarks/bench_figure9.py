@@ -7,12 +7,11 @@ page alignment, read through unmodified apointer code.
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import figure9, unaligned_access
 
 
 @pytest.mark.benchmark(group="figure9")
 def test_figure9_collage(benchmark):
-    result = run_experiment(benchmark, figure9, scale="quick")
+    result = run_experiment(benchmark, "figure9", scale="quick")
 
     # Correctness is enforced inside the experiment (all four runners
     # must produce identical collages); here we check the shape.
@@ -31,7 +30,7 @@ def test_figure9_collage(benchmark):
 
 @pytest.mark.benchmark(group="figure9")
 def test_unaligned_records(benchmark):
-    result = run_experiment(benchmark, unaligned_access, scale="quick")
+    result = run_experiment(benchmark, "unaligned", scale="quick")
     for row in result.rows:
         assert row["correct"], row["layout"]
     aligned = result.row_by(layout="aligned (4 KB)")

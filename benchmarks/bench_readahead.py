@@ -10,13 +10,12 @@ the batching-only baseline, with verified output either way.
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import ablation_readahead
 from repro.workloads.filebench import run_sequential_file_read
 
 
 @pytest.mark.benchmark(group="readahead")
 def test_readahead_ablation(benchmark):
-    result = run_experiment(benchmark, ablation_readahead, scale="quick")
+    result = run_experiment(benchmark, "ablation_readahead", scale="quick")
     seq_off = result.row_by(workload="seq-read", readahead=False)
     seq_on = result.row_by(workload="seq-read", readahead=True)
     # The subsystem's acceptance bar: >= 1.3x on sequential reads.

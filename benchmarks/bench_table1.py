@@ -3,12 +3,11 @@
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import table1
 
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_latencies(benchmark):
-    result = run_experiment(benchmark, table1, scale="quick")
+    result = run_experiment(benchmark, "table1", scale="quick")
 
     # Every cell within 10% of the paper's measurement.
     for row in result.rows:

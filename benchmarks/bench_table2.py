@@ -3,12 +3,11 @@
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import table2
 
 
 @pytest.mark.benchmark(group="table2")
 def test_table2_memcpy_bandwidth(benchmark):
-    result = run_experiment(benchmark, table2, scale="quick")
+    result = run_experiment(benchmark, "table2", scale="quick")
 
     four = result.row_by(access="4-byte")
     four_rw = result.row_by(access="4-byte+rw")

@@ -3,12 +3,11 @@
 import pytest
 
 from benchmarks.conftest import run_experiment
-from repro.harness import table3
 
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_pagefault_overheads(benchmark):
-    result = run_experiment(benchmark, table3, scale="quick")
+    result = run_experiment(benchmark, "table3", scale="quick")
 
     short = result.row_by(implementation="Apointer Short")
     long_ = result.row_by(implementation="Apointer Long")

@@ -6,6 +6,12 @@ vs. measured value) to ``benchmark.extra_info``, and asserts the shape
 properties the paper reports.  Run with::
 
     pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only --jobs 4   # parallel points
+
+``--jobs N`` fans each experiment's parameter grid out over N worker
+processes (:mod:`repro.harness.runner`); rows are identical to a
+serial run (deterministic per-point seeding), only the wall time
+changes.
 
 The timed quantity is the wall time of the simulation itself; the
 scientific payload is in ``extra_info`` and in the assertions.
@@ -13,13 +19,65 @@ scientific payload is in ``extra_info`` and in the assertions.
 
 import json
 
-import pytest
+from repro.harness.experiments import ALL_EXPERIMENTS  # noqa: F401
+from repro.harness.registry import REGISTRY, Experiment
+from repro.harness.runner import ExperimentPointError
+from repro.harness.runner import run_experiment as _run_points
+
+_JOBS = 1
 
 
-def run_experiment(benchmark, fn, **kwargs):
-    """Time one experiment run and attach its rows to the report."""
-    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1,
-                                iterations=1, warmup_rounds=0)
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per experiment grid "
+             "(default: 1 = serial; 0 = one per core)")
+
+
+def pytest_configure(config):
+    global _JOBS
+    _JOBS = config.getoption("--jobs")
+
+
+def _resolve(experiment):
+    """Experiment id, descriptor, or tagged callable -> descriptor
+    (``None`` for plain legacy callables)."""
+    if isinstance(experiment, str):
+        return REGISTRY[experiment]
+    if isinstance(experiment, Experiment):
+        return experiment
+    return getattr(experiment, "experiment", None)
+
+
+def run_experiment(benchmark, experiment, **kwargs):
+    """Time one experiment run and attach its rows to the report.
+
+    ``experiment`` is a registry id (``"table1"``), an
+    :class:`Experiment`, or — for backward compatibility — a plain
+    callable.  Registry entries honour the suite-wide ``--jobs``
+    option; a crashed grid point raises (a benchmark must not silently
+    bless partial results).
+    """
+    exp = _resolve(experiment)
+    if exp is None:
+        result = benchmark.pedantic(lambda: experiment(**kwargs),
+                                    rounds=1, iterations=1,
+                                    warmup_rounds=0)
+    else:
+        scale = kwargs.pop("scale", "quick")
+        options = kwargs or None
+
+        def run():
+            report = _run_points(exp, scale=scale, jobs=_JOBS,
+                                 options=options, progress=False)
+            if report.result.errors:
+                raise ExperimentPointError(exp.name,
+                                           report.result.errors)
+            return report.result
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1,
+                                    warmup_rounds=0)
+        benchmark.extra_info["jobs"] = _JOBS
     benchmark.extra_info["experiment"] = result.exp_id
     benchmark.extra_info["rows"] = json.loads(json.dumps(result.rows))
     return result

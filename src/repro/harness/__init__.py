@@ -1,14 +1,18 @@
 """Experiment harness: regenerate every table and figure of the paper.
 
-Each experiment function returns an :class:`ExperimentResult` whose rows
-mirror the paper's table rows or figure series; ``repro-experiments``
-(:mod:`repro.harness.cli`) runs them and renders text tables next to the
-paper's published values.
+The harness is a declarative registry (:mod:`repro.harness.registry`)
+of :class:`Experiment` descriptors — each one a parameter grid plus a
+module-level point function — executed by the parallel runner
+(:mod:`repro.harness.runner`, ``repro-experiments --jobs N``).
+``repro-experiments`` (:mod:`repro.harness.cli`) runs them and renders
+text tables next to the paper's published values.
+
+The pre-registry one-function-per-figure API (``table1()``, ...) is
+still exported but deprecated; the functions delegate to the runner.
 """
 
 from repro.harness.experiments import (
     ALL_EXPERIMENTS,
-    ExperimentResult,
     ablation_batching,
     ablation_eviction,
     ablation_future_hw,
@@ -24,11 +28,34 @@ from repro.harness.experiments import (
     table3,
     unaligned_access,
 )
+from repro.harness.registry import (
+    REGISTRY,
+    Column,
+    Experiment,
+    ExperimentResult,
+    experiment,
+)
 from repro.harness.reporting import format_result
+from repro.harness.runner import (
+    ExperimentPointError,
+    RunReport,
+    point_seed,
+    run_experiment,
+    run_named,
+)
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "Column",
+    "Experiment",
+    "ExperimentPointError",
     "ExperimentResult",
+    "REGISTRY",
+    "RunReport",
+    "experiment",
+    "point_seed",
+    "run_experiment",
+    "run_named",
     "table1",
     "table2",
     "table3",

@@ -4,20 +4,29 @@ Examples::
 
     repro-experiments --list
     repro-experiments table1 table2
-    repro-experiments --all --scale quick
+    repro-experiments --all --scale quick --jobs 4
     repro-experiments --all --markdown results.md
     repro-experiments table1 --profile-dir /tmp/profiles
 
+``--jobs N`` fans each experiment's parameter grid out over ``N``
+spawn worker processes (:mod:`repro.harness.runner`); rows are
+row-for-row identical to a serial run thanks to deterministic
+per-point seeding.  A crashed point becomes an error row (and a
+non-zero exit) instead of killing the suite.
+
 With ``--profile-dir`` every kernel launch inside an experiment is
 profiled (``repro.telemetry``): one ``LaunchProfile`` JSON per launch
-plus Chrome-trace files loadable in Perfetto, written under
-``PROFILE_DIR/<experiment>/``.
+(plus Chrome-trace files when running serially — traces stay in the
+workers under ``--jobs``), and one merged *suite profile*
+(``suite-profile.json``, schema v4 with a ``run.workers`` section)
+per experiment, written under ``PROFILE_DIR/<experiment>/``.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import os
 import sys
 import time
@@ -28,6 +37,8 @@ from repro.harness.reporting import (
     format_profile,
     format_result,
 )
+from repro.harness.runner import resolve_jobs, run_experiment, \
+    spawn_executor
 
 
 def main(argv=None) -> int:
@@ -43,6 +54,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=("quick", "full"),
                         default="quick",
                         help="problem sizes (default: quick)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per experiment grid "
+                             "(default: 1 = serial; 0 = one per core)")
     parser.add_argument("--eviction-policy", metavar="POLICY",
                         choices=("clock", "fifo", "lru", "random"),
                         help="page-cache eviction policy override, for "
@@ -52,7 +66,8 @@ def main(argv=None) -> int:
                         help="also write results as Markdown")
     parser.add_argument("--profile-dir", metavar="PATH",
                         help="profile every launch; write per-launch "
-                             "JSON profiles and Chrome traces here")
+                             "JSON profiles, Chrome traces, and a "
+                             "merged suite profile here")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -72,48 +87,73 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
+    jobs = resolve_jobs(args.jobs)
+    # One shared spawn pool for the whole invocation: worker start-up
+    # (interpreter + imports) is paid once, not per experiment.
+    executor = spawn_executor(jobs) if jobs > 1 else None
+    rc = 0
     markdown_parts = []
-    for name in names:
-        started = time.time()
-        try:
-            result, profiler = _run_one(name, args)
-        except Exception:
-            # Don't lose the experiments that already finished: flush
-            # a partial report, then surface the failure (non-zero
-            # exit via the re-raise).
-            markdown_parts.append(
-                f"### {name} — FAILED after "
-                f"{time.time() - started:.1f}s\n")
-            if args.markdown:
-                _write_markdown(args, markdown_parts, partial=True)
-            print(f"error: experiment {name} raised; "
-                  + (f"partial results in {args.markdown}"
-                     if args.markdown else "no --markdown to save to"),
-                  file=sys.stderr)
-            raise
-        elapsed = time.time() - started
-        print(format_result(result))
-        print(f"[{name} finished in {elapsed:.1f}s]")
-        if profiler is not None:
-            out_dir = os.path.join(args.profile_dir, name)
-            written = profiler.write(out_dir)
-            longest = profiler.longest()
-            if longest is not None:
-                print(format_profile(longest))
-            print(f"[{len(profiler.profiles)} launch profiles, "
-                  f"{len(written)} files -> {out_dir}]")
-        print()
-        markdown_parts.append(format_markdown(result, elapsed=elapsed))
+    try:
+        for name in names:
+            started = time.time()
+            fn = ALL_EXPERIMENTS[name]
+            exp = getattr(fn, "experiment", None)
+            try:
+                if exp is None:
+                    # Legacy callable (tests monkeypatch these): run
+                    # directly, fail-fast.
+                    result = _run_legacy(fn, args)
+                    report = None
+                else:
+                    report = run_experiment(
+                        exp, scale=args.scale, jobs=jobs,
+                        options={"eviction_policy":
+                                 args.eviction_policy},
+                        profile=bool(args.profile_dir),
+                        executor=executor)
+                    result = report.result
+            except Exception:
+                # Don't lose the experiments that already finished:
+                # flush a partial report, then surface the failure
+                # (non-zero exit via the re-raise).
+                markdown_parts.append(
+                    f"### {name} — FAILED after "
+                    f"{time.time() - started:.1f}s\n")
+                if args.markdown:
+                    _write_markdown(args, markdown_parts, partial=True)
+                print(f"error: experiment {name} raised; "
+                      + (f"partial results in {args.markdown}"
+                         if args.markdown else
+                         "no --markdown to save to"),
+                      file=sys.stderr)
+                raise
+            elapsed = time.time() - started
+            print(format_result(result))
+            print(f"[{name} finished in {elapsed:.1f}s"
+                  + (f", {jobs} workers" if jobs > 1 else "") + "]")
+            if result.errors:
+                rc = 1
+                for err in result.errors:
+                    print(f"error: {name} point {err['params']}: "
+                          f"{err['error']}", file=sys.stderr)
+            if args.profile_dir and report is not None \
+                    and report.profiles:
+                _write_profiles(args.profile_dir, name, report)
+            print()
+            markdown_parts.append(format_markdown(result,
+                                                  elapsed=elapsed))
+    finally:
+        if executor is not None:
+            executor.shutdown()
 
     if args.markdown:
         _write_markdown(args, markdown_parts)
         print(f"markdown written to {args.markdown}")
-    return 0
+    return rc
 
 
-def _run_one(name: str, args):
-    """Run one experiment, profiled when --profile-dir is given."""
-    fn = ALL_EXPERIMENTS[name]
+def _run_legacy(fn, args):
+    """Direct call of a plain (non-registry) experiment callable."""
     kwargs = {"scale": args.scale}
     if args.eviction_policy:
         # Only experiments that expose the knob receive it; the rest
@@ -121,12 +161,24 @@ def _run_one(name: str, args):
         params = inspect.signature(fn).parameters
         if "eviction_policy" in params:
             kwargs["eviction_policy"] = args.eviction_policy
-    if args.profile_dir:
-        from repro.telemetry import capture
-        with capture() as profiler:
-            result = fn(**kwargs)
-        return result, profiler
-    return fn(**kwargs), None
+    return fn(**kwargs)
+
+
+def _write_profiles(profile_dir, name, report) -> None:
+    """Write per-launch docs, traces, and the merged suite profile."""
+    from repro.telemetry import write_profile_docs
+
+    out_dir = os.path.join(profile_dir, name)
+    written = write_profile_docs(out_dir, report.profiles,
+                                 report.tracers)
+    if report.merged is not None:
+        path = os.path.join(out_dir, "suite-profile.json")
+        with open(path, "w") as f:
+            json.dump(report.merged, f, indent=2, sort_keys=True)
+        written.append(path)
+        print(format_profile(report.merged))
+    print(f"[{len(report.profiles)} launch profiles, "
+          f"{len(written)} files -> {out_dir}]")
 
 
 def _write_markdown(args, parts: list, partial: bool = False) -> None:

@@ -1,14 +1,25 @@
-"""One function per table/figure of the paper's evaluation (§VI).
+"""Registry entries for every table/figure of the paper's evaluation
+(§VI), one declarative :class:`~repro.harness.registry.Experiment` per
+table or figure.
 
-Every function returns an :class:`ExperimentResult`; ``scale`` selects
-``"quick"`` (CI-sized, minutes total) or ``"full"`` (closer to the
-paper's sweep sizes).  Paper values are embedded alongside measured ones
-so reports always show the comparison.
+Each experiment is three module-level pieces — a parameter ``grid``
+(picklable dicts), a ``point`` function measuring one grid point, and
+(where points are coupled by a baseline or a pivot) a parent-side
+``fold`` — registered with :func:`~repro.harness.registry.experiment`.
+``scale`` selects ``"quick"`` (CI-sized, minutes total) or ``"full"``
+(closer to the paper's sweep sizes).  Paper values are embedded
+alongside measured ones so reports always show the comparison.
+
+The legacy one-function-per-figure API (``table1()``, ``figure6()``,
+...) survives as thin deprecated wrappers at the bottom of the module;
+new code should go through :data:`~repro.harness.registry.REGISTRY`
+and :func:`repro.harness.runner.run_experiment`, which can fan the
+grid points out across worker processes (``repro-experiments --jobs``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Callable, Optional
 
 from repro.collage import (
@@ -23,7 +34,14 @@ from repro.collage import (
 )
 from repro.core import APConfig, AVM, ImplVariant, PtrFormat
 from repro.gpu import Device
-from repro.workloads import WORKLOADS, run_memcpy, run_workload
+from repro.harness.registry import (
+    REGISTRY,
+    Column,
+    ExperimentResult,
+    experiment,
+)
+from repro.workloads import WORKLOADS, run_memcpy, run_workload, \
+    workload_by_name
 from repro.workloads.filebench import (
     run_pagefault_bench,
     run_tlb_sweep_point,
@@ -33,29 +51,27 @@ from repro.workloads.filebench import (
 PAGE = 4096
 
 
-@dataclass
-class ExperimentResult:
-    """Rows reproducing one table or figure."""
-
-    exp_id: str
-    title: str
-    columns: list
-    rows: list = field(default_factory=list)
-    notes: str = ""
-
-    def row_by(self, **match) -> dict:
-        for row in self.rows:
-            if all(row.get(k) == v for k, v in match.items()):
-                return row
-        raise KeyError(f"no row matching {match}")
-
-
 def _sizes(scale: str, quick, full):
     if scale == "quick":
         return quick
     if scale == "full":
         return full
     raise ValueError(f"unknown scale {scale!r}")
+
+
+def _merge_rows(rows: list, key: str) -> list:
+    """Fold helper: merge partial rows sharing ``row[key]`` (in first-
+    appearance order) into one wide row each — the pivot that turns
+    per-cell points back into the paper's table rows."""
+    merged: dict = {}
+    order: list = []
+    for row in rows:
+        k = row[key]
+        if k not in merged:
+            merged[k] = {}
+            order.append(k)
+        merged[k].update(row)
+    return [merged[k] for k in order]
 
 
 # ----------------------------------------------------------------------
@@ -74,12 +90,12 @@ TABLE1_PAPER = {
     ("Prefetching", "read+inc+rw"): 435,
 }
 
-_TABLE1_ROWS = [
-    ("Raw access", None),
-    ("Compiler", ImplVariant.COMPILER),
-    ("Optimized PTX", ImplVariant.OPTIMIZED_PTX),
-    ("Prefetching", ImplVariant.PREFETCH),
-]
+_TABLE1_VARIANTS: dict[str, Optional[ImplVariant]] = {
+    "Raw access": None,
+    "Compiler": ImplVariant.COMPILER,
+    "Optimized PTX": ImplVariant.OPTIMIZED_PTX,
+    "Prefetching": ImplVariant.PREFETCH,
+}
 
 
 def _measure_latency(variant: Optional[ImplVariant], op: str,
@@ -118,28 +134,35 @@ def _measure_latency(variant: Optional[ImplVariant], op: str,
     return times[0]
 
 
-def table1(scale: str = "quick") -> ExperimentResult:
-    """Table I: read / inc latencies for each implementation level."""
-    result = ExperimentResult(
-        exp_id="table1",
-        title="Apointer operation latency (GPU cycles, 1 warp)",
-        columns=["implementation", "op", "measured", "paper"],
-        notes="rw = page permission checks enabled; '-' ops not "
-              "reported by the paper are skipped.",
-    )
-    for name, variant in _TABLE1_ROWS:
-        for op in ("read", "inc", "read+inc", "read+inc+rw"):
-            if (name, op) not in TABLE1_PAPER:
-                continue
-            perm = op.endswith("rw") and variant is not None
-            measured = _measure_latency(variant, op, perm)
-            result.rows.append({
-                "implementation": name,
-                "op": op,
-                "measured": round(measured, 1),
-                "paper": TABLE1_PAPER[(name, op)],
-            })
-    return result
+def table1_grid(scale: str) -> list[dict]:
+    return [{"implementation": name, "op": op}
+            for name in _TABLE1_VARIANTS
+            for op in ("read", "inc", "read+inc", "read+inc+rw")
+            if (name, op) in TABLE1_PAPER]
+
+
+@experiment(
+    "table1",
+    title="Apointer operation latency (GPU cycles, 1 warp)",
+    columns=(Column("implementation", role="param"),
+             Column("op", role="param"),
+             Column("measured", unit="cycles", role="measured"),
+             Column("paper", unit="cycles", role="paper")),
+    grid=table1_grid,
+    notes="rw = page permission checks enabled; '-' ops not "
+          "reported by the paper are skipped.",
+)
+def table1_point(*, scale: str, implementation: str, op: str) -> list:
+    """Table I: read / inc latency of one implementation level."""
+    variant = _TABLE1_VARIANTS[implementation]
+    perm = op.endswith("rw") and variant is not None
+    measured = _measure_latency(variant, op, perm)
+    return [{
+        "implementation": implementation,
+        "op": op,
+        "measured": round(measured, 1),
+        "paper": TABLE1_PAPER[(implementation, op)],
+    }]
 
 
 # ----------------------------------------------------------------------
@@ -148,88 +171,137 @@ def table1(scale: str = "quick") -> ExperimentResult:
 TABLE2_PAPER = {"4-byte": 99.7, "4-byte+rw": 97.7, "8-byte": 148.7}
 TABLE2_PAPER_PEAK = 152.0
 
+_TABLE2_CASES = [("4-byte", 4, False), ("4-byte+rw", 4, True),
+                 ("8-byte", 8, False)]
 
-def table2(scale: str = "quick") -> ExperimentResult:
+
+def table2_grid(scale: str) -> list[dict]:
+    return [{"access": label, "width": width, "perm": perm}
+            for label, width, perm in _TABLE2_CASES]
+
+
+@experiment(
+    "table2",
+    title="Memory-copy bandwidth (GB/s, % of achievable peak)",
+    columns=(Column("access", role="param"),
+             Column("measured_gbs", unit="GB/s", role="measured"),
+             Column("measured_pct", unit="%", role="measured"),
+             Column("paper_gbs", unit="GB/s", role="paper"),
+             Column("paper_pct", unit="%", role="paper")),
+    grid=table2_grid,
+    notes="Peak = 152 GB/s (cudaMemcpyDeviceToDevice convention: "
+          "read+write traffic).",
+)
+def table2_point(*, scale: str, access: str, width: int,
+                 perm: bool) -> list:
     """Table II: apointer memcpy bandwidth vs cudaMemcpy D2D."""
     nblocks, iters = _sizes(scale, (13, 16), (52, 32))
-    result = ExperimentResult(
-        exp_id="table2",
-        title="Memory-copy bandwidth (GB/s, % of achievable peak)",
-        columns=["access", "measured_gbs", "measured_pct",
-                 "paper_gbs", "paper_pct"],
-        notes="Peak = 152 GB/s (cudaMemcpyDeviceToDevice convention: "
-              "read+write traffic).",
-    )
-    cases = [("4-byte", 4, False), ("4-byte+rw", 4, True),
-             ("8-byte", 8, False)]
-    for label, width, perm in cases:
-        device = Device(memory_bytes=512 * 1024 * 1024)
-        r = run_memcpy(device, use_apointers=True, width=width,
-                       nblocks=nblocks, iters_per_thread=iters,
-                       perm_checks=perm)
-        if not r.verified:
-            raise AssertionError(f"memcpy {label} copied wrong data")
-        result.rows.append({
-            "access": label,
-            "measured_gbs": round(r.bandwidth / 1e9, 1),
-            "measured_pct": round(100 * r.fraction_of_peak, 1),
-            "paper_gbs": TABLE2_PAPER[label],
-            "paper_pct": round(100 * TABLE2_PAPER[label]
-                               / TABLE2_PAPER_PEAK, 1),
-        })
-    return result
+    device = Device(memory_bytes=512 * 1024 * 1024)
+    r = run_memcpy(device, use_apointers=True, width=width,
+                   nblocks=nblocks, iters_per_thread=iters,
+                   perm_checks=perm)
+    if not r.verified:
+        raise AssertionError(f"memcpy {access} copied wrong data")
+    return [{
+        "access": access,
+        "measured_gbs": round(r.bandwidth / 1e9, 1),
+        "measured_pct": round(100 * r.fraction_of_peak, 1),
+        "paper_gbs": TABLE2_PAPER[access],
+        "paper_pct": round(100 * TABLE2_PAPER[access]
+                           / TABLE2_PAPER_PEAK, 1),
+    }]
 
 
 # ----------------------------------------------------------------------
 # Figure 6 — apointer overhead vs occupancy
 # ----------------------------------------------------------------------
-def figure6(scale: str = "quick", width: int = 4,
-            with_gpufs: bool = False) -> ExperimentResult:
-    """Figure 6a (width=4), 6b (width=16), 6c (with_gpufs=True).
-
-    Rows are (workload, nblocks) -> percent overhead of the apointer
-    version over the identical raw-pointer version.
-    """
-    block_counts, iters = _sizes(scale,
-                                 ([1, 4, 13, 26, 52], 4),
-                                 ([1, 2, 4, 8, 13, 26, 39, 52], 8))
+def _figure6_blocks(scale: str, with_gpufs: bool) -> list[int]:
+    block_counts = _sizes(scale, [1, 4, 13, 26, 52],
+                          [1, 2, 4, 8, 13, 26, 39, 52])
     if with_gpufs and scale == "quick":
         block_counts = [1, 13, 52]   # the page-cache runs are heavy
-    fig_id = "figure6c" if with_gpufs else (
-        "figure6a" if width == 4 else "figure6b")
-    result = ExperimentResult(
-        exp_id=fig_id,
-        title=(f"Apointer overhead vs #threadblocks "
-               f"({width}-byte reads{', GPUfs page cache' if with_gpufs else ''})"),
-        columns=["workload"] + [f"tb={n}" for n in block_counts],
-        notes="Values are percent slowdown over the raw-pointer "
-              "baseline; paper aggregate: Fig 6b avg 20% (7% excl. "
-              "FFT), Fig 6c avg 16% excl. FFT at full occupancy.",
-    )
-    for workload in WORKLOADS:
-        row = {"workload": workload.name}
-        for nb in block_counts:
-            if with_gpufs:
-                r0 = run_workload_file(workload, use_apointers=False,
-                                       nblocks=nb, warps_per_block=8,
-                                       iters_per_thread=32)
-                r1 = run_workload_file(workload, use_apointers=True,
-                                       nblocks=nb, warps_per_block=8,
-                                       iters_per_thread=32)
-            else:
-                device = Device(memory_bytes=768 * 1024 * 1024)
-                r0 = run_workload(workload, device, use_apointers=False,
-                                  nblocks=nb, iters_per_thread=iters,
-                                  width=width)
-                r1 = run_workload(workload, device, use_apointers=True,
-                                  nblocks=nb, iters_per_thread=iters,
-                                  width=width)
-            if not (r0.verified and r1.verified):
-                raise AssertionError(
-                    f"{workload.name} produced wrong results")
-            row[f"tb={nb}"] = round(100 * r1.overhead_over(r0), 1)
-        result.rows.append(row)
-    return result
+    return block_counts
+
+
+def _figure6_grid(scale: str, width: int, with_gpufs: bool) -> list:
+    return [{"workload": w.name, "nblocks": nb, "width": width,
+             "with_gpufs": with_gpufs}
+            for w in WORKLOADS
+            for nb in _figure6_blocks(scale, with_gpufs)]
+
+
+def figure6a_grid(scale: str) -> list[dict]:
+    return _figure6_grid(scale, width=4, with_gpufs=False)
+
+
+def figure6b_grid(scale: str) -> list[dict]:
+    return _figure6_grid(scale, width=16, with_gpufs=False)
+
+
+def figure6c_grid(scale: str) -> list[dict]:
+    return _figure6_grid(scale, width=4, with_gpufs=True)
+
+
+def _figure6_columns(with_gpufs: bool):
+    def columns(scale: str) -> tuple:
+        return (Column("workload", role="param"),
+                *(Column(f"tb={nb}", unit="%", role="measured")
+                  for nb in _figure6_blocks(scale, with_gpufs)))
+    return columns
+
+
+def figure6_fold(rows: list, scale: str) -> list:
+    return _merge_rows(rows, "workload")
+
+
+_FIGURE6_NOTES = ("Values are percent slowdown over the raw-pointer "
+                  "baseline; paper aggregate: Fig 6b avg 20% (7% excl. "
+                  "FFT), Fig 6c avg 16% excl. FFT at full occupancy.")
+
+
+def _register_figure6(name: str, width: int, with_gpufs: bool, grid):
+    experiment(
+        name,
+        title=(f"Apointer overhead vs #threadblocks ({width}-byte reads"
+               f"{', GPUfs page cache' if with_gpufs else ''})"),
+        columns=_figure6_columns(with_gpufs),
+        grid=grid,
+        fold=figure6_fold,
+        notes=_FIGURE6_NOTES,
+    )(figure6_point)
+
+
+def figure6_point(*, scale: str, workload: str, nblocks: int,
+                  width: int, with_gpufs: bool) -> list:
+    """Figure 6: one (workload, occupancy) cell — percent overhead of
+    the apointer version over the identical raw-pointer version."""
+    _, iters = _sizes(scale, (None, 4), (None, 8))
+    wl = workload_by_name(workload)
+    if with_gpufs:
+        r0 = run_workload_file(wl, use_apointers=False, nblocks=nblocks,
+                               warps_per_block=8, iters_per_thread=32)
+        r1 = run_workload_file(wl, use_apointers=True, nblocks=nblocks,
+                               warps_per_block=8, iters_per_thread=32)
+    else:
+        device = Device(memory_bytes=768 * 1024 * 1024)
+        r0 = run_workload(wl, device, use_apointers=False,
+                          nblocks=nblocks, iters_per_thread=iters,
+                          width=width)
+        r1 = run_workload(wl, device, use_apointers=True,
+                          nblocks=nblocks, iters_per_thread=iters,
+                          width=width)
+    if not (r0.verified and r1.verified):
+        raise AssertionError(f"{workload} produced wrong results")
+    return [{"workload": workload,
+             f"tb={nblocks}": round(100 * r1.overhead_over(r0), 1)}]
+
+
+_register_figure6("figure6a", width=4, with_gpufs=False,
+                  grid=figure6a_grid)
+_register_figure6("figure6b", width=16, with_gpufs=False,
+                  grid=figure6b_grid)
+_register_figure6("figure6c", width=4, with_gpufs=True,
+                  grid=figure6c_grid)
 
 
 # ----------------------------------------------------------------------
@@ -237,130 +309,193 @@ def figure6(scale: str = "quick", width: int = 4,
 # ----------------------------------------------------------------------
 TABLE3_PAPER = {"Apointer Short": 20, "Apointer Long": 24, "no TLB": 13}
 
-_TABLE3_CONFIGS = [
-    ("Apointer Short", APConfig(fmt=PtrFormat.SHORT, use_tlb=True)),
-    ("Apointer Long", APConfig(fmt=PtrFormat.LONG, use_tlb=True)),
-    ("no TLB", APConfig(fmt=PtrFormat.LONG, use_tlb=False)),
-]
+_TABLE3_CONFIGS: dict[str, Optional[APConfig]] = {
+    "baseline": None,
+    "Apointer Short": APConfig(fmt=PtrFormat.SHORT, use_tlb=True),
+    "Apointer Long": APConfig(fmt=PtrFormat.LONG, use_tlb=True),
+    "no TLB": APConfig(fmt=PtrFormat.LONG, use_tlb=False),
+}
 
 
-def table3(scale: str = "quick") -> ExperimentResult:
-    """Table III: minor/major fault overhead per apointer flavour."""
-    nblocks, warps, pages = _sizes(scale, (13, 32, 16), (13, 32, 64))
-    result = ExperimentResult(
-        exp_id="table3",
-        title="Page-fault overhead over the gmmap() baseline",
-        columns=["implementation", "minor_pct", "major_pct",
-                 "paper_minor_pct", "paper_major"],
-        notes="Major-fault overheads are masked by host transfers "
-              "(paper: 'no observable overhead', std dev up to 10%).",
-    )
-    base = run_pagefault_bench(use_apointers=False, nblocks=nblocks,
-                               warps_per_block=warps,
-                               pages_per_warp=pages)
-    for name, cfg in _TABLE3_CONFIGS:
-        r = run_pagefault_bench(use_apointers=True, nblocks=nblocks,
-                                warps_per_block=warps,
-                                pages_per_warp=pages, config=cfg)
-        result.rows.append({
+def table3_grid(scale: str) -> list[dict]:
+    return [{"implementation": name} for name in _TABLE3_CONFIGS]
+
+
+def table3_fold(rows: list, scale: str) -> list:
+    """Overheads are relative to the shared gmmap() baseline point —
+    derived here so the points themselves stay independent."""
+    by_impl = {row["implementation"]: row for row in rows}
+    base = by_impl.get("baseline")
+    out = []
+    for name in TABLE3_PAPER:
+        row = by_impl.get(name)
+        if row is None:
+            continue
+        out.append({
             "implementation": name,
-            "minor_pct": round(
-                100 * (r.warm_cycles / base.warm_cycles - 1), 1),
-            "major_pct": round(
-                100 * (r.cold_cycles / base.cold_cycles - 1), 1),
+            "minor_pct": (round(100 * (row["warm_cycles"]
+                                       / base["warm_cycles"] - 1), 1)
+                          if base else None),
+            "major_pct": (round(100 * (row["cold_cycles"]
+                                       / base["cold_cycles"] - 1), 1)
+                          if base else None),
             "paper_minor_pct": TABLE3_PAPER[name],
             "paper_major": "none observable",
         })
-    return result
+    return out
+
+
+@experiment(
+    "table3",
+    title="Page-fault overhead over the gmmap() baseline",
+    columns=(Column("implementation", role="param"),
+             Column("minor_pct", unit="%", role="measured"),
+             Column("major_pct", unit="%", role="measured"),
+             Column("paper_minor_pct", unit="%", role="paper"),
+             Column("paper_major", role="paper", numeric=False)),
+    grid=table3_grid,
+    fold=table3_fold,
+    notes="Major-fault overheads are masked by host transfers "
+          "(paper: 'no observable overhead', std dev up to 10%).",
+)
+def table3_point(*, scale: str, implementation: str) -> list:
+    """Table III: warm/cold fault cycles of one apointer flavour."""
+    nblocks, warps, pages = _sizes(scale, (13, 32, 16), (13, 32, 64))
+    cfg = _TABLE3_CONFIGS[implementation]
+    r = run_pagefault_bench(use_apointers=cfg is not None,
+                            nblocks=nblocks, warps_per_block=warps,
+                            pages_per_warp=pages, config=cfg)
+    return [{"implementation": implementation,
+             "warm_cycles": r.warm_cycles,
+             "cold_cycles": r.cold_cycles}]
 
 
 # ----------------------------------------------------------------------
 # Figure 7 — TLB size vs page reuse
 # ----------------------------------------------------------------------
-def figure7(scale: str = "quick") -> ExperimentResult:
-    """Figure 7: read cycles/page vs unique pages per threadblock."""
-    uniques, reads = _sizes(scale,
-                            ([8, 16, 32, 64, 128], 32),
-                            ([4, 8, 16, 32, 64, 128, 256, 512], 64))
-    result = ExperimentResult(
-        exp_id="figure7",
-        title="Access time per page vs unique pages per threadblock",
-        columns=["tlb"] + [f"pages={u}" for u in uniques],
-        notes="Paper shape: the TLB wins at high reuse; the TLB-less "
-              "design wins once the working set exceeds the TLB, "
-              "because it avoids TLB update costs.",
-    )
-    for tlb in (16, 32, 64, None):
-        row = {"tlb": "none" if tlb is None else tlb}
-        for u in uniques:
-            row[f"pages={u}"] = round(run_tlb_sweep_point(
-                unique_pages=u, tlb_entries=tlb, reads_per_warp=reads))
-        result.rows.append(row)
-    return result
+def _figure7_uniques(scale: str) -> list[int]:
+    return _sizes(scale, [8, 16, 32, 64, 128],
+                  [4, 8, 16, 32, 64, 128, 256, 512])
+
+
+def figure7_grid(scale: str) -> list[dict]:
+    return [{"tlb_entries": tlb, "unique_pages": u}
+            for tlb in (16, 32, 64, None)
+            for u in _figure7_uniques(scale)]
+
+
+def figure7_columns(scale: str) -> tuple:
+    return (Column("tlb", role="param"),
+            *(Column(f"pages={u}", unit="cycles", role="measured")
+              for u in _figure7_uniques(scale)))
+
+
+def figure7_fold(rows: list, scale: str) -> list:
+    return _merge_rows(rows, "tlb")
+
+
+@experiment(
+    "figure7",
+    title="Access time per page vs unique pages per threadblock",
+    columns=figure7_columns,
+    grid=figure7_grid,
+    fold=figure7_fold,
+    notes="Paper shape: the TLB wins at high reuse; the TLB-less "
+          "design wins once the working set exceeds the TLB, "
+          "because it avoids TLB update costs.",
+)
+def figure7_point(*, scale: str, tlb_entries: Optional[int],
+                  unique_pages: int) -> list:
+    """Figure 7: read cycles/page at one (TLB size, reuse) point."""
+    reads = _sizes(scale, 32, 64)
+    value = round(run_tlb_sweep_point(unique_pages=unique_pages,
+                                      tlb_entries=tlb_entries,
+                                      reads_per_warp=reads))
+    return [{"tlb": "none" if tlb_entries is None else tlb_entries,
+             f"pages={unique_pages}": value}]
 
 
 # ----------------------------------------------------------------------
 # Figure 9 — image collage end-to-end
 # ----------------------------------------------------------------------
-def _collage_problems(scale: str):
-    images, clusters = _sizes(scale, (2048, 32), (8192, 64))
-    dataset = CollageDataset(DatasetParams(num_images=images,
-                                           num_clusters=clusters))
-    specs = _sizes(
+def _collage_specs(scale: str) -> list[tuple]:
+    return _sizes(
         scale,
         [("small", 8, 8, 12), ("medium", 12, 12, 6),
          ("large", 16, 16, 4)],
         [("small", 8, 8, 16), ("medium", 16, 16, 8),
          ("large", 24, 24, 5), ("huge", 32, 32, 3)],
     )
-    problems = []
-    for name, bx, by, spread in specs:
-        problems.append(make_problem(dataset, name=name, blocks_x=bx,
-                                     blocks_y=by, cluster_spread=spread))
-    return problems
 
 
-def figure9(scale: str = "quick") -> ExperimentResult:
-    """Figure 9: collage runtime per block, normalised to the CPU run."""
-    result = ExperimentResult(
-        exp_id="figure9",
-        title="Image collage: runtime per block normalised to CPU "
-              "(lower is better)",
-        columns=["input", "reuse", "CPU", "CPU+GPU", "GPUfs",
-                 "GPUfs+AP", "ap_overhead_pct"],
-        notes="Paper aggregates: GPUfs 1.6x over CPU and 2.6x over "
-              "CPU+GPU on average (up to 2.6x / 3.9x); apointers add "
-              "<1% over GPUfs.",
-    )
-    for problem in _collage_problems(scale):
-        reference = reference_solution(problem)
-        outcomes = {}
-        for fn in (run_cpu, run_cpu_gpu, run_gpufs,
-                   run_gpufs_apointers):
-            out = fn(problem)
-            if not out.matches(reference):
-                raise AssertionError(
-                    f"{out.name} produced a wrong collage for "
-                    f"{problem.name}")
-            outcomes[out.name] = out
-        cpu_time = outcomes["CPU"].seconds
-        row = {
-            "input": problem.name,
-            "reuse": round(problem.data_reuse(), 1),
-        }
-        for name in ("CPU", "CPU+GPU", "GPUfs", "GPUfs+AP"):
-            row[name] = round(outcomes[name].seconds / cpu_time, 3)
-        row["ap_overhead_pct"] = round(
-            100 * (outcomes["GPUfs+AP"].seconds
-                   / outcomes["GPUfs"].seconds - 1), 2)
-        result.rows.append(row)
-    return result
+def figure9_grid(scale: str) -> list[dict]:
+    return [{"problem": name, "blocks_x": bx, "blocks_y": by,
+             "cluster_spread": spread}
+            for name, bx, by, spread in _collage_specs(scale)]
+
+
+@experiment(
+    "figure9",
+    title="Image collage: runtime per block normalised to CPU "
+          "(lower is better)",
+    columns=(Column("input", role="param"),
+             Column("reuse", unit="x", role="measured"),
+             Column("CPU", unit="x", role="measured"),
+             Column("CPU+GPU", unit="x", role="measured"),
+             Column("GPUfs", unit="x", role="measured"),
+             Column("GPUfs+AP", unit="x", role="measured"),
+             Column("ap_overhead_pct", unit="%", role="derived")),
+    grid=figure9_grid,
+    notes="Paper aggregates: GPUfs 1.6x over CPU and 2.6x over "
+          "CPU+GPU on average (up to 2.6x / 3.9x); apointers add "
+          "<1% over GPUfs.",
+)
+def figure9_point(*, scale: str, problem: str, blocks_x: int,
+                  blocks_y: int, cluster_spread: int) -> list:
+    """Figure 9: one collage input, all four implementations."""
+    images, clusters = _sizes(scale, (2048, 32), (8192, 64))
+    dataset = CollageDataset(DatasetParams(num_images=images,
+                                           num_clusters=clusters))
+    prob = make_problem(dataset, name=problem, blocks_x=blocks_x,
+                        blocks_y=blocks_y,
+                        cluster_spread=cluster_spread)
+    reference = reference_solution(prob)
+    outcomes = {}
+    for fn in (run_cpu, run_cpu_gpu, run_gpufs, run_gpufs_apointers):
+        out = fn(prob)
+        if not out.matches(reference):
+            raise AssertionError(
+                f"{out.name} produced a wrong collage for {prob.name}")
+        outcomes[out.name] = out
+    cpu_time = outcomes["CPU"].seconds
+    row = {"input": prob.name, "reuse": round(prob.data_reuse(), 1)}
+    for name in ("CPU", "CPU+GPU", "GPUfs", "GPUfs+AP"):
+        row[name] = round(outcomes[name].seconds / cpu_time, 3)
+    row["ap_overhead_pct"] = round(
+        100 * (outcomes["GPUfs+AP"].seconds
+               / outcomes["GPUfs"].seconds - 1), 2)
+    return [row]
 
 
 # ----------------------------------------------------------------------
 # §VI-E — unaligned access
 # ----------------------------------------------------------------------
-def unaligned_access(scale: str = "quick") -> ExperimentResult:
+def unaligned_grid(scale: str) -> list[dict]:
+    return [{"aligned": True}, {"aligned": False}]
+
+
+@experiment(
+    "unaligned",
+    title="Unaligned (3 KB) records through apointers",
+    columns=(Column("layout", role="param"),
+             Column("record_bytes", unit="bytes", role="param"),
+             Column("seconds", unit="s", role="measured"),
+             Column("correct", role="measured", numeric=False)),
+    grid=unaligned_grid,
+    notes="Same kernel code for both layouts — the usability point "
+          "of memory-mapped files.",
+)
+def unaligned_point(*, scale: str, aligned: bool) -> list:
     """§VI-E: 3 KB records without page alignment, via apointers.
 
     The apointer kernel is *unmodified*; only the dataset layout
@@ -368,129 +503,162 @@ def unaligned_access(scale: str = "quick") -> ExperimentResult:
     code — see ``repro.collage.runners``.)
     """
     images, clusters = _sizes(scale, (1024, 16), (4096, 48))
-    result = ExperimentResult(
-        exp_id="unaligned",
-        title="Unaligned (3 KB) records through apointers",
-        columns=["layout", "record_bytes", "seconds", "correct"],
-        notes="Same kernel code for both layouts — the usability point "
-              "of memory-mapped files.",
-    )
-    for aligned in (True, False):
-        dataset = CollageDataset(DatasetParams(
-            num_images=images, num_clusters=clusters, aligned=aligned))
-        problem = make_problem(dataset, blocks_x=6, blocks_y=6,
-                               cluster_spread=4)
-        reference = reference_solution(problem)
-        out = run_gpufs_apointers(problem)
-        result.rows.append({
-            "layout": "aligned (4 KB)" if aligned else "unaligned (3 KB)",
-            "record_bytes": dataset.params.record_bytes,
-            "seconds": round(out.seconds, 6),
-            "correct": out.matches(reference),
-        })
-    return result
+    dataset = CollageDataset(DatasetParams(
+        num_images=images, num_clusters=clusters, aligned=aligned))
+    problem = make_problem(dataset, blocks_x=6, blocks_y=6,
+                           cluster_spread=4)
+    reference = reference_solution(problem)
+    out = run_gpufs_apointers(problem)
+    return [{
+        "layout": "aligned (4 KB)" if aligned else "unaligned (3 KB)",
+        "record_bytes": dataset.params.record_bytes,
+        "seconds": round(out.seconds, 6),
+        "correct": out.matches(reference),
+    }]
 
 
 # ----------------------------------------------------------------------
 # Ablations called out in the design sections
 # ----------------------------------------------------------------------
-def ablation_prefetch(scale: str = "quick") -> ExperimentResult:
+def ablation_prefetch_grid(scale: str) -> list[dict]:
+    return [{"variant": v.value}
+            for v in (ImplVariant.OPTIMIZED_PTX, ImplVariant.PREFETCH)]
+
+
+@experiment(
+    "ablation_prefetch",
+    title="Speculative prefetch ablation",
+    columns=(Column("variant", role="param"),
+             Column("read_latency_cycles", unit="cycles",
+                    role="measured"),
+             Column("memcpy_pct_peak", unit="%", role="measured")),
+    grid=ablation_prefetch_grid,
+)
+def ablation_prefetch_point(*, scale: str, variant: str) -> list:
     """§IV-B: speculative prefetch on/off, read latency and bandwidth."""
-    result = ExperimentResult(
-        exp_id="ablation_prefetch",
-        title="Speculative prefetch ablation",
-        columns=["variant", "read_latency_cycles", "memcpy_pct_peak"],
-    )
+    impl = ImplVariant(variant)
     nblocks, iters = _sizes(scale, (13, 16), (26, 32))
-    for variant in (ImplVariant.OPTIMIZED_PTX, ImplVariant.PREFETCH):
-        lat = _measure_latency(variant, "read", perm=False)
-        device = Device(memory_bytes=512 * 1024 * 1024)
-        bw = run_memcpy(device, use_apointers=True, width=4,
-                        nblocks=nblocks, iters_per_thread=iters,
-                        config=APConfig(variant=variant))
-        result.rows.append({
-            "variant": variant.value,
-            "read_latency_cycles": round(lat, 1),
-            "memcpy_pct_peak": round(100 * bw.fraction_of_peak, 1),
-        })
-    return result
+    lat = _measure_latency(impl, "read", perm=False)
+    device = Device(memory_bytes=512 * 1024 * 1024)
+    bw = run_memcpy(device, use_apointers=True, width=4,
+                    nblocks=nblocks, iters_per_thread=iters,
+                    config=APConfig(variant=impl))
+    return [{
+        "variant": variant,
+        "read_latency_cycles": round(lat, 1),
+        "memcpy_pct_peak": round(100 * bw.fraction_of_peak, 1),
+    }]
 
 
-def ablation_batching(scale: str = "quick") -> ExperimentResult:
+def ablation_batching_grid(scale: str) -> list[dict]:
+    return [{"batching": True}, {"batching": False}]
+
+
+@experiment(
+    "ablation_batching",
+    title="PCIe transfer batching for 4 KB pages",
+    columns=(Column("batching", role="param", numeric=False),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("batches", role="measured"),
+             Column("mean_batch", unit="pages", role="measured")),
+    grid=ablation_batching_grid,
+    notes="Major-fault-dominated run; batching amortises the fixed "
+          "PCIe transaction cost (§V).",
+)
+def ablation_batching_point(*, scale: str, batching: bool) -> list:
     """§V: host-side transfer batching for 4 KB pages, on/off."""
     from repro.workloads.filebench import make_file_env
 
     npages = _sizes(scale, 256, 1024)
-    result = ExperimentResult(
-        exp_id="ablation_batching",
-        title="PCIe transfer batching for 4 KB pages",
-        columns=["batching", "cycles", "batches", "mean_batch"],
-        notes="Major-fault-dominated run; batching amortises the fixed "
-              "PCIe transaction cost (§V).",
-    )
-    for batching in (True, False):
-        device, gpufs, fid, _ = make_file_env(
-            npages * PAGE, num_frames=npages + 8,
-            memory_bytes=npages * PAGE + 128 * 1024 * 1024,
-            batching=batching)
-        nwarps = 64
+    device, gpufs, fid, _ = make_file_env(
+        npages * PAGE, num_frames=npages + 8,
+        memory_bytes=npages * PAGE + 128 * 1024 * 1024,
+        batching=batching)
+    nwarps = 64
 
-        def kern(ctx):
-            for p in range(ctx.warp_id, npages, nwarps):
-                yield from gpufs.gmmap(ctx, fid, p * PAGE)
-                yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+    def kern(ctx):
+        for p in range(ctx.warp_id, npages, nwarps):
+            yield from gpufs.gmmap(ctx, fid, p * PAGE)
+            yield from gpufs.gmunmap(ctx, fid, p * PAGE)
 
-        res = device.launch(kern, grid=2, block_threads=1024)
-        result.rows.append({
-            "batching": batching,
-            "cycles": round(res.cycles),
-            "batches": gpufs.batcher.stats.batches,
-            "mean_batch": round(gpufs.batcher.stats.mean_batch_size(), 1),
-        })
-    return result
+    res = device.launch(kern, grid=2, block_threads=1024)
+    return [{
+        "batching": batching,
+        "cycles": round(res.cycles),
+        "batches": gpufs.batcher.stats.batches,
+        "mean_batch": round(gpufs.batcher.stats.mean_batch_size(), 1),
+    }]
 
 
-def ablation_registers(scale: str = "quick") -> ExperimentResult:
+def ablation_registers_grid(scale: str) -> list[dict]:
+    return [{"regs_per_thread": regs} for regs in (64, 128)]
+
+
+def ablation_registers_fold(rows: list, scale: str) -> list:
+    base = next((r["cycles"] for r in rows
+                 if r["regs_per_thread"] == 64), None)
+    return [dict(r, slowdown_vs_64=(round(r["cycles"] / base, 3)
+                                    if base else None))
+            for r in rows]
+
+
+@experiment(
+    "ablation_registers",
+    title="Register pressure vs occupancy (Read workload, apointers)",
+    columns=(Column("regs_per_thread", role="param"),
+             Column("blocks_per_sm", role="measured"),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("slowdown_vs_64", unit="x", role="derived")),
+    grid=ablation_registers_grid,
+    fold=ablation_registers_fold,
+    notes="More registers per thread halve residency and expose "
+          "the translation latency the extra registers were meant "
+          "to help with - the paper's motivation for the 64-register "
+          "cap.",
+)
+def ablation_registers_point(*, scale: str, regs_per_thread: int) -> list:
     """§VII register pressure: the paper caps kernels at 64 registers/
     thread because higher counts reduce occupancy and hurt latency
     hiding (the GK210 register file fits 2048 threads x 64 regs)."""
-    nblocks = _sizes(scale, 26, 52)
-    result = ExperimentResult(
-        exp_id="ablation_registers",
-        title="Register pressure vs occupancy (Read workload, apointers)",
-        columns=["regs_per_thread", "blocks_per_sm", "cycles",
-                 "slowdown_vs_64"],
-        notes="More registers per thread halve residency and expose "
-              "the translation latency the extra registers were meant "
-              "to help with - the paper's motivation for the 64-register "
-              "cap.",
-    )
     from repro.gpu.occupancy import occupancy_limits
     from repro.gpu.specs import K80_SPEC
-    from repro.workloads import workload_by_name
 
+    nblocks = _sizes(scale, 26, 52)
     workload = workload_by_name("Read")
-    base_cycles = None
-    for regs in (64, 128):
-        device = Device(memory_bytes=512 * 1024 * 1024)
-        run = run_workload(workload, device, use_apointers=True,
-                           nblocks=nblocks, iters_per_thread=4,
-                           regs_per_thread=regs)
-        if not run.verified:
-            raise AssertionError("register ablation produced bad data")
-        occ = occupancy_limits(K80_SPEC, 1024, regs_per_thread=regs)
-        if base_cycles is None:
-            base_cycles = run.cycles
-        result.rows.append({
-            "regs_per_thread": regs,
-            "blocks_per_sm": occ.blocks_per_sm,
-            "cycles": round(run.cycles),
-            "slowdown_vs_64": round(run.cycles / base_cycles, 3),
-        })
-    return result
+    device = Device(memory_bytes=512 * 1024 * 1024)
+    run = run_workload(workload, device, use_apointers=True,
+                       nblocks=nblocks, iters_per_thread=4,
+                       regs_per_thread=regs_per_thread)
+    if not run.verified:
+        raise AssertionError("register ablation produced bad data")
+    occ = occupancy_limits(K80_SPEC, 1024,
+                           regs_per_thread=regs_per_thread)
+    return [{
+        "regs_per_thread": regs_per_thread,
+        "blocks_per_sm": occ.blocks_per_sm,
+        "cycles": round(run.cycles),
+    }]
 
 
-def ablation_future_hw(scale: str = "quick") -> ExperimentResult:
+def ablation_future_hw_grid(scale: str) -> list[dict]:
+    return [{"variant": v.value}
+            for v in (ImplVariant.PREFETCH, ImplVariant.HW_ASSISTED)]
+
+
+@experiment(
+    "ablation_future_hw",
+    title="Projected impact of the paper's §VII hardware extensions",
+    columns=(Column("variant", role="param"),
+             Column("read_latency_cycles", unit="cycles",
+                    role="measured"),
+             Column("inc_latency_cycles", unit="cycles",
+                    role="measured"),
+             Column("memcpy_4B_pct_peak", unit="%", role="measured")),
+    grid=ablation_future_hw_grid,
+    notes="HW_ASSISTED models dedicated boundary-check/increment "
+          "instructions and fused shuffle+integer ops.",
+)
+def ablation_future_hw_point(*, scale: str, variant: str) -> list:
     """§VII what-if: hardware-assisted apointer operations.
 
     The paper argues that "hardware extensions for these operations ...
@@ -499,36 +667,45 @@ def ablation_future_hw(scale: str = "quick") -> ExperimentResult:
     swaps in the HW_ASSISTED cost model and re-runs the headline
     fault-free benchmarks.
     """
+    impl = ImplVariant(variant)
     nblocks, iters = _sizes(scale, (13, 16), (26, 32))
-    result = ExperimentResult(
-        exp_id="ablation_future_hw",
-        title="Projected impact of the paper's §VII hardware extensions",
-        columns=["variant", "read_latency_cycles", "inc_latency_cycles",
-                 "memcpy_4B_pct_peak"],
-        notes="HW_ASSISTED models dedicated boundary-check/increment "
-              "instructions and fused shuffle+integer ops.",
-    )
-    for variant in (ImplVariant.PREFETCH, ImplVariant.HW_ASSISTED):
-        read = _measure_latency(variant, "read", perm=False)
-        inc = _measure_latency(variant, "inc", perm=False)
-        device = Device(memory_bytes=512 * 1024 * 1024)
-        bw = run_memcpy(device, use_apointers=True, width=4,
-                        nblocks=nblocks, iters_per_thread=iters,
-                        config=APConfig(variant=variant))
-        if not bw.verified:
-            raise AssertionError("hw-assist memcpy copied wrong data")
-        result.rows.append({
-            "variant": variant.value,
-            "read_latency_cycles": round(read, 1),
-            "inc_latency_cycles": round(inc, 1),
-            "memcpy_4B_pct_peak": round(100 * bw.fraction_of_peak, 1),
-        })
-    return result
+    read = _measure_latency(impl, "read", perm=False)
+    inc = _measure_latency(impl, "inc", perm=False)
+    device = Device(memory_bytes=512 * 1024 * 1024)
+    bw = run_memcpy(device, use_apointers=True, width=4,
+                    nblocks=nblocks, iters_per_thread=iters,
+                    config=APConfig(variant=impl))
+    if not bw.verified:
+        raise AssertionError("hw-assist memcpy copied wrong data")
+    return [{
+        "variant": variant,
+        "read_latency_cycles": round(read, 1),
+        "inc_latency_cycles": round(inc, 1),
+        "memcpy_4B_pct_peak": round(100 * bw.fraction_of_peak, 1),
+    }]
 
 
-def ablation_eviction(scale: str = "quick",
-                      eviction_policy: Optional[str] = None
-                      ) -> ExperimentResult:
+def ablation_eviction_grid(scale: str,
+                           eviction_policy: Optional[str] = None
+                           ) -> list[dict]:
+    policies = ((eviction_policy,) if eviction_policy
+                else ("clock", "fifo", "lru", "random"))
+    return [{"policy": policy} for policy in policies]
+
+
+@experiment(
+    "ablation_eviction",
+    title="Eviction policy under thrash (cache = working set / 2)",
+    columns=(Column("policy", role="param"),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("major_faults", role="measured"),
+             Column("evictions", role="measured")),
+    grid=ablation_eviction_grid,
+    options=("eviction_policy",),
+    notes="Sequential-with-reuse sweep; the differences are small "
+          "because the access pattern cycles through the file.",
+)
+def ablation_eviction_point(*, scale: str, policy: str) -> list:
     """Eviction-policy ablation under cache thrash.
 
     The paper leaves the replacement policy unspecified; this sweep
@@ -536,47 +713,81 @@ def ablation_eviction(scale: str = "quick",
     working set and compares clock/FIFO/LRU/random.  The policy is
     plumbed through :class:`~repro.paging.gpufs.GPUfsConfig`
     (``eviction_policy``) rather than swapped in after construction;
-    passing ``eviction_policy`` (the CLI's ``--eviction-policy``)
-    restricts the sweep to that one policy.
+    the CLI's ``--eviction-policy`` restricts the sweep to one policy.
     """
     from repro.workloads.filebench import make_file_env
 
     npages, rounds = _sizes(scale, (128, 3), (512, 4))
-    result = ExperimentResult(
-        exp_id="ablation_eviction",
-        title="Eviction policy under thrash (cache = working set / 2)",
-        columns=["policy", "cycles", "major_faults", "evictions"],
-        notes="Sequential-with-reuse sweep; the differences are small "
-              "because the access pattern cycles through the file.",
-    )
-    policies = ((eviction_policy,) if eviction_policy
-                else ("clock", "fifo", "lru", "random"))
-    for policy in policies:
-        device, gpufs, fid, _ = make_file_env(
-            npages * PAGE, num_frames=npages // 2,
-            memory_bytes=npages * PAGE + 128 * 1024 * 1024,
-            eviction_policy=policy)
-        nwarps = 32
+    device, gpufs, fid, _ = make_file_env(
+        npages * PAGE, num_frames=npages // 2,
+        memory_bytes=npages * PAGE + 128 * 1024 * 1024,
+        eviction_policy=policy)
+    nwarps = 32
 
-        def kern(ctx):
-            for r in range(rounds):
-                for p in range(ctx.warp_id, npages, nwarps):
-                    yield from gpufs.gmmap(ctx, fid, p * PAGE)
-                    yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+    def kern(ctx):
+        for r in range(rounds):
+            for p in range(ctx.warp_id, npages, nwarps):
+                yield from gpufs.gmmap(ctx, fid, p * PAGE)
+                yield from gpufs.gmunmap(ctx, fid, p * PAGE)
 
-        res = device.launch(kern, grid=1, block_threads=1024)
-        result.rows.append({
-            "policy": policy,
-            "cycles": round(res.cycles),
-            "major_faults": gpufs.stats.major_faults,
-            "evictions": gpufs.cache.evictions,
-        })
-    return result
+    res = device.launch(kern, grid=1, block_threads=1024)
+    return [{
+        "policy": policy,
+        "cycles": round(res.cycles),
+        "major_faults": gpufs.stats.major_faults,
+        "evictions": gpufs.cache.evictions,
+    }]
 
 
-def ablation_readahead(scale: str = "quick",
-                       eviction_policy: Optional[str] = None
-                       ) -> ExperimentResult:
+def ablation_readahead_grid(scale: str,
+                            eviction_policy: Optional[str] = None
+                            ) -> list[dict]:
+    policy = eviction_policy or "clock"
+    return [{"workload": workload, "readahead": ra,
+             "eviction_policy": policy}
+            for workload in ("seq-read", "file-memcpy")
+            for ra in (False, True)]
+
+
+def ablation_readahead_fold(rows: list, scale: str) -> list:
+    """Speedup is vs the readahead-off point of the same workload."""
+    base = {r["workload"]: r["cycles"] for r in rows
+            if not r["readahead"]}
+    out = []
+    for r in rows:
+        r = dict(r)
+        b = base.get(r["workload"])
+        r["speedup"] = round(b / r["cycles"], 3) if b else None
+        r["cycles"] = round(r["cycles"])
+        r.pop("eviction_policy", None)
+        out.append(r)
+    return out
+
+
+@experiment(
+    "ablation_readahead",
+    title="Asynchronous page readahead (cold cache, sequential)",
+    columns=(Column("workload", role="param"),
+             Column("readahead", role="param", numeric=False),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("speedup", unit="x", role="derived"),
+             Column("major_faults", role="measured"),
+             Column("ra_issued", role="measured"),
+             Column("ra_hits", role="measured"),
+             Column("ra_wasted", role="measured"),
+             Column("ra_cancelled", role="measured")),
+    grid=ablation_readahead_grid,
+    fold=ablation_readahead_fold,
+    options=("eviction_policy",),
+    notes="Extension beyond §V: a host-side readahead daemon "
+          "issues speculative page-ins through the same transfer "
+          "batcher, so speculative and demand transfers coalesce. "
+          "`speedup` is vs the batching-only baseline of the same "
+          "workload; output is verified against file contents.",
+)
+def ablation_readahead_point(*, scale: str, workload: str,
+                             readahead: bool,
+                             eviction_policy: str) -> list:
     """Asynchronous page readahead, off vs on (reproduction extension).
 
     §V's batching amortises the PCIe transaction cost of *demand*
@@ -592,47 +803,61 @@ def ablation_readahead(scale: str = "quick",
     # long enough for the detector to train before the warp finishes.
     (seq_pages, seq_warps), (mc_pages, mc_warps) = _sizes(
         scale, ((192, 32), (128, 16)), ((768, 32), (384, 16)))
-    policy = eviction_policy or "clock"
-    result = ExperimentResult(
-        exp_id="ablation_readahead",
-        title="Asynchronous page readahead (cold cache, sequential)",
-        columns=["workload", "readahead", "cycles", "speedup",
-                 "major_faults", "ra_issued", "ra_hits", "ra_wasted",
-                 "ra_cancelled"],
-        notes="Extension beyond §V: a host-side readahead daemon "
-              "issues speculative page-ins through the same transfer "
-              "batcher, so speculative and demand transfers coalesce. "
-              "`speedup` is vs the batching-only baseline of the same "
-              "workload; output is verified against file contents.",
-    )
-    for workload, pages, nwarps, copy in (
-            ("seq-read", seq_pages, seq_warps, False),
-            ("file-memcpy", mc_pages, mc_warps, True)):
-        base = None
-        for ra in (False, True):
-            r = run_sequential_file_read(npages=pages, warps=nwarps,
-                                         copy_pages=copy, readahead=ra,
-                                         eviction_policy=policy)
-            if not r.verified:
-                raise AssertionError(
-                    f"{workload} (readahead={ra}) read wrong data")
-            if base is None:
-                base = r.cycles
-            result.rows.append({
-                "workload": workload,
-                "readahead": ra,
-                "cycles": round(r.cycles),
-                "speedup": round(base / r.cycles, 3),
-                "major_faults": r.major_faults,
-                "ra_issued": r.ra_issued,
-                "ra_hits": r.ra_hits,
-                "ra_wasted": r.ra_wasted,
-                "ra_cancelled": r.ra_cancelled,
-            })
-    return result
+    pages, nwarps, copy = ((seq_pages, seq_warps, False)
+                           if workload == "seq-read"
+                           else (mc_pages, mc_warps, True))
+    r = run_sequential_file_read(npages=pages, warps=nwarps,
+                                 copy_pages=copy, readahead=readahead,
+                                 eviction_policy=eviction_policy)
+    if not r.verified:
+        raise AssertionError(
+            f"{workload} (readahead={readahead}) read wrong data")
+    return [{
+        "workload": workload,
+        "readahead": readahead,
+        "cycles": r.cycles,
+        "major_faults": r.major_faults,
+        "ra_issued": r.ra_issued,
+        "ra_hits": r.ra_hits,
+        "ra_wasted": r.ra_wasted,
+        "ra_cancelled": r.ra_cancelled,
+    }]
 
 
-def ablation_io_preemption(scale: str = "quick") -> ExperimentResult:
+def ablation_io_preemption_grid(scale: str) -> list[dict]:
+    return [{"p2p": p2p, "preempt": preempt}
+            for p2p in (False, True)
+            for preempt in (False, True)]
+
+
+def ablation_io_preemption_fold(rows: list, scale: str) -> list:
+    base = {r["io_path"]: r["cycles"] for r in rows
+            if not r["io_preemption"]}
+    return [dict(r, speedup_vs_no_preempt=(
+        round(base[r["io_path"]] / r["cycles"], 3)
+        if base.get(r["io_path"]) else None)) for r in rows]
+
+
+@experiment(
+    "ablation_io_preemption",
+    title="I/O-driven threadblock preemption (§VII what-if)",
+    columns=(Column("io_path", role="param"),
+             Column("io_preemption", role="param", numeric=False),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("preemptions", role="measured"),
+             Column("speedup_vs_no_preempt", unit="x", role="derived")),
+    grid=ablation_io_preemption_grid,
+    fold=ablation_io_preemption_fold,
+    notes="Disk-class storage (~150 us/access).  With host-mediated "
+          "faults the host RPC service rate is the bottleneck "
+          "(the paper's Figure 1 problem) and preemption cannot "
+          "help; with peer-to-peer DMA (GPUDirect, §I) the stall "
+          "is pure latency and preemption recovers the SMs — the "
+          "combination the paper's GPU-centric design plus "
+          "GPUpIO [24] argues for.",
+)
+def ablation_io_preemption_point(*, scale: str, p2p: bool,
+                                 preempt: bool) -> list:
     """§VII what-if: I/O-driven threadblock preemption (GPUpIO [24]).
 
     "A major page fault incurs a long-latency access to the backing
@@ -650,78 +875,181 @@ def ablation_io_preemption(scale: str = "quick") -> ExperimentResult:
     # window without touching memory.
     burst_instrs, burst_chain = 150, 20
     compute_ops = _sizes(scale, 40, 64)
-    result = ExperimentResult(
-        exp_id="ablation_io_preemption",
-        title="I/O-driven threadblock preemption (§VII what-if)",
-        columns=["io_path", "io_preemption", "cycles", "preemptions",
-                 "speedup_vs_no_preempt"],
-        notes="Disk-class storage (~150 us/access).  With host-mediated "
-              "faults the host RPC service rate is the bottleneck "
-              "(the paper's Figure 1 problem) and preemption cannot "
-              "help; with peer-to-peer DMA (GPUDirect, §I) the stall "
-              "is pure latency and preemption recovers the SMs — the "
-              "combination the paper's GPU-centric design plus "
-              "GPUpIO [24] argues for.",
-    )
-    for p2p in (False, True):
-        base_cycles = None
-        for preempt in (False, True):
-            io_blocks = 26           # fills all 13 SMs (2 blocks/SM)
-            compute_blocks = 26
-            io_warps = io_blocks * 32
-            npages = io_warps * 2    # two disk-class faults per warp
-            device, gpufs, fid, _ = make_file_env(
-                npages * PAGE, num_frames=npages + 8,
-                memory_bytes=256 * 1024 * 1024 + npages * PAGE)
-            device.spec = K80_SPEC.with_overrides(
-                io_preemption=preempt, pcie_latency_s=150e-6,
-                host_rpc_s=0.0 if p2p else K80_SPEC.host_rpc_s)
-            gpufs.batcher.enabled = False
+    io_blocks = 26           # fills all 13 SMs (2 blocks/SM)
+    compute_blocks = 26
+    io_warps = io_blocks * 32
+    npages = io_warps * 2    # two disk-class faults per warp
+    device, gpufs, fid, _ = make_file_env(
+        npages * PAGE, num_frames=npages + 8,
+        memory_bytes=256 * 1024 * 1024 + npages * PAGE)
+    device.spec = K80_SPEC.with_overrides(
+        io_preemption=preempt, pcie_latency_s=150e-6,
+        host_rpc_s=0.0 if p2p else K80_SPEC.host_rpc_s)
+    gpufs.batcher.enabled = False
 
-            def kern(ctx):
-                if ctx.block_id < io_blocks:
-                    # I/O-bound: two dependent disk-class faults.
-                    for i in range(2):
-                        p = ctx.warp_id + i * io_warps
-                        yield from gpufs.gmmap(ctx, fid, p * PAGE)
-                        yield from gpufs.gmunmap(ctx, fid, p * PAGE)
-                else:
-                    # Compute-bound: no memory traffic at all.
-                    for _ in range(compute_ops):
-                        yield from ctx.compute(burst_instrs,
-                                               chain=burst_chain)
+    def kern(ctx):
+        if ctx.block_id < io_blocks:
+            # I/O-bound: two dependent disk-class faults.
+            for i in range(2):
+                p = ctx.warp_id + i * io_warps
+                yield from gpufs.gmmap(ctx, fid, p * PAGE)
+                yield from gpufs.gmunmap(ctx, fid, p * PAGE)
+        else:
+            # Compute-bound: no memory traffic at all.
+            for _ in range(compute_ops):
+                yield from ctx.compute(burst_instrs, chain=burst_chain)
 
-            res = device.launch(kern, grid=io_blocks + compute_blocks,
-                                block_threads=1024)
-            if base_cycles is None:
-                base_cycles = res.cycles
-            result.rows.append({
-                "io_path": "p2p-dma" if p2p else "host-mediated",
-                "io_preemption": preempt,
-                "cycles": round(res.cycles),
-                "preemptions": res.stats.preemptions,
-                "speedup_vs_no_preempt": round(
-                    base_cycles / res.cycles, 3),
-            })
-    return result
+    res = device.launch(kern, grid=io_blocks + compute_blocks,
+                        block_threads=1024)
+    return [{
+        "io_path": "p2p-dma" if p2p else "host-mediated",
+        "io_preemption": preempt,
+        "cycles": round(res.cycles),
+        "preemptions": res.stats.preemptions,
+    }]
 
 
-#: Registry used by the CLI and EXPERIMENTS.md generator.
+# ----------------------------------------------------------------------
+# Legacy API: one function per table/figure (deprecated)
+# ----------------------------------------------------------------------
+def _run_registered(name: str, scale: str,
+                    options: Optional[dict] = None) -> ExperimentResult:
+    """Serial, fail-fast execution of one registry entry (what the
+    deprecated wrappers and ``ALL_EXPERIMENTS`` callables delegate to).
+    """
+    from repro.harness.runner import ExperimentPointError, run_experiment
+    report = run_experiment(REGISTRY[name], scale=scale,
+                            options=options, progress=False)
+    if report.result.errors:
+        raise ExperimentPointError(name, report.result.errors)
+    return report.result
+
+
+def _warn_deprecated(fn_name: str, target: str) -> None:
+    warnings.warn(
+        f"repro.harness.{fn_name}() is deprecated; use "
+        f"REGISTRY[{target!r}] with repro.harness.runner."
+        f"run_experiment() (parallel via --jobs) instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def table1(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``table1``."""
+    _warn_deprecated("table1", "table1")
+    return _run_registered("table1", scale)
+
+
+def table2(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``table2``."""
+    _warn_deprecated("table2", "table2")
+    return _run_registered("table2", scale)
+
+
+def table3(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``table3``."""
+    _warn_deprecated("table3", "table3")
+    return _run_registered("table3", scale)
+
+
+def figure6(scale: str = "quick", width: int = 4,
+            with_gpufs: bool = False) -> ExperimentResult:
+    """Deprecated wrapper for ``figure6a``/``figure6b``/``figure6c``."""
+    name = ("figure6c" if with_gpufs
+            else "figure6a" if width == 4 else "figure6b")
+    _warn_deprecated("figure6", name)
+    return _run_registered(name, scale)
+
+
+def figure7(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``figure7``."""
+    _warn_deprecated("figure7", "figure7")
+    return _run_registered("figure7", scale)
+
+
+def figure9(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``figure9``."""
+    _warn_deprecated("figure9", "figure9")
+    return _run_registered("figure9", scale)
+
+
+def unaligned_access(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``unaligned``."""
+    _warn_deprecated("unaligned_access", "unaligned")
+    return _run_registered("unaligned", scale)
+
+
+def ablation_prefetch(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``ablation_prefetch``."""
+    _warn_deprecated("ablation_prefetch", "ablation_prefetch")
+    return _run_registered("ablation_prefetch", scale)
+
+
+def ablation_batching(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``ablation_batching``."""
+    _warn_deprecated("ablation_batching", "ablation_batching")
+    return _run_registered("ablation_batching", scale)
+
+
+def ablation_registers(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``ablation_registers``."""
+    _warn_deprecated("ablation_registers", "ablation_registers")
+    return _run_registered("ablation_registers", scale)
+
+
+def ablation_eviction(scale: str = "quick",
+                      eviction_policy: Optional[str] = None
+                      ) -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``ablation_eviction``."""
+    _warn_deprecated("ablation_eviction", "ablation_eviction")
+    return _run_registered("ablation_eviction", scale,
+                           {"eviction_policy": eviction_policy})
+
+
+def ablation_readahead(scale: str = "quick",
+                       eviction_policy: Optional[str] = None
+                       ) -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``ablation_readahead``."""
+    _warn_deprecated("ablation_readahead", "ablation_readahead")
+    return _run_registered("ablation_readahead", scale,
+                           {"eviction_policy": eviction_policy})
+
+
+def ablation_future_hw(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for registry entry ``ablation_future_hw``."""
+    _warn_deprecated("ablation_future_hw", "ablation_future_hw")
+    return _run_registered("ablation_future_hw", scale)
+
+
+def ablation_io_preemption(scale: str = "quick") -> ExperimentResult:
+    """Deprecated wrapper for ``ablation_io_preemption``."""
+    _warn_deprecated("ablation_io_preemption", "ablation_io_preemption")
+    return _run_registered("ablation_io_preemption", scale)
+
+
+def _registry_callable(name: str) -> Callable[..., ExperimentResult]:
+    """A non-deprecated serial callable for ``ALL_EXPERIMENTS`` —
+    carries its descriptor as ``.experiment`` so the CLI and benchmark
+    helpers can route it through the parallel runner instead."""
+    def run(scale: str = "quick", **options) -> ExperimentResult:
+        return _run_registered(name, scale, options or None)
+    run.__name__ = name
+    run.__qualname__ = name
+    run.__doc__ = REGISTRY[name].title
+    run.experiment = REGISTRY[name]
+    return run
+
+
+#: CLI listing order (kept from the pre-registry harness).
+_EXPERIMENT_ORDER = (
+    "table1", "table2", "table3", "figure6a", "figure6b", "figure6c",
+    "figure7", "figure9", "unaligned", "ablation_prefetch",
+    "ablation_batching", "ablation_registers", "ablation_eviction",
+    "ablation_readahead", "ablation_future_hw",
+    "ablation_io_preemption",
+)
+
+#: Name -> callable view of the registry (kept for compatibility with
+#: pre-registry callers; the CLI uses the ``.experiment`` descriptors).
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1,
-    "table2": table2,
-    "table3": table3,
-    "figure6a": lambda scale="quick": figure6(scale, width=4),
-    "figure6b": lambda scale="quick": figure6(scale, width=16),
-    "figure6c": lambda scale="quick": figure6(scale, with_gpufs=True),
-    "figure7": figure7,
-    "figure9": figure9,
-    "unaligned": unaligned_access,
-    "ablation_prefetch": ablation_prefetch,
-    "ablation_batching": ablation_batching,
-    "ablation_registers": ablation_registers,
-    "ablation_eviction": ablation_eviction,
-    "ablation_readahead": ablation_readahead,
-    "ablation_future_hw": ablation_future_hw,
-    "ablation_io_preemption": ablation_io_preemption,
+    name: _registry_callable(name) for name in _EXPERIMENT_ORDER
 }

@@ -1,0 +1,161 @@
+"""Declarative experiment registry — the harness API substrate.
+
+An :class:`Experiment` describes one table/figure of the paper as
+*data* instead of an ad-hoc function:
+
+* a **parameter grid** — ``grid(scale, **options)`` returns a list of
+  picklable parameter dicts, one per independent simulation point;
+* a module-level **point function** — ``point(scale=..., **params)``
+  measures one grid point and returns its result rows;
+* an optional **fold** — ``fold(rows, scale)`` runs in the parent once
+  every point is in and derives cross-point columns (baselines,
+  speedups, wide pivots).
+
+Because points are plain functions of plain parameters, the parallel
+runner (:mod:`repro.harness.runner`) can ship them to spawn workers;
+because the fold is explicit, everything that couples points (shared
+baselines, row pivots) is parent-side and the points themselves stay
+embarrassingly parallel.
+
+Experiments register with the :func:`experiment` decorator::
+
+    @experiment("table1", title=..., columns=(...), grid=table1_grid)
+    def table1_point(*, scale, implementation, op):
+        ...
+        return [{"implementation": implementation, "op": op, ...}]
+
+and are looked up through :data:`REGISTRY` (insertion-ordered, so
+``repro-experiments --list`` matches definition order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Column roles recognised by :class:`Column`.
+ROLES = ("param", "measured", "paper", "derived")
+
+
+class Column(str):
+    """A result column: a plain ``str`` carrying schema metadata.
+
+    Being a ``str`` subclass, a :class:`Column` *is* the row key —
+    every existing consumer (``row[col]``, ``result.columns[1:]``)
+    keeps working — while reporting can read the unified schema off
+    it: the measurement ``unit`` (``"cycles"``, ``"GB/s"``, ``"%"``,
+    ...), the ``role`` (``param`` / ``measured`` / ``paper`` /
+    ``derived``), and an explicit ``numeric`` alignment override for
+    columns whose values are not numbers (e.g. Table III's
+    ``paper_major`` = "none observable").
+    """
+
+    unit: Optional[str]
+    role: Optional[str]
+    numeric: Optional[bool]
+
+    def __new__(cls, name: str, unit: Optional[str] = None,
+                role: Optional[str] = None,
+                numeric: Optional[bool] = None) -> "Column":
+        if role is not None and role not in ROLES:
+            raise ValueError(f"unknown column role {role!r}")
+        self = super().__new__(cls, name)
+        self.unit = unit
+        self.role = role
+        self.numeric = numeric
+        return self
+
+    @property
+    def header(self) -> str:
+        """Rendered column header: the name plus the unit, if any."""
+        return f"{self} [{self.unit}]" if self.unit else str(self)
+
+    def is_numeric(self) -> Optional[bool]:
+        """Tri-state alignment hint: explicit override, else by role
+        (measurements are numeric, params unknown -> sniff values)."""
+        if self.numeric is not None:
+            return self.numeric
+        if self.role in ("measured", "paper", "derived"):
+            return True
+        return None
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one table or figure.
+
+    ``errors`` holds one entry per grid point that crashed (params,
+    ``error`` summary, full ``traceback``, the point's ``seed``) —
+    a failed point costs its own rows only, never its siblings'.
+    """
+
+    exp_id: str
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: str = ""
+    errors: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.columns = [c if isinstance(c, Column) else Column(c)
+                        for c in self.columns]
+
+    def row_by(self, **match) -> dict:
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match}")
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table/figure as a declarative descriptor (see module doc)."""
+
+    name: str
+    title: str
+    columns: object            # tuple, or columns(scale) -> tuple
+    point: Callable            # point(scale=..., **params) -> [rows]
+    grid: Callable             # grid(scale, **options) -> [params]
+    fold: Optional[Callable] = None   # fold(rows, scale) -> [rows]
+    notes: str = ""
+    options: tuple = ()        # option names the grid understands
+
+    def columns_for(self, scale: str = "quick") -> tuple:
+        """Column schema at ``scale`` (sweep-width columns vary)."""
+        cols = self.columns
+        return tuple(cols(scale)) if callable(cols) else tuple(cols)
+
+    def new_result(self, scale: str = "quick") -> ExperimentResult:
+        return ExperimentResult(exp_id=self.name, title=self.title,
+                                columns=list(self.columns_for(scale)),
+                                notes=self.notes)
+
+
+#: Insertion-ordered registry: experiment id -> descriptor.
+REGISTRY: dict[str, Experiment] = {}
+
+
+def experiment(name: str, *, title: str, columns, grid,
+               fold: Optional[Callable] = None, notes: str = "",
+               options: tuple = ()):
+    """Register the decorated point function as experiment ``name``.
+
+    The decorator returns the function unchanged (it must stay a plain
+    module-level function so workers can unpickle it by reference);
+    stacking several ``@experiment`` decorators registers the same
+    point under several ids with different grids (figure6a/b/c).
+    """
+    def register(point_fn):
+        if name in REGISTRY:
+            raise ValueError(f"experiment {name!r} already registered")
+        REGISTRY[name] = Experiment(
+            name=name, title=title,
+            columns=columns if callable(columns) else tuple(columns),
+            point=point_fn, grid=grid, fold=fold, notes=notes,
+            options=tuple(options))
+        return point_fn
+    return register

@@ -4,25 +4,34 @@ from __future__ import annotations
 
 import math
 
-from repro.harness.experiments import ExperimentResult
+from repro.harness.registry import Column, ExperimentResult
+
+
+def _header(col) -> str:
+    """Column header: the unified schema's unit-annotated form when the
+    column carries metadata, the bare name otherwise."""
+    return col.header if isinstance(col, Column) else str(col)
 
 
 def format_result(result: ExperimentResult) -> str:
     """Render one experiment as an aligned text table.
 
-    Numeric columns (every present value an int/float) right-align so
-    magnitudes line up; text columns left-align.
+    Column alignment comes from the unified schema when available
+    (:meth:`Column.is_numeric`); plain-string columns fall back to
+    value sniffing (every present value an int/float -> right-align).
+    Failed grid points (``result.errors``) render below the table.
     """
     cols = result.columns
     rows = [[_cell(row.get(c, "")) for c in cols] for row in result.rows]
-    numeric = [_is_numeric_column(result.rows, c) for c in cols]
-    widths = [max(len(str(c)), *(len(r[i]) for r in rows)) if rows
-              else len(str(c)) for i, c in enumerate(cols)]
+    numeric = [_column_numeric(result.rows, c) for c in cols]
+    headers = [_header(c) for c in cols]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows
+              else len(h) for i, h in enumerate(headers)]
     sep = "-+-".join("-" * w for w in widths)
     lines = [
         f"== {result.exp_id}: {result.title} ==",
-        " | ".join(_align(str(c), w, n)
-                   for c, w, n in zip(cols, widths, numeric)),
+        " | ".join(_align(h, w, n)
+                   for h, w, n in zip(headers, widths, numeric)),
         sep,
     ]
     for r in rows:
@@ -30,6 +39,9 @@ def format_result(result: ExperimentResult) -> str:
                                 for v, w, n in zip(r, widths, numeric)))
     if result.notes:
         lines.append(f"note: {result.notes}")
+    for err in result.errors:
+        lines.append(f"ERROR: point {err.get('params')}: "
+                     f"{err.get('error')}")
     return "\n".join(lines)
 
 
@@ -40,12 +52,17 @@ def format_markdown(result: ExperimentResult,
     lines = [
         f"### {result.exp_id} — {result.title}",
         "",
-        "| " + " | ".join(str(c) for c in cols) + " |",
+        "| " + " | ".join(_header(c) for c in cols) + " |",
         "|" + "|".join("---" for _ in cols) + "|",
     ]
     for row in result.rows:
         lines.append(
             "| " + " | ".join(_cell(row.get(c, "")) for c in cols) + " |")
+    if result.errors:
+        lines.append("")
+        for err in result.errors:
+            lines.append(f"- **failed point** `{err.get('params')}`: "
+                         f"{err.get('error')}")
     if result.notes:
         lines.extend(["", f"*{result.notes}*"])
     if elapsed is not None:
@@ -105,6 +122,15 @@ def _mean(values) -> float:
 
 def _align(value: str, width: int, numeric: bool) -> str:
     return value.rjust(width) if numeric else value.ljust(width)
+
+
+def _column_numeric(rows, col) -> bool:
+    """Alignment for one column: schema metadata first, then sniffing."""
+    if isinstance(col, Column):
+        hint = col.is_numeric()
+        if hint is not None:
+            return hint
+    return _is_numeric_column(rows, col)
 
 
 def _is_numeric_column(rows, col) -> bool:

@@ -1,0 +1,276 @@
+"""Process-pool parallel experiment runner.
+
+Every grid point of an :class:`~repro.harness.registry.Experiment` is
+an independent simulation, so the suite is embarrassingly parallel —
+the classic structure parallel GPU-simulator work exploits.  This
+module fans points out across spawn workers (``concurrent.futures``),
+with:
+
+* **deterministic per-point seeding** — each point's RNG seed is a
+  stable hash of ``(base_seed, experiment, point index, params)``, so
+  ``--jobs 1`` and ``--jobs N`` produce row-for-row identical results;
+* **structured failure capture** — a crashed point becomes an entry in
+  ``result.errors`` (params + traceback), never a crashed suite: the
+  sibling points' rows survive;
+* **per-worker profile merging** — with ``profile=True`` each point
+  runs under :func:`repro.telemetry.capture` and its
+  ``LaunchProfile`` documents are shipped back and merged into one
+  suite profile (:func:`repro.telemetry.merge_profiles`, schema v4
+  with a ``run.workers`` section);
+* a **progress line** on stderr when attached to a terminal.
+
+Spawn-safety is what the registry buys: point functions are
+module-level (pickled by reference) and grid params are plain dicts,
+so nothing closes over a live ``Device`` or an unpicklable config.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import sys
+import time
+import traceback
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.harness.registry import Experiment, ExperimentResult
+
+#: Default base seed; combine with a per-point hash for the final seed.
+DEFAULT_BASE_SEED = 0x5EED
+
+
+class ExperimentPointError(RuntimeError):
+    """Raised by fail-fast callers when any grid point crashed."""
+
+    def __init__(self, exp_id: str, errors: list):
+        self.exp_id = exp_id
+        self.errors = errors
+        first = errors[0]
+        super().__init__(
+            f"{len(errors)} point(s) of {exp_id} failed; first: "
+            f"{first['params']}: {first['error']}")
+
+
+@dataclass
+class PointOutcome:
+    """One grid point, finished: its rows or its failure."""
+
+    index: int
+    params: dict
+    seed: int
+    rows: Optional[list] = None
+    error: Optional[str] = None        # "ExceptionType: message"
+    traceback: Optional[str] = None
+    profiles: list = field(default_factory=list)   # LaunchProfile docs
+    tracers: list = field(default_factory=list)    # in-process runs only
+    worker_pid: int = 0
+
+
+@dataclass
+class RunReport:
+    """Everything one :func:`run_experiment` call produced."""
+
+    result: ExperimentResult
+    outcomes: list
+    profiles: list = field(default_factory=list)   # docs, grid order
+    tracers: list = field(default_factory=list)    # parallel to profiles
+    merged: Optional[dict] = None                  # suite profile (v4)
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+
+def point_seed(exp_name: str, index: int, params: dict,
+               base_seed: int = DEFAULT_BASE_SEED) -> int:
+    """Stable per-point seed: identical in-process and across spawn
+    workers, independent of scheduling order and job count."""
+    blob = repr((base_seed, exp_name, index,
+                 sorted(params.items()))).encode()
+    return zlib.crc32(blob) & 0x7FFFFFFF
+
+
+def _seed_rngs(seed: int) -> None:
+    import numpy as np
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
+
+
+def _execute_point(point_fn, params: dict, seed: int, scale: str,
+                   profile: bool, trace: bool):
+    """Run one point (any process); returns (rows, profile docs,
+    tracers).  Tracers only exist for in-process execution — they are
+    not shipped across the pool."""
+    _seed_rngs(seed)
+    if not profile:
+        return point_fn(scale=scale, **params), [], []
+    from repro.telemetry import capture
+    with capture(trace=trace, max_traces=1) as prof:
+        rows = point_fn(scale=scale, **params)
+    return rows, [p.to_dict() for p in prof.profiles], prof.traces
+
+
+def _pool_task(point_fn, index: int, params: dict, seed: int,
+               scale: str, profile: bool):
+    """Worker-side wrapper: never raises — failures come back as data."""
+    try:
+        rows, docs, _ = _execute_point(point_fn, params, seed, scale,
+                                       profile, trace=False)
+        return (index, rows, docs, None, None, os.getpid())
+    except BaseException as exc:                    # noqa: BLE001
+        return (index, None, [], f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(), os.getpid())
+
+
+def spawn_executor(jobs: int) -> ProcessPoolExecutor:
+    """A spawn-context pool (fork would duplicate live sim state)."""
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=multiprocessing.get_context("spawn"))
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``0`` means "one worker per core"."""
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
+def run_experiment(exp: Experiment, *, scale: str = "quick",
+                   jobs: int = 1, options: Optional[dict] = None,
+                   profile: bool = False, trace: Optional[bool] = None,
+                   base_seed: int = DEFAULT_BASE_SEED,
+                   progress: Optional[bool] = None,
+                   executor: Optional[ProcessPoolExecutor] = None,
+                   ) -> RunReport:
+    """Run every grid point of ``exp``; return a :class:`RunReport`.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` fans points out over a
+    spawn pool (pass ``executor`` to share one pool across several
+    experiments — spawn startup is paid once).  ``options`` are
+    filtered against ``exp.options`` before reaching the grid, so
+    harness-wide flags (``--eviction-policy``) can be offered to every
+    experiment and only land where declared.
+    """
+    started = time.time()
+    jobs = resolve_jobs(jobs)
+    opts = {k: v for k, v in (options or {}).items()
+            if k in exp.options and v is not None}
+    grid = exp.grid(scale, **opts)
+    result = exp.new_result(scale)
+    show = _progress_enabled(progress)
+    outcomes: list = [None] * len(grid)
+
+    if jobs == 1 and executor is None:
+        in_process_trace = profile if trace is None else trace
+        for i, params in enumerate(grid):
+            seed = point_seed(exp.name, i, params, base_seed)
+            out = PointOutcome(index=i, params=params, seed=seed,
+                               worker_pid=os.getpid())
+            try:
+                out.rows, out.profiles, out.tracers = _execute_point(
+                    exp.point, params, seed, scale, profile,
+                    trace=in_process_trace)
+            except Exception as exc:
+                out.error = f"{type(exc).__name__}: {exc}"
+                out.traceback = traceback.format_exc()
+            outcomes[i] = out
+            _progress(show, exp.name, sum(o is not None
+                                          for o in outcomes),
+                      len(grid), jobs)
+    else:
+        own_pool = executor is None
+        pool = executor if executor is not None else spawn_executor(jobs)
+        try:
+            futures = {}
+            for i, params in enumerate(grid):
+                seed = point_seed(exp.name, i, params, base_seed)
+                futures[pool.submit(_pool_task, exp.point, i, params,
+                                    seed, scale, profile)] = (i, params,
+                                                              seed)
+            done = 0
+            from concurrent.futures import as_completed
+            for fut in as_completed(futures):
+                i, params, seed = futures[fut]
+                index, rows, docs, error, tb, pid = fut.result()
+                outcomes[index] = PointOutcome(
+                    index=index, params=params, seed=seed, rows=rows,
+                    error=error, traceback=tb, profiles=docs,
+                    worker_pid=pid)
+                done += 1
+                _progress(show, exp.name, done, len(grid), jobs)
+        finally:
+            if own_pool:
+                pool.shutdown()
+    _progress_end(show)
+
+    rows: list = []
+    profiles: list = []
+    tracers: list = []
+    for out in outcomes:
+        if out.error is not None:
+            result.errors.append({
+                "params": out.params, "error": out.error,
+                "traceback": out.traceback, "seed": out.seed,
+            })
+            continue
+        rows.extend(out.rows)
+        profiles.extend(out.profiles)
+        tracers.extend(out.tracers)
+    result.rows = exp.fold(rows, scale) if exp.fold else rows
+
+    merged = None
+    if profile and profiles:
+        # Re-index in deterministic grid order (worker-local indices
+        # all start at zero) before merging.
+        for index, doc in enumerate(profiles):
+            doc["index"] = index
+        tracers.extend([None] * (len(profiles) - len(tracers)))
+        from repro.telemetry import merge_profiles
+        merged = merge_profiles(
+            profiles, name=f"{exp.name} suite",
+            workers={
+                "count": len({o.worker_pid for o in outcomes
+                              if o is not None}),
+                "jobs": jobs,
+                "points": len(grid),
+                "launches": len(profiles),
+                "errors": len(result.errors),
+            })
+    return RunReport(result=result, outcomes=outcomes,
+                     profiles=profiles, tracers=tracers, merged=merged,
+                     jobs=jobs, elapsed=time.time() - started)
+
+
+def run_named(name: str, **kwargs) -> RunReport:
+    """Run a registered experiment by id (imports the registry)."""
+    import repro.harness.experiments  # noqa: F401  (populates REGISTRY)
+    from repro.harness.registry import REGISTRY
+    return run_experiment(REGISTRY[name], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Progress line (stderr, terminals only unless forced)
+# ----------------------------------------------------------------------
+def _progress_enabled(progress: Optional[bool]) -> bool:
+    if progress is not None:
+        return progress
+    return bool(getattr(sys.stderr, "isatty", lambda: False)())
+
+
+def _progress(show: bool, name: str, done: int, total: int,
+              jobs: int) -> None:
+    if show:
+        sys.stderr.write(f"\r[{name}] {done}/{total} points "
+                         f"({jobs} worker{'s' if jobs != 1 else ''})")
+        sys.stderr.flush()
+
+
+def _progress_end(show: bool) -> None:
+    if show:
+        sys.stderr.write("\n")
+        sys.stderr.flush()

@@ -18,6 +18,8 @@ introduction proposes for a CryptFS-style encrypted GPU file system.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -44,7 +46,16 @@ MAJOR_FAULT_EXTRA_INSTRS = 250.0
 
 @dataclass(frozen=True)
 class GPUfsConfig:
-    """Configuration of the paging subsystem."""
+    """Configuration of the paging subsystem.
+
+    Construct with keyword arguments only — positional construction is
+    deprecated (one release of ``DeprecationWarning``, then it becomes
+    an error): the field list has grown PR over PR and positional call
+    sites silently change meaning when a field lands in the middle.
+    ``to_dict()`` / ``from_dict()`` round-trip the config through plain
+    JSON-able dicts (how the parallel runner ships configs to spawn
+    workers, and how profiles could embed them).
+    """
 
     page_size: int = 4096
     num_frames: int = 512
@@ -66,6 +77,54 @@ class GPUfsConfig:
     # class, no wrapper generators); on, every warp is watched for
     # lockstep, torn-write, and pin-balance violations.
     sanitize: bool = False
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able dict of every field (round-trips through
+        :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GPUfsConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` (a typo'd knob should fail
+        loudly, not silently run with defaults)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown GPUfsConfig fields: {unknown}")
+        return cls(**data)
+
+
+def _deprecate_positional_init(cls):
+    """Warn (once per call site) on positional GPUfsConfig construction.
+
+    ``kw_only=True`` would turn existing positional callers into hard
+    errors immediately; this wrapper gives them one release of
+    ``DeprecationWarning`` first while keyword construction stays
+    warning-free.
+    """
+    generated = cls.__init__
+
+    def __init__(self, *args, **kwargs):
+        if args:
+            warnings.warn(
+                "positional GPUfsConfig arguments are deprecated and "
+                "will become an error; pass fields by keyword "
+                "(GPUfsConfig(num_frames=..., ...))",
+                DeprecationWarning, stacklevel=2)
+            names = [f.name for f in dataclasses.fields(cls)]
+            kwargs.update(zip(names, args))
+        generated(self, **kwargs)
+
+    __init__.__wrapped__ = generated
+    cls.__init__ = __init__
+    return cls
+
+
+_deprecate_positional_init(GPUfsConfig)
 
 
 @dataclass

@@ -26,9 +26,10 @@ from repro.telemetry.profile import (
     SCHEMA_VERSION,
     LaunchProfile,
     MetricsRegistry,
+    merge_profiles,
     validate_profile,
 )
-from repro.telemetry.profiler import Profiler, capture
+from repro.telemetry.profiler import Profiler, capture, write_profile_docs
 
 __all__ = [
     "LaunchProfile",
@@ -39,5 +40,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "capture",
     "hooks",
+    "merge_profiles",
     "validate_profile",
+    "write_profile_docs",
 ]

@@ -22,11 +22,18 @@ SCHEMA_NAME = "repro.telemetry/launch-profile"
 #: ``translation``/``paging``) and flattened-histogram counters.
 #: v3 added the ``components.sanitizer`` section (runtime invariant
 #: checker, ``repro.analysis.sanitizer``).
-SCHEMA_VERSION = 3
+#: v4 added the optional ``run`` section carried by *merged* suite
+#: profiles (:func:`merge_profiles`): ``run.workers`` records how the
+#: parallel runner distributed the suite.  Per-launch profiles omit it.
+SCHEMA_VERSION = 4
 
 #: Versions ``validate_profile`` accepts: current plus archived ones
 #: whose required sections are a subset of what we still emit.
-ACCEPTED_VERSIONS = frozenset({2, SCHEMA_VERSION})
+ACCEPTED_VERSIONS = frozenset({2, 3, SCHEMA_VERSION})
+
+#: Required integer counters of ``run.workers`` when a ``run`` section
+#: is present (v4+).
+_RUN_WORKER_KEYS = ("count", "jobs", "points", "launches", "errors")
 
 #: components.* keys required per version (cumulative: version N
 #: requires every entry with ``since <= N``).
@@ -223,3 +230,149 @@ def validate_profile(doc: dict) -> None:
     trace = doc.get("trace")
     if trace is not None and not isinstance(trace, dict):
         raise ValueError("trace must be an object or null")
+    run = doc.get("run")
+    if run is not None:
+        if version < 4:
+            raise ValueError(f"run section requires version >= 4, "
+                             f"got {version}")
+        if not isinstance(run, dict) \
+                or not isinstance(run.get("workers"), dict):
+            raise ValueError("run.workers must be an object")
+        workers = run["workers"]
+        for key in _RUN_WORKER_KEYS:
+            if not isinstance(workers.get(key), int) \
+                    or isinstance(workers.get(key), bool):
+                raise ValueError(f"run.workers.{key} missing or "
+                                 f"mistyped")
+
+
+def merge_profiles(docs: list, *, name: str = "suite",
+                   workers: dict | None = None) -> dict:
+    """Merge per-launch profile documents into one *suite profile*.
+
+    This is how the parallel experiment runner folds the profiles its
+    workers captured back into a single document: counters (engine,
+    DRAM/PCIe traffic, stalls, component deltas) are summed; rates and
+    occupancies are recomputed from the summed totals (occupancies are
+    weighted by launch cycles, so a long launch counts for more than a
+    short one); per-SM busy cycles are accumulated by SM id.  The
+    result is a valid schema-v4 profile whose ``run.workers`` section
+    records the fan-out (worker/point/launch/error counts).
+
+    ``docs`` may come from different schema versions; missing component
+    sections are zero-filled so the merged document always carries the
+    current version's full component set.
+    """
+    if not docs:
+        raise ValueError("merge_profiles needs at least one profile")
+    for doc in docs:
+        validate_profile(doc)
+
+    total_cycles = sum(d["launch"]["cycles"] for d in docs)
+    total_seconds = sum(d["launch"]["seconds"] for d in docs)
+
+    def wmean(getter) -> float:
+        """Launch-cycle-weighted mean of a per-launch ratio."""
+        if not total_cycles:
+            return 0.0
+        return sum(getter(d) * d["launch"]["cycles"]
+                   for d in docs) / total_cycles
+
+    engine: dict = {}
+    stalls: dict = {}
+    components: dict = {}
+    sm_busy: dict = {}
+    for doc in docs:
+        for key, value in doc["engine"].items():
+            engine[key] = engine.get(key, 0) + value
+        for key, value in doc["stalls"].items():
+            stalls[key] = stalls.get(key, 0) + value
+        for kind, counters in doc["components"].items():
+            agg = components.setdefault(kind, {})
+            for key, value in counters.items():
+                agg[key] = agg.get(key, 0) + value
+        for sm in doc["sms"]:
+            sm_busy[sm["sm"]] = (sm_busy.get(sm["sm"], 0.0)
+                                 + sm["busy_cycles"])
+
+    # Zero-fill every component section the current schema requires,
+    # then recompute the derived rates from the summed raw counters.
+    for kind, _since, keys in _COMPONENT_KEYS:
+        sub = components.setdefault(kind, {})
+        for key in keys:
+            sub.setdefault(key, 0)
+    tr = components["translation"]
+    lookups = tr.get("tlb_hits", 0) + tr.get("tlb_misses", 0)
+    tr["tlb_hit_rate"] = (tr.get("tlb_hits", 0) / lookups
+                          if lookups else 0.0)
+    ra = components["readahead"]
+    ra["hit_rate"] = (ra.get("hits", 0) / ra["issued"]
+                      if ra.get("issued") else 0.0)
+
+    dram_bytes = sum(d["dram"]["bytes"] for d in docs)
+    dram_queue = sum(d["dram"].get("queue_cycles", 0) for d in docs)
+    dram_accesses = sum(d["dram"].get("queued_accesses", 0)
+                        for d in docs)
+    pcie_busy = sum(d["pcie"]["busy_cycles"] for d in docs)
+    total_instr = sum(d["issue"]["instructions_per_cycle"]
+                      * d["launch"]["cycles"] for d in docs)
+
+    merged = {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "index": 0,
+        "name": name,
+        "spec": dict(docs[0]["spec"]),
+        "launch": {
+            "grid": sum(d["launch"]["grid"] for d in docs),
+            "block_threads": max(d["launch"]["block_threads"]
+                                 for d in docs),
+            "blocks_per_sm": max(d["launch"]["blocks_per_sm"]
+                                 for d in docs),
+            "cycles": total_cycles,
+            "seconds": total_seconds,
+        },
+        "engine": engine,
+        "issue": {
+            "slot_utilization": wmean(
+                lambda d: d["issue"]["slot_utilization"]),
+            "instructions_per_cycle": (total_instr / total_cycles
+                                       if total_cycles else 0.0),
+        },
+        "sms": [{
+            "sm": sm,
+            "busy_cycles": busy,
+            "idle_cycles": max(total_cycles - busy, 0.0),
+            "utilization": busy / total_cycles if total_cycles else 0.0,
+        } for sm, busy in sorted(sm_busy.items())],
+        "dram": {
+            "bytes": dram_bytes,
+            "transactions": sum(d["dram"]["transactions"]
+                                for d in docs),
+            "bandwidth_gbs": (dram_bytes / total_seconds / 1e9
+                              if total_seconds else 0.0),
+            "occupancy": wmean(lambda d: d["dram"]["occupancy"]),
+            "queue_cycles": dram_queue,
+            "queued_accesses": dram_accesses,
+            "mean_queue_cycles": (dram_queue / dram_accesses
+                                  if dram_accesses else 0.0),
+        },
+        "pcie": {
+            "bytes": sum(d["pcie"]["bytes"] for d in docs),
+            "transactions": sum(d["pcie"]["transactions"]
+                                for d in docs),
+            "busy_cycles": pcie_busy,
+            "occupancy": (pcie_busy / total_cycles
+                          if total_cycles else 0.0),
+        },
+        "stalls": stalls,
+        "components": components,
+        "trace": None,
+        "run": {
+            "workers": dict({"count": 1, "jobs": 1, "points": 0,
+                             "launches": len(docs), "errors": 0},
+                            **(workers or {})),
+        },
+    }
+    validate_profile(merged)
+    return merged

@@ -164,6 +164,35 @@ class Profiler:
         return written
 
 
+def write_profile_docs(directory, docs, tracers=None) -> list[str]:
+    """Write already-serialised profile documents (and, when held,
+    their tracers) to ``directory``; returns the paths written.
+
+    The parallel runner ships ``LaunchProfile.to_dict()`` documents
+    back from spawn workers — this is :meth:`Profiler.write` for those
+    plain dicts.  ``tracers`` is an optional parallel list; entries are
+    ``None`` for launches whose trace stayed in the worker.
+    """
+    os.makedirs(directory, exist_ok=True)
+    tracers = tracers or []
+    written = []
+    for i, doc in enumerate(docs):
+        slug = re.sub(r"[^A-Za-z0-9_.-]", "_", doc["name"])
+        stem = f"{doc['index']:03d}-{slug}"
+        path = os.path.join(directory, f"profile-{stem}.json")
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+        written.append(path)
+        tracer = tracers[i] if i < len(tracers) else None
+        if tracer is not None and tracer.events:
+            tpath = os.path.join(directory, f"trace-{stem}.json")
+            with open(tpath, "w") as f:
+                json.dump(tracer.to_chrome_trace(
+                    _Clock(doc["spec"]["clock_hz"])), f)
+            written.append(tpath)
+    return written
+
+
 def _merge_components(collected: dict) -> dict:
     """Overlay collected counters on zeroed translation/paging sections.
 

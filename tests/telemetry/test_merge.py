@@ -1,0 +1,111 @@
+"""merge_profiles: suite profiles from per-launch documents.
+
+Covers the schema-v4 ``run`` section: counter summing, rate
+recomputation, zero-filling of component sections from older-version
+inputs, and validation of the ``run.workers`` block.
+"""
+
+import json
+
+import pytest
+
+from repro.gpu import Device
+from repro.telemetry import capture, merge_profiles, validate_profile
+
+V2_FIXTURE = "tests/telemetry/fixtures/profile-v2.json"
+
+
+@pytest.fixture
+def launch_docs():
+    """Two real launch profiles from tiny distinct kernels."""
+    from repro.workloads import run_memcpy
+    with capture(trace=False) as prof:
+        device = Device(memory_bytes=32 * 1024 * 1024)
+        r = run_memcpy(device, use_apointers=True, width=4, nblocks=2,
+                       warps_per_block=4, iters_per_thread=4)
+        assert r.verified
+        r = run_memcpy(device, use_apointers=True, width=8, nblocks=1,
+                       warps_per_block=2, iters_per_thread=2)
+        assert r.verified
+    docs = [p.to_dict() for p in prof.profiles]
+    assert len(docs) >= 2
+    return docs
+
+
+class TestMerge:
+    def test_merged_doc_is_valid_v4(self, launch_docs):
+        merged = merge_profiles(launch_docs, name="memcpy suite")
+        validate_profile(merged)
+        assert merged["version"] == 4
+        assert merged["name"] == "memcpy suite"
+
+    def test_counters_sum(self, launch_docs):
+        merged = merge_profiles(launch_docs)
+        assert merged["launch"]["cycles"] == sum(
+            d["launch"]["cycles"] for d in launch_docs)
+        assert merged["dram"]["bytes"] == sum(
+            d["dram"]["bytes"] for d in launch_docs)
+        assert merged["engine"]["instructions"] == sum(
+            d["engine"]["instructions"] for d in launch_docs)
+        for key in merged["stalls"]:
+            assert merged["stalls"][key] == sum(
+                d["stalls"].get(key, 0) for d in launch_docs)
+
+    def test_rates_recomputed_not_summed(self, launch_docs):
+        merged = merge_profiles(launch_docs)
+        tr = merged["components"]["translation"]
+        lookups = tr["tlb_hits"] + tr["tlb_misses"]
+        expected = tr["tlb_hits"] / lookups if lookups else 0.0
+        assert tr["tlb_hit_rate"] == pytest.approx(expected)
+        # A suite's occupancy can never exceed 100% no matter how many
+        # launches are merged — it's a weighted mean, not a sum.
+        assert 0.0 <= merged["dram"]["occupancy"] <= 1.0
+        assert 0.0 <= merged["issue"]["slot_utilization"] <= 1.0
+
+    def test_workers_section_round_trips(self, launch_docs):
+        merged = merge_profiles(launch_docs, workers={
+            "count": 3, "jobs": 4, "points": 7, "errors": 1})
+        workers = merged["run"]["workers"]
+        assert workers == {"count": 3, "jobs": 4, "points": 7,
+                           "launches": len(launch_docs), "errors": 1}
+        validate_profile(json.loads(json.dumps(merged)))
+
+    def test_v2_inputs_zero_fill_new_components(self):
+        with open(V2_FIXTURE) as f:
+            doc = json.load(f)
+        assert "sanitizer" not in doc["components"]
+        merged = merge_profiles([doc, json.loads(json.dumps(doc))])
+        validate_profile(merged)
+        san = merged["components"]["sanitizer"]
+        assert san["warps_watched"] == 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_profiles([])
+
+    def test_invalid_input_rejected(self, launch_docs):
+        broken = json.loads(json.dumps(launch_docs[0]))
+        broken.pop("dram")
+        with pytest.raises(ValueError):
+            merge_profiles([launch_docs[0], broken])
+
+
+class TestRunSectionValidation:
+    def test_run_requires_v4(self):
+        with open(V2_FIXTURE) as f:
+            doc = json.load(f)
+        doc["run"] = {"workers": {"count": 1, "jobs": 1, "points": 1,
+                                  "launches": 1, "errors": 0}}
+        with pytest.raises(ValueError, match="version"):
+            validate_profile(doc)
+
+    def test_missing_worker_keys_rejected(self, launch_docs):
+        merged = merge_profiles(launch_docs)
+        broken = json.loads(json.dumps(merged))
+        broken["run"]["workers"].pop("jobs")
+        with pytest.raises(ValueError, match="jobs"):
+            validate_profile(broken)
+
+    def test_per_launch_profiles_omit_run(self, launch_docs):
+        for doc in launch_docs:
+            assert "run" not in doc

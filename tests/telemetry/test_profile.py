@@ -85,7 +85,7 @@ class TestSchemaVersioning:
     def test_live_profiles_are_current_version(self, memcpy_profile):
         from repro.telemetry.profile import SCHEMA_VERSION
         doc = memcpy_profile.profiles[0].to_dict()
-        assert doc["version"] == SCHEMA_VERSION == 3
+        assert doc["version"] == SCHEMA_VERSION == 4
 
     def test_v3_requires_sanitizer_component(self, memcpy_profile):
         doc = memcpy_profile.profiles[0].to_dict()
@@ -119,7 +119,7 @@ class TestSchemaVersioning:
     def test_unknown_versions_rejected(self):
         with open(self.FIXTURE) as f:
             doc = json.load(f)
-        for version in (1, 4, "2", None):
+        for version in (1, 5, "2", None):
             doc["version"] = version
             with pytest.raises(ValueError, match="version"):
                 validate_profile(doc)
