@@ -139,7 +139,8 @@ class APtr:
         heuristic."""
         cm = self.cost
         ctx.charge(cm.arith_count + cm.fmt_extra_count,
-                   chain=cm.arith_chain + cm.fmt_extra_chain)
+                   chain=cm.arith_chain + cm.fmt_extra_chain,
+                   tag="translation")
         self.avm.stats.arith_ops += 1
         new_pos = self.pos + np.asarray(delta, dtype=np.int64)
         new_xpage = (self.base_offset + new_pos) // self.page_size
@@ -164,15 +165,18 @@ class APtr:
         cm = self.cost
         self.avm.stats.reads += 1
         ctx.charge(cm.deref_count + cm.fmt_extra_count,
-                   chain=cm.deref_chain + cm.fmt_extra_chain)
+                   chain=cm.deref_chain + cm.fmt_extra_chain,
+                   tag="translation")
         overlap, post = cm.deref_overlap, cm.deref_post
         if self.config.perm_checks:
             self.avm.stats.perm_checks += 1
-            ctx.charge(cm.perm_count, chain=cm.perm_chain)
+            ctx.charge(cm.perm_count, chain=cm.perm_chain,
+                       tag="translation")
             post += cm.perm_post
         return (yield from ctx.load(addrs, dtype, mask=mask,
                                     overlap_chain=overlap,
-                                    post_chain=post))
+                                    post_chain=post,
+                                    chain_tag="translation"))
 
     def read_wide(self, ctx: WarpContext, elems: int,
                   dtype: str = "f4",
@@ -190,16 +194,19 @@ class APtr:
         cm = self.cost
         self.avm.stats.reads += 1
         ctx.charge(cm.deref_count + cm.fmt_extra_count + elems,
-                   chain=cm.deref_chain + cm.fmt_extra_chain)
+                   chain=cm.deref_chain + cm.fmt_extra_chain,
+                   tag="translation")
         overlap, post = cm.deref_overlap, cm.deref_post
         if self.config.perm_checks:
             self.avm.stats.perm_checks += 1
-            ctx.charge(cm.perm_count, chain=cm.perm_chain)
+            ctx.charge(cm.perm_count, chain=cm.perm_chain,
+                       tag="translation")
             post += cm.perm_post
         return (yield from ctx.load_wide(addrs, dtype, elems, mask=mask,
                                          overlap_chain=overlap,
                                          post_chain=post,
-                                         nonblocking=nonblocking))
+                                         nonblocking=nonblocking,
+                                         chain_tag="translation"))
 
     def write(self, ctx: WarpContext, values, dtype: str = "f4",
               mask: Optional[np.ndarray] = None):
@@ -209,10 +216,12 @@ class APtr:
         cm = self.cost
         self.avm.stats.writes += 1
         ctx.charge(cm.deref_count + cm.fmt_extra_count,
-                   chain=cm.deref_chain + cm.fmt_extra_chain)
+                   chain=cm.deref_chain + cm.fmt_extra_chain,
+                   tag="translation")
         if self.config.perm_checks:
             self.avm.stats.perm_checks += 1
-            ctx.charge(cm.perm_count, chain=cm.perm_chain + cm.perm_post)
+            ctx.charge(cm.perm_count, chain=cm.perm_chain + cm.perm_post,
+                       tag="translation")
         yield from ctx.store(addrs, values, dtype, mask=mask)
 
     def write_wide(self, ctx: WarpContext, values, dtype: str = "f4",
@@ -226,10 +235,12 @@ class APtr:
         cm = self.cost
         self.avm.stats.writes += 1
         ctx.charge(cm.deref_count + cm.fmt_extra_count + elems,
-                   chain=cm.deref_chain + cm.fmt_extra_chain)
+                   chain=cm.deref_chain + cm.fmt_extra_chain,
+                   tag="translation")
         if self.config.perm_checks:
             self.avm.stats.perm_checks += 1
-            ctx.charge(cm.perm_count, chain=cm.perm_chain + cm.perm_post)
+            ctx.charge(cm.perm_count, chain=cm.perm_chain + cm.perm_post,
+                       tag="translation")
         yield from ctx.store_wide(addrs, values, dtype, mask=mask)
 
     # ------------------------------------------------------------------
@@ -262,7 +273,7 @@ class APtr:
         # (§IV-B), so it adds no serial latency.
         all_valid = wp.all_sync(self.valid, active)
         prefetching = self.config.variant is ImplVariant.PREFETCH
-        ctx.charge(1, chain=0 if prefetching else 1)
+        ctx.charge(1, chain=0 if prefetching else 1, tag="translation")
         if not all_valid:
             yield from self._page_fault(ctx, active, write)
         elif write:
@@ -277,28 +288,32 @@ class APtr:
         faulting = (~self.valid) & active
         self.avm.stats.translation_faults += int(faulting.sum())
         t0 = ctx.now
-        while True:
-            ballot = wp.ballot(~self.valid, active)
-            ctx.charge(2)                      # __ballot + __ffs
-            leader = wp.ffs(ballot) - 1
-            if leader < 0:
-                break
-            self.avm.stats.fault_groups += 1
-            # Broadcast the leader's backing-store address; lanes bound
-            # for the same page are handled together.
-            leader_xpage = int(wp.shfl(xpages, leader)[0])
-            same = (~self.valid) & active & (xpages == leader_xpage)
-            refs = wp.popc(wp.ballot(same))
-            ctx.charge(cm.fault_setup_count)
-            frame_addr, via_tlb = yield from self._resolve(
-                ctx, leader_xpage, refs, write)
-            self.frame_addr[same] = frame_addr
-            self.linked_xpage[same] = leader_xpage
-            self.tlb_backed[same] = via_tlb
-            self.linked_write[same] = write
-            self.valid |= same
-            ctx.charge(cm.fault_link_count)
-            self.avm.stats.links += refs
+        ctx.push_activity("translation")
+        try:
+            while True:
+                ballot = wp.ballot(~self.valid, active)
+                ctx.charge(2)                  # __ballot + __ffs
+                leader = wp.ffs(ballot) - 1
+                if leader < 0:
+                    break
+                self.avm.stats.fault_groups += 1
+                # Broadcast the leader's backing-store address; lanes
+                # bound for the same page are handled together.
+                leader_xpage = int(wp.shfl(xpages, leader)[0])
+                same = (~self.valid) & active & (xpages == leader_xpage)
+                refs = wp.popc(wp.ballot(same))
+                ctx.charge(cm.fault_setup_count)
+                frame_addr, via_tlb = yield from self._resolve(
+                    ctx, leader_xpage, refs, write)
+                self.frame_addr[same] = frame_addr
+                self.linked_xpage[same] = leader_xpage
+                self.tlb_backed[same] = via_tlb
+                self.linked_write[same] = write
+                self.valid |= same
+                ctx.charge(cm.fault_link_count)
+                self.avm.stats.links += refs
+        finally:
+            ctx.pop_activity()
         if ctx.tracer is not None:
             ctx.trace_span("translation_fault", t0, ctx.now,
                            f"lanes={int(faulting.sum())}")
@@ -323,12 +338,16 @@ class APtr:
         if frame is not None:
             return frame, True
         frame = yield from backend.fault(ctx, xpage, refs, write)
-        installed, evicted = yield from tlb.install(
-            ctx, fid, xpage, frame, refs)
-        if evicted is not None:
-            (_, old_xpage), held = evicted
-            if held:
-                yield from backend.release(ctx, old_xpage, held)
+        ctx.push_activity("tlb_miss")
+        try:
+            installed, evicted = yield from tlb.install(
+                ctx, fid, xpage, frame, refs)
+            if evicted is not None:
+                (_, old_xpage), held = evicted
+                if held:
+                    yield from backend.release(ctx, old_xpage, held)
+        finally:
+            ctx.pop_activity()
         return frame, installed
 
     def _unlink(self, ctx: WarpContext, mask: np.ndarray):
@@ -344,7 +363,7 @@ class APtr:
             group = (remaining & (self.linked_xpage == xpage)
                      & (self.tlb_backed == via_tlb))
             refs = int(group.sum())
-            ctx.charge(cm.fault_setup_count)
+            ctx.charge(cm.fault_setup_count, tag="translation")
             if via_tlb and tlb is not None:
                 found = yield from tlb.unref(
                     ctx, self.backend.file_id, xpage, refs)

@@ -248,15 +248,59 @@ class Engine:
             return
         self._dispatch(req, runner, now)
 
+    def _warp_id(self, runner: _WarpRunner) -> int:
+        block = runner.block
+        return (block.block_id * max(block.live_warps, 1)
+                + runner.warp_index)
+
     def _trace(self, runner: _WarpRunner, req, start: float,
                end: float) -> None:
         if self.tracer is not None:
             block = runner.block
-            warp = block.block_id * max(block.live_warps, 1)
-            self.tracer.record(warp + runner.warp_index,
-                               block.block_id,
+            self.tracer.record(self._warp_id(runner), block.block_id,
                                type(req).__name__.lower(), start, end,
                                sm=block.sm_index)
+
+    # -- attribution events (callers guard on ``self.tracer``) ---------
+    def _stall(self, runner: _WarpRunner, req, default: str,
+               start: float, end: float) -> None:
+        """Record one non-issuing interval, tagged with its reason: the
+        request's activity tag when set ("translation", "tlb_miss",
+        "fault_wait", ...), else the mechanical ``default``."""
+        if end <= start:
+            return
+        block = runner.block
+        reason = default if req is None else (req.tag or default)
+        self.tracer.record(self._warp_id(runner), block.block_id,
+                           "stall", start, end, reason,
+                           sm=block.sm_index)
+
+    def _issue_ev(self, runner: _WarpRunner, start: float,
+                  end: float) -> None:
+        """Record one issue-server occupancy interval of this warp."""
+        if end <= start:
+            return
+        block = runner.block
+        self.tracer.record(self._warp_id(runner), block.block_id,
+                           "issue", start, end, sm=block.sm_index)
+
+    def _translation_ev(self, runner: _WarpRunner, start: float,
+                        end: float, iss: float, lat: float,
+                        hid: float) -> None:
+        """Record the translation-cycle decomposition of one request:
+        ``iss`` issue slots consumed, ``lat`` warp-visible latency the
+        translation chains added (exposed at warp level), ``hid`` chain
+        cycles absorbed by the memory bubble or bandwidth queue (hidden
+        even at warp level).  The analyzer reclassifies ``iss``/``lat``
+        at launch level using concurrent-warp overlap."""
+        if iss <= 0 and lat <= 0 and hid <= 0:
+            return
+        block = runner.block
+        self.tracer.record(
+            self._warp_id(runner), block.block_id, "translation",
+            start, max(end, start),
+            f"iss={iss:.6g};lat={lat:.6g};hid={hid:.6g}",
+            sm=block.sm_index)
 
     def _slice_issue(self, req, runner: _WarpRunner, now: float,
                      sm: int) -> bool:
@@ -282,6 +326,12 @@ class Engine:
         else:
             req.chain = chain - used
         latency = used * spec.dependent_issue_cycles
+        if self.tracer is not None:
+            wake = start + max(issue_time, latency)
+            self._stall(runner, None, "issue_queue", now, start)
+            self._issue_ev(runner, start, start + issue_time)
+            self._stall(runner, req, "exec_dependency",
+                        start + issue_time, wake)
         runner.pending_req = req
         self._schedule(runner, start + max(issue_time, latency))
         return True
@@ -289,7 +339,8 @@ class Engine:
     def _dispatch(self, req, runner: _WarpRunner, now: float) -> None:
         spec = self.spec
         sm = runner.block.sm_index
-        if isinstance(req, (Compute, MemAccess))                 and self._slice_issue(req, runner, now, sm):
+        if (isinstance(req, (Compute, MemAccess))
+                and self._slice_issue(req, runner, now, sm)):
             return
         if isinstance(req, Compute):
             start = max(now, self._issue_avail[sm])
@@ -306,6 +357,21 @@ class Engine:
                 self.profile.stall("exec_dependency",
                                    latency - issue_time)
             self._trace(runner, req, start, done)
+            if self.tracer is not None:
+                self._stall(runner, None, "issue_queue", now, start)
+                self._issue_ev(runner, start, start + issue_time)
+                self._stall(runner, req, "exec_dependency",
+                            start + issue_time, done)
+                tr = (req.tags.get("translation")
+                      if req.tags is not None else None)
+                if tr is not None:
+                    dep = spec.dependent_issue_cycles
+                    pre = min(tr[1], req.chain_length()) * dep
+                    done0 = start + max(issue_time, latency - pre)
+                    pre_x = done - done0
+                    self._translation_ev(runner, start, done,
+                                         tr[0] / self._eff_ipc,
+                                         pre_x, pre - pre_x)
             self._schedule(runner, done)
         elif isinstance(req, MemAccess):
             self._dispatch_mem(req, runner, now, sm)
@@ -321,6 +387,11 @@ class Engine:
                 self.profile.stall("issue_queue", start - now)
                 self.profile.stall("scratch", done - start - issue_time)
             self._trace(runner, req, start, done)
+            if self.tracer is not None:
+                self._stall(runner, None, "issue_queue", now, start)
+                self._issue_ev(runner, start, start + issue_time)
+                self._stall(runner, req, "scratch",
+                            start + issue_time, done)
             self._schedule(runner, done)
         elif isinstance(req, AtomicOp):
             key = (runner.block.device_index, req.address)
@@ -335,10 +406,15 @@ class Engine:
             if self.profile is not None:
                 self.profile.stall("atomic", done - now)
             self._trace(runner, req, start, done)
+            if self.tracer is not None:
+                self._stall(runner, req, "atomic", now, done)
             self._schedule(runner, done)
         elif isinstance(req, LoadFence):
             if self.profile is not None:
                 self.profile.stall("memory", runner.outstanding - now)
+            if self.tracer is not None:
+                self._stall(runner, req, "memory", now,
+                            runner.outstanding)
             self._schedule(runner, max(now, runner.outstanding))
         elif isinstance(req, Barrier):
             self._dispatch_barrier(runner, now)
@@ -350,22 +426,31 @@ class Engine:
             if lock.holder is None:
                 lock.holder = runner
                 self.stats.lock_acquisitions += 1
+                if self.tracer is not None:
+                    self._stall(runner, req, "lock", now, now + cost)
                 self._schedule(runner, now + cost)
             else:
                 lock.contended += 1
                 self.stats.lock_contentions += 1
-                lock.waiters.append((runner, now))
+                lock.waiters.append((runner, now, req.tag))
         elif isinstance(req, ReleaseLock):
             lock = req.lock
             lock.holder = None
             if lock.waiters:
-                waiter, enqueued = lock.waiters.pop(0)
+                waiter, enqueued, wtag = lock.waiters.pop(0)
                 lock.holder = waiter
                 self.stats.lock_acquisitions += 1
                 cost = (spec.atomic_latency_cycles if lock.latency is None
                         else lock.latency)
                 if self.profile is not None:
                     self.profile.stall("lock", now - enqueued)
+                if self.tracer is not None:
+                    block = waiter.block
+                    self.tracer.record(self._warp_id(waiter),
+                                       block.block_id, "stall",
+                                       enqueued, now + cost,
+                                       wtag or "lock",
+                                       sm=block.sm_index)
                 self._schedule(waiter, now + cost)
             self._schedule(runner, now)
         elif isinstance(req, PcieTransfer):
@@ -386,6 +471,8 @@ class Engine:
             if self.profile is not None:
                 self.profile.stall("io", done - now)
             self._trace(runner, req, start, done)
+            if self.tracer is not None:
+                self._stall(runner, req, "io", now, done)
             self._maybe_preempt(runner, now, done)
             self._schedule(runner, done)
         elif isinstance(req, HostCompute):
@@ -396,12 +483,18 @@ class Engine:
             if self.profile is not None:
                 self.profile.stall("io", done - now)
             self._trace(runner, req, start, done)
+            if self.tracer is not None:
+                self._stall(runner, req, "io", now, done)
             self._maybe_preempt(runner, now, done)
             self._schedule(runner, done)
         elif isinstance(req, Sleep):
             self.stats.sleep_cycles += req.cycles
             if req.cycles:
                 self._trace(runner, req, now, now + req.cycles)
+                if self.tracer is not None:
+                    self._stall(runner, req,
+                                "spin" if req.io_wait else "sleep",
+                                now, now + req.cycles)
             if self.profile is not None:
                 self.profile.stall("spin" if req.io_wait else "sleep",
                                    req.cycles)
@@ -426,7 +519,8 @@ class Engine:
         pre_done = (start + spec.macro_op_overhead_cycles
                     + req.chain * spec.dependent_issue_cycles)
         dev = runner.block.device_index
-        dram_start = max(pre_done, self._dram_avail[dev])
+        dram_avail = self._dram_avail[dev]
+        dram_start = max(pre_done, dram_avail)
         self._dram_avail[dev] = dram_start + nbytes / self._dram_bpc
         self.stats.dram_busy += nbytes / self._dram_bpc
         if self.profile is not None:
@@ -434,9 +528,34 @@ class Engine:
             self.profile.stall("issue_queue", start - now)
             self.profile.dram_queue_cycles += dram_start - pre_done
             self.profile.dram_queued_accesses += 1
+        dep = spec.dependent_issue_cycles
+        tr_attr = False
+        tr_cnt = tr_chain = pre = 0.0
+        if self.tracer is not None:
+            self._stall(runner, None, "issue_queue", now, start)
+            self._issue_ev(runner, start, start + issue_time)
+            tr = (req.tags.get("translation")
+                  if req.tags is not None else None)
+            tr_attr = tr is not None or req.chain_tag == "translation"
+            if tr is not None:
+                tr_cnt, tr_chain = tr
+                tr_chain = min(tr_chain, req.chain)
+            pre = tr_chain * dep
         if req.is_store:
             self.stats.stores += 1
-            self._schedule(runner, max(pre_done, start + issue_time))
+            resume = max(pre_done, start + issue_time)
+            if self.tracer is not None:
+                self._stall(runner, req, "exec_dependency",
+                            start + issue_time, resume)
+                if tr_attr:
+                    # Counterfactual: where the warp would resume with
+                    # the translation pre-chain removed.
+                    resume0 = max(pre_done - pre, start + issue_time)
+                    pre_x = resume - resume0
+                    self._translation_ev(runner, start, resume,
+                                         tr_cnt / self._eff_ipc,
+                                         pre_x, pre - pre_x)
+            self._schedule(runner, resume)
             return
         self.stats.loads += 1
         data_ready = dram_start + spec.dram_latency_cycles
@@ -445,15 +564,43 @@ class Engine:
             # Memory-level parallelism: the warp keeps issuing; a
             # LoadFence later waits for the slowest outstanding load.
             runner.outstanding = max(runner.outstanding, data_ready)
-            self._schedule(runner, max(pre_done, start + issue_time))
+            resume = max(pre_done, start + issue_time)
+            if self.tracer is not None:
+                self._stall(runner, req, "exec_dependency",
+                            start + issue_time, resume)
+                if tr_attr:
+                    resume0 = max(pre_done - pre, start + issue_time)
+                    pre_x = resume - resume0
+                    self._translation_ev(runner, start, resume,
+                                         tr_cnt / self._eff_ipc,
+                                         pre_x, pre - pre_x)
+            self._schedule(runner, resume)
             return
         overlap_done = (pre_done
                         + req.overlap_chain * spec.dependent_issue_cycles)
         ready = max(data_ready, overlap_done)
         ready += req.post_chain * spec.dependent_issue_cycles
+        final = max(ready, start + issue_time)
         if self.profile is not None:
             self.profile.stall("memory", ready - (start + issue_time))
-        self._schedule(runner, max(ready, start + issue_time))
+        if self.tracer is not None:
+            self._stall(runner, req, "memory", start + issue_time, final)
+            if tr_attr:
+                # Exposed pre-chain: extra delay the translation chain
+                # added to the DRAM access start (counterfactual start
+                # with the chain removed, still bounded by queueing).
+                pre_x = dram_start - max(pre_done - pre, dram_avail)
+                if req.chain_tag == "translation":
+                    ov = req.overlap_chain * dep
+                    ov_x = min(ov, max(0.0, overlap_done - data_ready))
+                    post_x = req.post_chain * dep
+                else:
+                    ov = ov_x = post_x = 0.0
+                self._translation_ev(runner, start, final,
+                                     tr_cnt / self._eff_ipc,
+                                     pre_x + ov_x + post_x,
+                                     (pre - pre_x) + (ov - ov_x))
+        self._schedule(runner, final)
 
     # ------------------------------------------------------------------
     def _maybe_preempt(self, runner: _WarpRunner, now: float,
@@ -500,4 +647,6 @@ class Engine:
             for waiter, arrived in waiting:
                 if self.profile is not None:
                     self.profile.stall("barrier", release - arrived)
+                if self.tracer is not None:
+                    self._stall(waiter, None, "barrier", arrived, release)
                 self._schedule(waiter, release)

@@ -27,6 +27,20 @@ from typing import Optional
 class Request:
     """Base class for timed requests."""
 
+    # Attribution metadata, set by :class:`~repro.gpu.kernel.WarpContext`
+    # only while a tracer is recording stall intervals.  Plain class
+    # attributes (not dataclass fields) so subclass constructors keep
+    # their positional signatures and an untagged request costs nothing.
+    #
+    # ``tag`` names the activity the request belongs to ("translation",
+    # "tlb_miss", "fault_wait", ...) and refines the recorded stall
+    # reason; ``tags`` maps tag -> [count, chain] for charged work that
+    # was folded into this request; ``chain_tag`` marks a MemAccess's
+    # overlap/post chains as belonging to that activity.
+    tag = ""
+    tags = None
+    chain_tag = ""
+
 
 @dataclass
 class Compute(Request):

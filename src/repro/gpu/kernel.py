@@ -93,6 +93,13 @@ class WarpContext:
         self.block_tid = warp_in_block * spec.warp_size + self.lane
         self._pending_count = 0.0
         self._pending_chain = 0.0
+        # Attribution state, only maintained while a tracer is attached
+        # (the stall-interval recording of ``repro.telemetry.attribution``):
+        # ``_activity`` is a stack of activity tags ("translation",
+        # "fault_wait", ...) and ``_pending_tags`` splits the pending
+        # charge per tag so the engine can decompose it later.
+        self._activity: list[str] = []
+        self._pending_tags: dict[str, list] = {}
         self.now = 0.0
 
     # ------------------------------------------------------------------
@@ -122,57 +129,111 @@ class WarpContext:
         self.tracer.record(self.warp_id, self.block_id, kind, start, end,
                            detail, sm=self.block.sm_index)
 
+    def push_activity(self, tag: str) -> None:
+        """Enter an attribution activity (pair with :meth:`pop_activity`,
+        ideally via ``try/finally``).  While active, charged work and
+        yielded requests are tagged ``tag`` so the stall-interval
+        recorder can name the reason a warp was not issuing.  No-op
+        without a tracer — attribution is zero-cost when off."""
+        if self.tracer is not None:
+            self._activity.append(tag)
+
+    def pop_activity(self) -> None:
+        if self.tracer is not None and self._activity:
+            self._activity.pop()
+
+    @property
+    def activity(self) -> str:
+        """The innermost active attribution tag ('' when none)."""
+        return self._activity[-1] if self._activity else ""
+
     # ------------------------------------------------------------------
     # Instruction cost accounting
     # ------------------------------------------------------------------
-    def charge(self, count: float, chain: Optional[float] = None) -> None:
+    def charge(self, count: float, chain: Optional[float] = None,
+               tag: str = "") -> None:
         """Record ``count`` warp-instructions of un-yielded work.
 
         The cost is folded into the next timed request the warp issues,
         exactly as real ALU instructions occupy issue slots between
-        memory operations.
+        memory operations.  ``tag`` attributes the work to an activity
+        ("translation", ...) for the stall recorder; it defaults to the
+        innermost :meth:`push_activity` tag and is only tracked while a
+        tracer is attached — timing is identical either way.
         """
+        chain = count if chain is None else chain
         self._pending_count += count
-        self._pending_chain += count if chain is None else chain
+        self._pending_chain += chain
+        if self.tracer is not None:
+            tag = tag or self.activity
+            if tag:
+                slot = self._pending_tags.get(tag)
+                if slot is None:
+                    self._pending_tags[tag] = [count, chain]
+                else:
+                    slot[0] += count
+                    slot[1] += chain
 
-    def _take_pending(self) -> tuple[float, float]:
+    def _take_pending(self) -> tuple[float, float, Optional[dict]]:
         count, chain = self._pending_count, self._pending_chain
         self._pending_count = 0.0
         self._pending_chain = 0.0
-        return count, chain
+        tags = self._pending_tags or None
+        if tags is not None:
+            self._pending_tags = {}
+        return count, chain, tags
+
+    def _tagged(self, req: Request, tags: Optional[dict],
+                tag: str = "") -> Request:
+        """Attach attribution metadata to an outgoing request (only when
+        a tracer is attached; otherwise the class defaults stay)."""
+        if self.tracer is not None:
+            tag = tag or self.activity
+            if tag:
+                req.tag = tag
+            if tags:
+                req.tags = tags
+        return req
 
     def compute(self, count: float, chain: Optional[float] = None
                 ) -> Iterator[Request]:
         """Explicitly execute a block of ALU work now."""
-        pc, pch = self._take_pending()
+        pc, pch, tags = self._take_pending()
         chain = count if chain is None else chain
-        self.now = yield Compute(count=count + pc, chain=chain + pch)
+        self.now = yield self._tagged(
+            Compute(count=count + pc, chain=chain + pch), tags)
 
     def flush(self) -> Iterator[Request]:
         """Flush any pending charged instructions as a compute op."""
-        pc, pch = self._take_pending()
+        pc, pch, tags = self._take_pending()
         if pc or pch:
-            self.now = yield Compute(count=pc, chain=pch)
+            self.now = yield self._tagged(Compute(count=pc, chain=pch),
+                                          tags)
 
     # ------------------------------------------------------------------
     # Global memory
     # ------------------------------------------------------------------
     def load(self, addrs, dtype: str = "f4", mask=None,
-             overlap_chain: float = 0.0, post_chain: float = 0.0
-             ) -> Iterator[Request]:
+             overlap_chain: float = 0.0, post_chain: float = 0.0,
+             chain_tag: str = "") -> Iterator[Request]:
         """Warp-wide gather from global memory.
 
         ``overlap_chain`` and ``post_chain`` support the speculative
         prefetch optimisation (§IV-B): the overlap chain runs while the
         data is in flight; the post chain runs after it arrives.
+        ``chain_tag`` attributes those chains to an activity for the
+        stall recorder (the translation layer passes ``"translation"``).
         """
         addrs = self._addr_vec(addrs)
         width = int(np.dtype(dtype).itemsize)
         tx = self.memory.transactions_for(addrs, width, mask=mask)
-        pc, pch = self._take_pending()
-        self.now = yield MemAccess(transactions=tx, is_store=False, count=pc,
-                                   chain=pch, overlap_chain=overlap_chain,
-                                   post_chain=post_chain)
+        pc, pch, tags = self._take_pending()
+        req = MemAccess(transactions=tx, is_store=False, count=pc,
+                        chain=pch, overlap_chain=overlap_chain,
+                        post_chain=post_chain)
+        if chain_tag and self.tracer is not None:
+            req.chain_tag = chain_tag
+        self.now = yield self._tagged(req, tags)
         return self.memory.load_vector(addrs, dtype, mask=mask)
 
     def store(self, addrs, values, dtype: str = "f4", mask=None
@@ -182,14 +243,16 @@ class WarpContext:
         width = int(np.dtype(dtype).itemsize)
         tx = self.memory.transactions_for(addrs, width, mask=mask)
         self.memory.store_vector(addrs, values, dtype, mask=mask)
-        pc, pch = self._take_pending()
-        self.now = yield MemAccess(transactions=tx, is_store=True,
-                                   count=pc, chain=pch)
+        pc, pch, tags = self._take_pending()
+        self.now = yield self._tagged(
+            MemAccess(transactions=tx, is_store=True, count=pc,
+                      chain=pch), tags)
 
     def load_wide(self, addrs, dtype: str = "f4", elems: int = 4,
                   mask=None, overlap_chain: float = 0.0,
                   post_chain: float = 0.0,
-                  nonblocking: bool = False) -> Iterator[Request]:
+                  nonblocking: bool = False,
+                  chain_tag: str = "") -> Iterator[Request]:
         """Vector load: ``elems`` consecutive elements per lane in one
         memory transaction group (the 8/16-byte loads of §VI-A/B).
 
@@ -200,11 +263,14 @@ class WarpContext:
         addrs = self._addr_vec(addrs)
         width = int(np.dtype(dtype).itemsize) * elems
         tx = self.memory.transactions_for(addrs, width, mask=mask)
-        pc, pch = self._take_pending()
-        self.now = yield MemAccess(transactions=tx, is_store=False, count=pc,
-                                   chain=pch, overlap_chain=overlap_chain,
-                                   post_chain=post_chain,
-                                   nonblocking=nonblocking)
+        pc, pch, tags = self._take_pending()
+        req = MemAccess(transactions=tx, is_store=False, count=pc,
+                        chain=pch, overlap_chain=overlap_chain,
+                        post_chain=post_chain,
+                        nonblocking=nonblocking)
+        if chain_tag and self.tracer is not None:
+            req.chain_tag = chain_tag
+        self.now = yield self._tagged(req, tags)
         return self.memory.load_vector_wide(addrs, dtype, elems, mask=mask)
 
     def fence(self) -> Iterator[Request]:
@@ -224,9 +290,10 @@ class WarpContext:
         for j in range(elems):
             self.memory.store_vector(addrs + j * width, values[:, j],
                                      dtype, mask=mask)
-        pc, pch = self._take_pending()
-        self.now = yield MemAccess(transactions=tx, is_store=True,
-                                   count=pc, chain=pch)
+        pc, pch, tags = self._take_pending()
+        self.now = yield self._tagged(
+            MemAccess(transactions=tx, is_store=True, count=pc,
+                      chain=pch), tags)
 
     def load_scalar(self, addr: int, dtype: str = "u8") -> Iterator[Request]:
         """Single-address load performed by the warp leader."""
@@ -247,7 +314,7 @@ class WarpContext:
             np.array([addr]), dtype)[0])
         self.memory.store_vector(np.array([addr]),
                                  np.array([old + value]), dtype)
-        self.now = yield AtomicOp(address=int(addr))
+        self.now = yield self._tagged(AtomicOp(address=int(addr)), None)
         return old
 
     # ------------------------------------------------------------------
@@ -255,10 +322,11 @@ class WarpContext:
     # ------------------------------------------------------------------
     def scratch(self, count: float = 1.0) -> Iterator[Request]:
         """Charge a scratchpad access (data lives in ``block.scratchpad``)."""
-        pc, pch = self._take_pending()
+        pc, pch, tags = self._take_pending()
         if pc or pch:
-            self.now = yield Compute(count=pc, chain=pch)
-        self.now = yield ScratchAccess(count=count)
+            self.now = yield self._tagged(Compute(count=pc, chain=pch),
+                                          tags)
+        self.now = yield self._tagged(ScratchAccess(count=count), None)
 
     # ------------------------------------------------------------------
     # Warp intrinsics (single-instruction cost, charged lazily)
@@ -304,7 +372,7 @@ class WarpContext:
 
     def lock(self, lock: TimedLock) -> Iterator[Request]:
         yield from self.flush()
-        self.now = yield AcquireLock(lock)
+        self.now = yield self._tagged(AcquireLock(lock), None)
 
     def unlock(self, lock: TimedLock) -> Iterator[Request]:
         self.now = yield ReleaseLock(lock)
@@ -315,16 +383,18 @@ class WarpContext:
     def pcie(self, nbytes: int, to_device: bool = True,
              latency_free: bool = False) -> Iterator[Request]:
         yield from self.flush()
-        self.now = yield PcieTransfer(nbytes=int(nbytes),
-                                      to_device=to_device,
-                                      latency_free=latency_free)
+        self.now = yield self._tagged(
+            PcieTransfer(nbytes=int(nbytes), to_device=to_device,
+                         latency_free=latency_free), None)
 
     def host_compute(self, seconds: float) -> Iterator[Request]:
-        self.now = yield HostCompute(seconds=float(seconds))
+        self.now = yield self._tagged(
+            HostCompute(seconds=float(seconds)), None)
 
     def sleep(self, cycles: float,
               io_wait: bool = False) -> Iterator[Request]:
-        self.now = yield Sleep(cycles=float(cycles), io_wait=io_wait)
+        self.now = yield self._tagged(
+            Sleep(cycles=float(cycles), io_wait=io_wait), None)
 
     def clock(self) -> Iterator[Request]:
         """Return the current simulated cycle count (GPU ``clock()``).

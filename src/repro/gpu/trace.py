@@ -56,6 +56,13 @@ PAGING_SPAN_KINDS = frozenset({
     "filter_in", "filter_out", "translation_fault",
 })
 
+#: Event kinds recorded for the cycle-attribution analyzer
+#: (:mod:`repro.telemetry.attribution`): per-warp non-issuing intervals
+#: ("stall", reason in detail), issue-server occupancy ("issue"), and
+#: per-request translation decompositions ("translation").  They overlap
+#: the macro-op events, so timeline rendering skips them.
+ATTRIBUTION_KINDS = frozenset({"stall", "issue", "translation"})
+
 
 class Tracer:
     """Collects :class:`TraceEvent` records during a launch."""
@@ -135,10 +142,15 @@ class Tracer:
             args: dict = {"block": e.block}
             if e.detail:
                 args["detail"] = e.detail
+            if e.kind in PAGING_SPAN_KINDS:
+                cat = "paging"
+            elif e.kind in ATTRIBUTION_KINDS:
+                cat = "attribution"
+            else:
+                cat = "engine"
             spans.append({
                 "name": e.kind,
-                "cat": ("paging" if e.kind in PAGING_SPAN_KINDS
-                        else "engine"),
+                "cat": cat,
                 "ph": "X",
                 "ts": e.start * scale,
                 "dur": e.duration * scale,
@@ -154,9 +166,46 @@ class Tracer:
                 "events": len(self.events),
                 "dropped": self.dropped,
                 "time_unit": "us" if spec is not None else "cycles",
+                "clock_hz": spec.clock_hz if spec is not None else None,
             },
         }
         return trace
+
+
+def events_from_chrome_trace(trace: dict) -> tuple[list[TraceEvent], int]:
+    """Invert :meth:`Tracer.to_chrome_trace`: rebuild the event list (in
+    cycles) from an exported Chrome-trace dict.
+
+    Returns ``(events, dropped)`` where ``dropped`` is the recorded
+    overflow count.  Raises :class:`ValueError` if the dict was exported
+    in microseconds but carries no ``clock_hz`` to convert back.
+    """
+    other = trace.get("otherData", {})
+    unit = other.get("time_unit", "cycles")
+    if unit == "cycles":
+        scale = 1.0
+    else:
+        clock_hz = other.get("clock_hz")
+        if not clock_hz:
+            raise ValueError(
+                "trace exported in microseconds without clock_hz; "
+                "cannot convert timestamps back to cycles")
+        scale = 1e6 / clock_hz
+    events = []
+    for rec in trace.get("traceEvents", []):
+        if rec.get("ph") != "X":
+            continue
+        args = rec.get("args", {})
+        events.append(TraceEvent(
+            warp=int(rec.get("tid", 0)),
+            block=int(args.get("block", -1)),
+            kind=str(rec.get("name", "")),
+            start=rec["ts"] / scale,
+            end=(rec["ts"] + rec.get("dur", 0.0)) / scale,
+            detail=str(args.get("detail", "")),
+            sm=int(rec.get("pid", 0)) - 1,
+        ))
+    return events, int(other.get("dropped", 0))
 
 
 _GLYPHS = {
@@ -199,6 +248,8 @@ def render_timeline(tracer: Tracer, width: int = 72,
     for warp in chosen:
         busy: list[Counter] = [Counter() for _ in range(width)]
         for e in tracer.for_warp(warp):
+            if e.kind in ATTRIBUTION_KINDS:
+                continue
             # An event ending exactly at the span end belongs to the
             # last bucket, not a phantom bucket `width`.
             lo = min(max(int((e.start - t0) / bucket), 0), width - 1)

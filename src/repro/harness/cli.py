@@ -18,8 +18,16 @@ With ``--profile-dir`` every kernel launch inside an experiment is
 profiled (``repro.telemetry``): one ``LaunchProfile`` JSON per launch
 (plus Chrome-trace files when running serially — traces stay in the
 workers under ``--jobs``), and one merged *suite profile*
-(``suite-profile.json``, schema v4 with a ``run.workers`` section)
+(``suite-profile.json``, schema v5 with a ``run.workers`` section)
 per experiment, written under ``PROFILE_DIR/<experiment>/``.
+``--attribute`` additionally runs the cycle-attribution analyzer on
+every launch (:mod:`repro.telemetry.attribution`) and stores its
+summary in each profile's ``components.attribution``.
+
+``--trend-file PATH`` appends one schema-stamped row — commit, date,
+and each experiment's key metric — to the benchmark trend record
+after the run; ``repro-attr --compare`` diffs the latest two rows and
+fails on tier-1 regressions.
 """
 
 from __future__ import annotations
@@ -68,7 +76,23 @@ def main(argv=None) -> int:
                         help="profile every launch; write per-launch "
                              "JSON profiles, Chrome traces, and a "
                              "merged suite profile here")
+    parser.add_argument("--attribute", action="store_true",
+                        help="run the cycle-attribution analyzer on "
+                             "every launch (implies profiling; the "
+                             "summary lands in the profiles' "
+                             "components.attribution — requires "
+                             "--profile-dir)")
+    parser.add_argument("--trend-file", metavar="PATH",
+                        help="append one schema-stamped row (commit, "
+                             "date, key metric per experiment) to "
+                             "this benchmark trend record; compare "
+                             "rows with repro-attr --compare")
     args = parser.parse_args(argv)
+
+    if args.attribute and not args.profile_dir:
+        parser.error("--attribute requires --profile-dir (the "
+                     "attribution summary is written with the "
+                     "profiles)")
 
     if args.list:
         for name in ALL_EXPERIMENTS:
@@ -93,6 +117,7 @@ def main(argv=None) -> int:
     executor = spawn_executor(jobs) if jobs > 1 else None
     rc = 0
     markdown_parts = []
+    trend_metrics = {}
     try:
         for name in names:
             started = time.time()
@@ -110,6 +135,7 @@ def main(argv=None) -> int:
                         options={"eviction_policy":
                                  args.eviction_policy},
                         profile=bool(args.profile_dir),
+                        attribution=args.attribute,
                         executor=executor)
                     result = report.result
             except Exception:
@@ -139,12 +165,36 @@ def main(argv=None) -> int:
             if args.profile_dir and report is not None \
                     and report.profiles:
                 _write_profiles(args.profile_dir, name, report)
+            if args.trend_file and exp is not None \
+                    and exp.trend is not None and not result.errors:
+                try:
+                    metric = exp.trend(result)
+                except Exception as exc:   # noqa: BLE001 — trend is
+                    # advisory; a broken extractor must not fail the run
+                    print(f"warning: trend metric for {name} "
+                          f"failed: {exc}", file=sys.stderr)
+                    metric = None
+                if metric is not None:
+                    trend_metrics[name] = metric
             print()
             markdown_parts.append(format_markdown(result,
                                                   elapsed=elapsed))
     finally:
         if executor is not None:
             executor.shutdown()
+
+    if args.trend_file:
+        if trend_metrics:
+            from repro.telemetry.trend import append_run
+            append_run(args.trend_file, trend_metrics,
+                       scale=args.scale)
+            print(f"trend row appended to {args.trend_file} "
+                  f"({len(trend_metrics)} metric(s): "
+                  f"{', '.join(sorted(trend_metrics))})")
+        else:
+            print(f"no trend metrics collected; {args.trend_file} "
+                  "unchanged (experiments without a trend extractor, "
+                  "or with failed points)", file=sys.stderr)
 
     if args.markdown:
         _write_markdown(args, markdown_parts)

@@ -141,6 +141,18 @@ def table1_grid(scale: str) -> list[dict]:
             if (name, op) in TABLE1_PAPER]
 
 
+def table1_trend(result: ExperimentResult) -> Optional[dict]:
+    """Trend metric: prefetching read latency (the paper's headline
+    single-op number, Table I)."""
+    try:
+        row = result.row_by(implementation="Prefetching", op="read")
+    except KeyError:
+        return None
+    return {"metric": "prefetch_read_cycles",
+            "value": row["measured"], "unit": "cycles",
+            "higher_is_better": False, "tier1": True}
+
+
 @experiment(
     "table1",
     title="Apointer operation latency (GPU cycles, 1 warp)",
@@ -149,6 +161,7 @@ def table1_grid(scale: str) -> list[dict]:
              Column("measured", unit="cycles", role="measured"),
              Column("paper", unit="cycles", role="paper")),
     grid=table1_grid,
+    trend=table1_trend,
     notes="rw = page permission checks enabled; '-' ops not "
           "reported by the paper are skipped.",
 )
@@ -180,6 +193,17 @@ def table2_grid(scale: str) -> list[dict]:
             for label, width, perm in _TABLE2_CASES]
 
 
+def table2_trend(result: ExperimentResult) -> Optional[dict]:
+    """Trend metric: 4-byte apointer memcpy bandwidth (Table II)."""
+    try:
+        row = result.row_by(access="4-byte")
+    except KeyError:
+        return None
+    return {"metric": "memcpy_4byte_gbs",
+            "value": row["measured_gbs"], "unit": "GB/s",
+            "higher_is_better": True, "tier1": True}
+
+
 @experiment(
     "table2",
     title="Memory-copy bandwidth (GB/s, % of achievable peak)",
@@ -189,6 +213,7 @@ def table2_grid(scale: str) -> list[dict]:
              Column("paper_gbs", unit="GB/s", role="paper"),
              Column("paper_pct", unit="%", role="paper")),
     grid=table2_grid,
+    trend=table2_trend,
     notes="Peak = 152 GB/s (cudaMemcpyDeviceToDevice convention: "
           "read+write traffic).",
 )
@@ -554,6 +579,16 @@ def ablation_batching_grid(scale: str) -> list[dict]:
     return [{"batching": True}, {"batching": False}]
 
 
+def ablation_batching_trend(result: ExperimentResult) -> Optional[dict]:
+    """Trend metric: batched major-fault run time (§V)."""
+    try:
+        row = result.row_by(batching=True)
+    except KeyError:
+        return None
+    return {"metric": "batched_cycles", "value": row["cycles"],
+            "unit": "cycles", "higher_is_better": False, "tier1": True}
+
+
 @experiment(
     "ablation_batching",
     title="PCIe transfer batching for 4 KB pages",
@@ -562,6 +597,7 @@ def ablation_batching_grid(scale: str) -> list[dict]:
              Column("batches", role="measured"),
              Column("mean_batch", unit="pages", role="measured")),
     grid=ablation_batching_grid,
+    trend=ablation_batching_trend,
     notes="Major-fault-dominated run; batching amortises the fixed "
           "PCIe transaction cost (§V).",
 )
@@ -764,6 +800,19 @@ def ablation_readahead_fold(rows: list, scale: str) -> list:
     return out
 
 
+def ablation_readahead_trend(result: ExperimentResult
+                             ) -> Optional[dict]:
+    """Trend metric: sequential-read speedup with readahead on."""
+    try:
+        row = result.row_by(workload="seq-read", readahead=True)
+    except KeyError:
+        return None
+    if row.get("speedup") is None:
+        return None
+    return {"metric": "seq_read_speedup", "value": row["speedup"],
+            "unit": "x", "higher_is_better": True, "tier1": True}
+
+
 @experiment(
     "ablation_readahead",
     title="Asynchronous page readahead (cold cache, sequential)",
@@ -778,6 +827,7 @@ def ablation_readahead_fold(rows: list, scale: str) -> list:
              Column("ra_cancelled", role="measured")),
     grid=ablation_readahead_grid,
     fold=ablation_readahead_fold,
+    trend=ablation_readahead_trend,
     options=("eviction_policy",),
     notes="Extension beyond §V: a host-side readahead daemon "
           "issues speculative page-ins through the same transfer "

@@ -123,6 +123,11 @@ class Experiment:
     fold: Optional[Callable] = None   # fold(rows, scale) -> [rows]
     notes: str = ""
     options: tuple = ()        # option names the grid understands
+    #: Optional key-metric extractor for the benchmark trend record
+    #: (``BENCH_trend.json``): ``trend(result) -> dict | None`` with
+    #: keys ``metric`` / ``value`` / ``unit`` / ``higher_is_better`` /
+    #: ``tier1``.  ``None`` (or a ``None`` return) records nothing.
+    trend: Optional[Callable] = None
 
     def columns_for(self, scale: str = "quick") -> tuple:
         """Column schema at ``scale`` (sweep-width columns vary)."""
@@ -141,7 +146,7 @@ REGISTRY: dict[str, Experiment] = {}
 
 def experiment(name: str, *, title: str, columns, grid,
                fold: Optional[Callable] = None, notes: str = "",
-               options: tuple = ()):
+               options: tuple = (), trend: Optional[Callable] = None):
     """Register the decorated point function as experiment ``name``.
 
     The decorator returns the function unchanged (it must stay a plain
@@ -156,6 +161,6 @@ def experiment(name: str, *, title: str, columns, grid,
             name=name, title=title,
             columns=columns if callable(columns) else tuple(columns),
             point=point_fn, grid=grid, fold=fold, notes=notes,
-            options=tuple(options))
+            options=tuple(options), trend=trend)
         return point_fn
     return register

@@ -116,6 +116,79 @@ def format_profile(profile) -> str:
     return "\n".join(lines)
 
 
+def format_attribution(report, *, markdown: bool = False) -> str:
+    """Render a cycle-attribution report (text or Markdown).
+
+    Accepts an
+    :class:`~repro.telemetry.attribution.AttributionReport` or its
+    ``to_dict()`` document.  The text form leads with the headline
+    number — how much translation work was hidden inside the
+    memory-latency bubble — then the launch critical path and the
+    warp-level stall breakdown.
+    """
+    doc = report.to_dict() if hasattr(report, "to_dict") else report
+    tr = doc.get("translation", {})
+    cycles = doc.get("launch_cycles", 0.0)
+    crit = doc.get("critical_path", {})
+    stalls = doc.get("stall_cycles", {})
+
+    def pct(x, base):
+        return f"{100 * x / base:.1f}%" if base else "n/a"
+
+    if markdown:
+        lines = [
+            "### Cycle attribution",
+            "",
+            f"- launch: {cycles:.0f} cycles, {doc.get('warps', 0)} "
+            f"warps on {doc.get('sms', 0)} SMs "
+            f"({doc.get('events', 0)} trace events)",
+            f"- translation: {tr.get('total', 0.0):.0f} cycles "
+            f"({tr.get('events', 0)} requests) — "
+            f"**{100 * tr.get('hidden_fraction', 0.0):.1f}% hidden**, "
+            f"{tr.get('exposed', 0.0):.0f} exposed",
+            f"- critical path (no warp issuing): "
+            f"{doc.get('critical_path_cycles', 0.0):.0f} cycles "
+            f"({pct(doc.get('critical_path_cycles', 0.0), cycles * max(doc.get('sms', 1), 1))} of SM time)",
+            "",
+            "| critical-path reason | cycles |",
+            "|---|---|",
+        ]
+        for reason, value in sorted(crit.items(), key=lambda kv: -kv[1]):
+            lines.append(f"| {reason} | {value:.0f} |")
+        lines.append("")
+        return "\n".join(lines)
+
+    lines = [
+        "== cycle attribution ==",
+        f"launch : {cycles:.0f} cycles, {doc.get('warps', 0)} warps on "
+        f"{doc.get('sms', 0)} SMs ({doc.get('events', 0)} events)",
+        f"translation : {tr.get('total', 0.0):.0f} cycles over "
+        f"{tr.get('events', 0)} requests "
+        f"({tr.get('issue_slots', 0.0):.0f} issue slots)",
+        f"  hidden  : {tr.get('hidden', 0.0):14.0f} "
+        f"({100 * tr.get('hidden_fraction', 0.0):.1f}%)  "
+        "<- absorbed by the memory-latency bubble",
+        f"  exposed : {tr.get('exposed', 0.0):14.0f} "
+        f"({100 * (1 - tr.get('hidden_fraction', 0.0)):.1f}%)  "
+        "<- on the warp with no concurrent issue",
+        f"critical path : "
+        f"{doc.get('critical_path_cycles', 0.0):.0f} SM-cycles with no "
+        "warp issuing, attributed to:",
+    ]
+    for reason, value in sorted(crit.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {reason:16s} {value:14.0f}")
+    if stalls:
+        lines.append("warp-level stalls (all warps, cycles):")
+        for reason, value in sorted(stalls.items(),
+                                    key=lambda kv: -kv[1]):
+            lines.append(f"  {reason:16s} {value:14.0f}")
+    idle = doc.get("idle_cycles", 0.0)
+    issue = doc.get("issue_cycles", 0.0)
+    lines.append(f"warp totals: issue {issue:.0f}, idle {idle:.0f} "
+                 "(per-warp rows: hidden + exposed + idle = cycles)")
+    return "\n".join(lines)
+
+
 def _mean(values) -> float:
     return sum(values) / len(values) if values else 0.0
 

@@ -103,25 +103,30 @@ def _seed_rngs(seed: int) -> None:
 
 
 def _execute_point(point_fn, params: dict, seed: int, scale: str,
-                   profile: bool, trace: bool):
+                   profile: bool, trace: bool,
+                   attribution: bool = False):
     """Run one point (any process); returns (rows, profile docs,
     tracers).  Tracers only exist for in-process execution — they are
-    not shipped across the pool."""
+    not shipped across the pool.  ``attribution`` forces a tracer per
+    launch (the analyzer needs the event log) and stores the
+    cycle-attribution summary in each profile's components."""
     _seed_rngs(seed)
     if not profile:
         return point_fn(scale=scale, **params), [], []
     from repro.telemetry import capture
-    with capture(trace=trace, max_traces=1) as prof:
+    with capture(trace=trace or attribution, max_traces=1,
+                 attribution=attribution) as prof:
         rows = point_fn(scale=scale, **params)
     return rows, [p.to_dict() for p in prof.profiles], prof.traces
 
 
 def _pool_task(point_fn, index: int, params: dict, seed: int,
-               scale: str, profile: bool):
+               scale: str, profile: bool, attribution: bool = False):
     """Worker-side wrapper: never raises — failures come back as data."""
     try:
         rows, docs, _ = _execute_point(point_fn, params, seed, scale,
-                                       profile, trace=False)
+                                       profile, trace=False,
+                                       attribution=attribution)
         return (index, rows, docs, None, None, os.getpid())
     except BaseException as exc:                    # noqa: BLE001
         return (index, None, [], f"{type(exc).__name__}: {exc}",
@@ -143,6 +148,7 @@ def resolve_jobs(jobs: int) -> int:
 def run_experiment(exp: Experiment, *, scale: str = "quick",
                    jobs: int = 1, options: Optional[dict] = None,
                    profile: bool = False, trace: Optional[bool] = None,
+                   attribution: bool = False,
                    base_seed: int = DEFAULT_BASE_SEED,
                    progress: Optional[bool] = None,
                    executor: Optional[ProcessPoolExecutor] = None,
@@ -154,9 +160,12 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
     experiments — spawn startup is paid once).  ``options`` are
     filtered against ``exp.options`` before reaching the grid, so
     harness-wide flags (``--eviction-policy``) can be offered to every
-    experiment and only land where declared.
+    experiment and only land where declared.  ``attribution=True``
+    implies profiling and runs the cycle-attribution analyzer on every
+    launch (see :mod:`repro.telemetry.attribution`).
     """
     started = time.time()
+    profile = profile or attribution
     jobs = resolve_jobs(jobs)
     opts = {k: v for k, v in (options or {}).items()
             if k in exp.options and v is not None}
@@ -174,7 +183,7 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
             try:
                 out.rows, out.profiles, out.tracers = _execute_point(
                     exp.point, params, seed, scale, profile,
-                    trace=in_process_trace)
+                    trace=in_process_trace, attribution=attribution)
             except Exception as exc:
                 out.error = f"{type(exc).__name__}: {exc}"
                 out.traceback = traceback.format_exc()
@@ -190,8 +199,8 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
             for i, params in enumerate(grid):
                 seed = point_seed(exp.name, i, params, base_seed)
                 futures[pool.submit(_pool_task, exp.point, i, params,
-                                    seed, scale, profile)] = (i, params,
-                                                              seed)
+                                    seed, scale, profile,
+                                    attribution)] = (i, params, seed)
             done = 0
             from concurrent.futures import as_completed
             for fut in as_completed(futures):

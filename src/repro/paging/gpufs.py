@@ -241,6 +241,15 @@ class GPUfs:
         address.  Minor faults are table hits; major faults transfer the
         page from the host.
         """
+        ctx.push_activity("fault_wait")
+        try:
+            return (yield from self._handle_fault(ctx, file_id, fpn,
+                                                  refs, write))
+        finally:
+            ctx.pop_activity()
+
+    def _handle_fault(self, ctx: WarpContext, file_id: int, fpn: int,
+                      refs: int, write: bool):
         t0 = ctx.now
         if self.readahead is not None:
             # Feed the stream detector and let the daemon issue

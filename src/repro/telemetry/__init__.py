@@ -14,12 +14,25 @@ turns them into one structured, exportable view of a launch:
   in Perfetto, with paging spans (page-in, fault filters, warp fault
   handling) on the timeline next to the engine's macro-ops.
 * :func:`validate_profile` — schema check for the profile JSON.
+* :func:`attribute_tracer` / :func:`attribute_events` — the cycle
+  attribution analyzer (:mod:`repro.telemetry.attribution`): per-warp
+  stall accounting, the launch critical path, and the hidden-vs-exposed
+  decomposition of translation cycles (``repro-attr`` CLI).
+* :mod:`repro.telemetry.trend` — the append-only ``BENCH_trend.json``
+  performance record and the ``repro-attr --compare`` regression gate.
 
 See ``docs/observability.md`` for the counter glossary and a worked
 diagnosis example.
 """
 
 from repro.telemetry import hooks
+from repro.telemetry.attribution import (
+    AttributionReport,
+    TruncatedTraceError,
+    attribute_chrome_trace,
+    attribute_events,
+    attribute_tracer,
+)
 from repro.telemetry.profile import (
     PROFILE_SCHEMA,
     SCHEMA_NAME,
@@ -30,16 +43,25 @@ from repro.telemetry.profile import (
     validate_profile,
 )
 from repro.telemetry.profiler import Profiler, capture, write_profile_docs
+from repro.telemetry.trend import append_run, compare, load_trend
 
 __all__ = [
+    "AttributionReport",
     "LaunchProfile",
     "MetricsRegistry",
     "Profiler",
     "PROFILE_SCHEMA",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "TruncatedTraceError",
+    "append_run",
+    "attribute_chrome_trace",
+    "attribute_events",
+    "attribute_tracer",
     "capture",
+    "compare",
     "hooks",
+    "load_trend",
     "merge_profiles",
     "validate_profile",
     "write_profile_docs",

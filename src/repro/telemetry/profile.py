@@ -25,11 +25,15 @@ SCHEMA_NAME = "repro.telemetry/launch-profile"
 #: v4 added the optional ``run`` section carried by *merged* suite
 #: profiles (:func:`merge_profiles`): ``run.workers`` records how the
 #: parallel runner distributed the suite.  Per-launch profiles omit it.
-SCHEMA_VERSION = 4
+#: v5 added the ``components.attribution`` section (cycle attribution,
+#: :mod:`repro.telemetry.attribution`): translation hidden/exposed
+#: cycles, the launch critical-path length, and an ``attributed`` flag
+#: (0 when no tracer was attached or the trace was truncated).
+SCHEMA_VERSION = 5
 
 #: Versions ``validate_profile`` accepts: current plus archived ones
 #: whose required sections are a subset of what we still emit.
-ACCEPTED_VERSIONS = frozenset({2, 3, SCHEMA_VERSION})
+ACCEPTED_VERSIONS = frozenset({2, 3, 4, SCHEMA_VERSION})
 
 #: Required integer counters of ``run.workers`` when a ``run`` section
 #: is present (v4+).
@@ -45,6 +49,9 @@ _COMPONENT_KEYS = (
                       "hit_rate")),
     ("sanitizer", 3, ("warps_watched", "lockstep_violations",
                       "torn_writes", "pin_leaks")),
+    ("attribution", 5, ("translation_cycles", "translation_hidden",
+                        "translation_exposed", "hidden_fraction",
+                        "critical_path_cycles", "attributed")),
 )
 
 
@@ -256,8 +263,8 @@ def merge_profiles(docs: list, *, name: str = "suite",
     occupancies are recomputed from the summed totals (occupancies are
     weighted by launch cycles, so a long launch counts for more than a
     short one); per-SM busy cycles are accumulated by SM id.  The
-    result is a valid schema-v4 profile whose ``run.workers`` section
-    records the fan-out (worker/point/launch/error counts).
+    result is a valid current-schema profile whose ``run.workers``
+    section records the fan-out (worker/point/launch/error counts).
 
     ``docs`` may come from different schema versions; missing component
     sections are zero-filled so the merged document always carries the
@@ -308,6 +315,11 @@ def merge_profiles(docs: list, *, name: str = "suite",
     ra = components["readahead"]
     ra["hit_rate"] = (ra.get("hits", 0) / ra["issued"]
                       if ra.get("issued") else 0.0)
+    attr = components["attribution"]
+    attr["hidden_fraction"] = (
+        attr.get("translation_hidden", 0)
+        / attr["translation_cycles"]
+        if attr.get("translation_cycles") else 0.0)
 
     dram_bytes = sum(d["dram"]["bytes"] for d in docs)
     dram_queue = sum(d["dram"].get("queue_cycles", 0) for d in docs)

@@ -31,13 +31,18 @@ class Profiler:
     """Collects one :class:`LaunchProfile` per launch it observes."""
 
     def __init__(self, trace: bool = True, max_traces: int = 8,
-                 max_trace_events: int = 200_000):
+                 max_trace_events: int = 200_000,
+                 attribution: bool = False):
         self.registry = MetricsRegistry()
         self.profiles: list[LaunchProfile] = []
         self.traces: list = []           # parallel to profiles; None ok
         self.trace = trace
         self.max_traces = max_traces
         self.max_trace_events = max_trace_events
+        # Run the cycle-attribution analyzer per traced launch and
+        # store its report in ``components.attribution``.  Off by
+        # default: the analyzer walks the whole event list.
+        self.attribution = attribution
 
     # ------------------------------------------------------------------
     def register(self, kind: str, stats) -> None:
@@ -124,6 +129,13 @@ class Profiler:
                     "dropped": tracer.dropped}
                    if tracer is not None else None),
         )
+        if self.attribution and tracer is not None \
+                and not tracer.dropped:
+            # A truncated trace is refused by the analyzer; the profile
+            # then keeps the zeroed section with ``attributed == 0``.
+            from repro.telemetry.attribution import attribute_tracer
+            report = attribute_tracer(tracer, launch_cycles=cycles)
+            profile.components["attribution"] = report.to_component()
         self.profiles.append(profile)
         self.traces.append(tracer)
         return profile
@@ -216,6 +228,14 @@ def _merge_components(collected: dict) -> dict:
         "readahead": dict(_numeric_fields(ReadaheadStats()),
                           hit_rate=0.0),
         "sanitizer": _numeric_fields(SanitizerStats()),
+        "attribution": {
+            "translation_cycles": 0.0,
+            "translation_hidden": 0.0,
+            "translation_exposed": 0.0,
+            "hidden_fraction": 0.0,
+            "critical_path_cycles": 0.0,
+            "attributed": 0,
+        },
     }
     for kind, counters in collected.items():
         components.setdefault(kind, {}).update(counters)

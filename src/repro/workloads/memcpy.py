@@ -37,6 +37,7 @@ def run_memcpy(device: Device, *, use_apointers: bool, width: int = 4,
                iters_per_thread: int = 8,
                config: Optional[APConfig] = None,
                perm_checks: bool = False,
+               compute_per_iter: float = 0.0,
                seed: int = 99) -> MemcpyResult:
     """Copy ``nblocks * warps * 32 * iters`` elements of ``width`` bytes.
 
@@ -45,6 +46,11 @@ def run_memcpy(device: Device, *, use_apointers: bool, width: int = 4,
     ("each warp copies 1 MB using 4-byte or 8-byte reads/writes per
     thread"), where the pointer crosses a page every ``4096 / line``
     iterations.
+
+    ``compute_per_iter`` adds that many dependent arithmetic
+    instructions per copied element — the arithmetic-intensity knob of
+    Figure 6 / §VI-A, used to measure the free-computation bubble
+    closing as per-access compute rises.
     """
     if width not in (4, 8):
         raise ValueError("width must be 4 or 8 bytes (Table II)")
@@ -75,9 +81,15 @@ def run_memcpy(device: Device, *, use_apointers: bool, width: int = 4,
             if use_apointers:
                 if elems == 1:
                     v = yield from sp.read(ctx, "f4")
+                    if compute_per_iter:
+                        yield from ctx.compute(compute_per_iter,
+                                               chain=compute_per_iter)
                     yield from dp.write(ctx, v, "f4")
                 else:
                     v = yield from sp.read_wide(ctx, 2, "f4")
+                    if compute_per_iter:
+                        yield from ctx.compute(compute_per_iter,
+                                               chain=compute_per_iter)
                     yield from dp.write_wide(ctx, v, "f4")
                 yield from sp.add(ctx, line)
                 yield from dp.add(ctx, line)
@@ -86,10 +98,16 @@ def run_memcpy(device: Device, *, use_apointers: bool, width: int = 4,
                 ctx.charge(3, chain=3)
                 if elems == 1:
                     v = yield from ctx.load(addr, "f4")
+                    if compute_per_iter:
+                        yield from ctx.compute(compute_per_iter,
+                                               chain=compute_per_iter)
                     ctx.charge(2)
                     yield from ctx.store(dst + base + i * line, v, "f4")
                 else:
                     v = yield from ctx.load_wide(addr, "f4", 2)
+                    if compute_per_iter:
+                        yield from ctx.compute(compute_per_iter,
+                                               chain=compute_per_iter)
                     ctx.charge(2)
                     yield from ctx.store_wide(dst + base + i * line,
                                               v, "f4")

@@ -91,7 +91,7 @@ class TestDeterminism:
         # (worker counts legitimately differ).
         for report in (serial, parallel):
             validate_profile(report.merged)
-            assert report.merged["version"] == 4
+            assert report.merged["version"] == 5
         s, p = dict(serial.merged), dict(parallel.merged)
         s_run, p_run = s.pop("run"), p.pop("run")
         assert s == p
@@ -169,7 +169,7 @@ class TestCliExitCodes:
 
 
 class TestSuiteProfileOnDisk:
-    def test_cli_writes_schema_v4_suite_profile(self, tmp_path,
+    def test_cli_writes_current_schema_suite_profile(self, tmp_path,
                                                 capsys):
         rc = cli.main(["table1", "--profile-dir", str(tmp_path),
                        "--jobs", "2"])
@@ -177,7 +177,7 @@ class TestSuiteProfileOnDisk:
         path = tmp_path / "table1" / "suite-profile.json"
         doc = json.loads(path.read_text())
         validate_profile(doc)
-        assert doc["version"] == 4
+        assert doc["version"] == 5
         workers = doc["run"]["workers"]
         assert workers["jobs"] == 2
         assert workers["points"] == len(REGISTRY["table1"].grid("quick"))

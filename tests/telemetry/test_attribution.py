@@ -1,0 +1,283 @@
+"""Cycle-attribution analyzer: exact math on hand-built traces.
+
+Every number in :class:`TestSyntheticLaunch` is derived by hand from a
+two-warp timeline — no simulator involved — so an analyzer regression
+shows up as a wrong *number*, not a vaguely different distribution.
+The hypothesis test pins the tiling invariant the per-warp rows
+guarantee: ``hidden + exposed + idle == cycles`` for every warp.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.trace import TraceEvent, Tracer, events_from_chrome_trace
+from repro.telemetry.attribution import (
+    TruncatedTraceError,
+    attribute_chrome_trace,
+    attribute_events,
+    attribute_tracer,
+    has_attribution_events,
+)
+
+
+def ev(warp, kind, start, end, detail="", sm=0, block=0):
+    return TraceEvent(warp=warp, block=block, kind=kind, start=start,
+                      end=end, detail=detail, sm=sm)
+
+
+#: Two warps on one SM over [0, 100):
+#:   warp 0: issue [0,10), memory stall [10,60), issue [60,70)
+#:   warp 1: issue [10,40), translation stall [40,60), issue [90,100)
+#: plus one translation event per warp (details chosen by hand).
+SYNTH = [
+    ev(0, "issue", 0, 10),
+    ev(0, "stall", 10, 60, "memory"),
+    ev(0, "issue", 60, 70),
+    ev(1, "issue", 10, 40),
+    ev(1, "stall", 40, 60, "translation"),
+    ev(1, "issue", 90, 100),
+    # Warp 1's translation sits in [40,60) where no other warp issues:
+    # all 10 latency cycles exposed, the 5 pre-hidden stay hidden.
+    ev(1, "translation", 40, 60, "iss=5;lat=10;hid=5"),
+    # Warp 0's translation sits in [10,40), fully covered by warp 1's
+    # issue interval: nothing exposed.
+    ev(0, "translation", 10, 40, "iss=4;lat=8;hid=0"),
+]
+
+
+class TestSyntheticLaunch:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return attribute_events(SYNTH)
+
+    def test_launch_shape(self, report):
+        assert report.launch_cycles == 100
+        assert report.warps == 2
+        assert report.sms == 1
+        assert report.events == len(SYNTH)
+
+    def test_issue_and_stall_totals(self, report):
+        assert report.issue_cycles == 60          # 20 + 40
+        assert report.stall_cycles == {"memory": 50.0,
+                                       "translation": 20.0}
+
+    def test_warp0_row_exact(self, report):
+        row = {r["warp"]: r for r in report.warp_rows}[0]
+        # Memory stall [10,60) is covered by warp 1's issue [10,40):
+        # 30 of its 50 cycles are hidden.
+        assert row["issue"] == 20
+        assert row["stall"] == 50
+        assert row["hidden"] == 20 + 30
+        assert row["exposed"] == 20
+        assert row["idle"] == 30
+
+    def test_warp1_row_exact(self, report):
+        row = {r["warp"]: r for r in report.warp_rows}[1]
+        # Translation stall [40,60) has no concurrent issuer at all.
+        assert row["issue"] == 40
+        assert row["stall"] == 20
+        assert row["hidden"] == 40
+        assert row["exposed"] == 20
+        assert row["idle"] == 40
+
+    def test_rows_tile_the_span(self, report):
+        for row in report.warp_rows:
+            assert row["hidden"] + row["exposed"] + row["idle"] \
+                == pytest.approx(row["cycles"])
+
+    def test_critical_path_exact(self, report):
+        # Issue union [0,40) u [60,70) u [90,100) leaves gaps [40,60)
+        # and [70,90).  The first is covered half by the memory stall,
+        # half by the translation stall; the second by nothing.
+        assert report.critical_path_cycles == 40
+        assert report.critical_path == {
+            "memory": pytest.approx(10.0),
+            "translation": pytest.approx(10.0),
+            "idle": pytest.approx(20.0),
+        }
+
+    def test_translation_split_exact(self, report):
+        t = report.translation
+        assert t.events == 2
+        assert t.issue_slots == 9                 # 5 + 4
+        assert t.total == 32                      # 20 + 12
+        # Warp 1: zero issue coverage -> lat=10 exposed.
+        # Warp 0: full coverage -> nothing exposed.
+        assert t.exposed == pytest.approx(10.0)
+        assert t.hidden == pytest.approx(22.0)
+        assert t.hidden_fraction == pytest.approx(22.0 / 32.0)
+
+    def test_report_round_trips_to_dict(self, report):
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["translation"]["hidden_fraction"] \
+            == pytest.approx(22.0 / 32.0)
+        comp = report.to_component()
+        assert comp["attributed"] == 1
+        assert comp["translation_cycles"] == 32
+
+
+class TestContention:
+    def test_issue_queue_contention_exposes_issue_slots(self):
+        # Warp 0's translation is fully covered by warp 1's issue, but
+        # warp 2 queue-stalls the whole time: the SM's issue server was
+        # contended, so the 10 issue slots were NOT free.
+        events = [
+            ev(0, "issue", 0, 10),
+            ev(1, "issue", 0, 10),
+            ev(2, "stall", 0, 10, "issue_queue"),
+            ev(0, "translation", 0, 10, "iss=10;lat=0;hid=0"),
+        ]
+        t = attribute_events(events).translation
+        assert t.total == 10
+        assert t.exposed == pytest.approx(10.0)
+        assert t.hidden == pytest.approx(0.0)
+
+    def test_other_sm_issue_does_not_hide(self):
+        # Cover only on SM 1; warp 0's stall on SM 0 stays exposed.
+        events = [
+            ev(0, "issue", 0, 10, sm=0),
+            ev(0, "stall", 10, 30, "memory", sm=0),
+            ev(1, "issue", 10, 30, sm=1),
+        ]
+        report = attribute_events(events)
+        row = {r["warp"]: r for r in report.warp_rows}[0]
+        assert row["exposed"] == 20
+        assert report.sms == 2
+
+
+class TestTruncationRefusal:
+    def test_dropped_events_raise(self):
+        with pytest.raises(TruncatedTraceError, match="dropped 3"):
+            attribute_events(SYNTH, dropped=3)
+
+    def test_overflowed_tracer_refused(self):
+        tracer = Tracer(max_events=2)
+        for e in SYNTH:
+            tracer.record(e.warp, e.block, e.kind, e.start, e.end,
+                          e.detail, e.sm)
+        assert tracer.dropped == len(SYNTH) - 2
+        with pytest.raises(TruncatedTraceError):
+            attribute_tracer(tracer)
+
+    def test_truncated_chrome_trace_refused(self):
+        tracer = Tracer(max_events=2)
+        for e in SYNTH:
+            tracer.record(e.warp, e.block, e.kind, e.start, e.end,
+                          e.detail, e.sm)
+        trace = tracer.to_chrome_trace()
+        with pytest.raises(TruncatedTraceError):
+            attribute_chrome_trace(trace)
+
+
+class TestChromeTraceRoundTrip:
+    def _tracer(self):
+        tracer = Tracer()
+        for e in SYNTH:
+            tracer.record(e.warp, e.block, e.kind, e.start, e.end,
+                          e.detail, e.sm)
+        return tracer
+
+    def test_cycles_export_round_trips(self):
+        tracer = self._tracer()
+        events, dropped = events_from_chrome_trace(
+            tracer.to_chrome_trace())
+        assert dropped == 0
+        direct = attribute_tracer(tracer)
+        via_chrome = attribute_events(events)
+        assert via_chrome.to_dict() == direct.to_dict()
+
+    def test_microsecond_export_round_trips(self):
+        class Spec:
+            clock_hz = 823.5e6
+
+        tracer = self._tracer()
+        trace = tracer.to_chrome_trace(Spec())
+        assert trace["otherData"]["time_unit"] == "us"
+        direct = attribute_tracer(tracer)
+        report = attribute_chrome_trace(trace)
+        assert report.translation.hidden_fraction \
+            == pytest.approx(direct.translation.hidden_fraction)
+        assert report.launch_cycles \
+            == pytest.approx(direct.launch_cycles)
+
+    def test_microseconds_without_clock_rejected(self):
+        class Spec:
+            clock_hz = 1e9
+
+        trace = self._tracer().to_chrome_trace(Spec())
+        del trace["otherData"]["clock_hz"]
+        with pytest.raises(ValueError, match="clock_hz"):
+            events_from_chrome_trace(trace)
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        report = attribute_events([])
+        assert report.launch_cycles == 0
+        assert report.warp_rows == []
+        assert report.translation.total == 0
+
+    def test_macro_ops_only_trace_has_no_rows(self):
+        events = [ev(0, "compute", 0, 5), ev(0, "memaccess", 5, 30)]
+        assert not has_attribution_events(events)
+        report = attribute_events(events)
+        assert report.warp_rows == []
+        assert report.events == 2
+
+    def test_launch_cycles_override_extends_span(self):
+        report = attribute_events([ev(0, "issue", 0, 10)],
+                                  launch_cycles=50)
+        assert report.launch_cycles == 50
+        row = report.warp_rows[0]
+        assert row["idle"] == 40
+
+    def test_exposed_clamped_to_total(self):
+        # lat alone exceeds total sanity: exposed never exceeds total.
+        events = [ev(0, "translation", 0, 0, "iss=0;lat=7;hid=0")]
+        t = attribute_events(events).translation
+        assert t.exposed <= t.total == 7
+
+
+# ----------------------------------------------------------------------
+# Property: per-warp rows tile the launch span
+# ----------------------------------------------------------------------
+@st.composite
+def warp_timelines(draw):
+    """Random issue/stall segments for a handful of warps on 2 SMs."""
+    events = []
+    n_warps = draw(st.integers(min_value=1, max_value=4))
+    for warp in range(n_warps):
+        sm = warp % 2
+        cursor = draw(st.integers(min_value=0, max_value=5))
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            dur = draw(st.integers(min_value=1, max_value=20))
+            kind = draw(st.sampled_from(["issue", "stall", "gap"]))
+            if kind == "issue":
+                events.append(ev(warp, "issue", cursor, cursor + dur,
+                                 sm=sm))
+            elif kind == "stall":
+                reason = draw(st.sampled_from(
+                    ["memory", "translation", "issue_queue", "io"]))
+                events.append(ev(warp, "stall", cursor, cursor + dur,
+                                 reason, sm=sm))
+            cursor += dur
+    return events
+
+
+@settings(max_examples=60, deadline=None)
+@given(warp_timelines())
+def test_hidden_exposed_idle_tile_every_warp(events):
+    report = attribute_events(events)
+    for row in report.warp_rows:
+        assert row["hidden"] + row["exposed"] + row["idle"] \
+            == pytest.approx(row["cycles"])
+        assert row["hidden"] >= row["issue"] - 1e-9
+        assert 0 <= row["exposed"] <= row["stall"] + 1e-9
+        assert row["idle"] >= -1e-9
+    assert report.issue_cycles == pytest.approx(
+        sum(r["issue"] for r in report.warp_rows))
+    assert report.idle_cycles == pytest.approx(
+        sum(r["idle"] for r in report.warp_rows))

@@ -1,6 +1,6 @@
 """merge_profiles: suite profiles from per-launch documents.
 
-Covers the schema-v4 ``run`` section: counter summing, rate
+Covers the schema ``run`` section (v4+): counter summing, rate
 recomputation, zero-filling of component sections from older-version
 inputs, and validation of the ``run.workers`` block.
 """
@@ -33,11 +33,28 @@ def launch_docs():
 
 
 class TestMerge:
-    def test_merged_doc_is_valid_v4(self, launch_docs):
+    def test_merged_doc_is_current_schema(self, launch_docs):
         merged = merge_profiles(launch_docs, name="memcpy suite")
         validate_profile(merged)
-        assert merged["version"] == 4
+        assert merged["version"] == 5
         assert merged["name"] == "memcpy suite"
+
+    def test_attribution_hidden_fraction_recomputed(self, launch_docs):
+        # Give the two launches unequal hidden fractions; the merged
+        # fraction must be the ratio of the summed cycles, not a sum
+        # (or mean) of the per-launch ratios.
+        docs = [json.loads(json.dumps(d)) for d in launch_docs]
+        docs[0]["components"]["attribution"].update(
+            translation_cycles=100.0, translation_hidden=90.0,
+            translation_exposed=10.0, hidden_fraction=0.9, attributed=1)
+        docs[1]["components"]["attribution"].update(
+            translation_cycles=300.0, translation_hidden=150.0,
+            translation_exposed=150.0, hidden_fraction=0.5, attributed=1)
+        merged = merge_profiles(docs)
+        attr = merged["components"]["attribution"]
+        assert attr["translation_cycles"] == 400.0
+        assert attr["hidden_fraction"] == pytest.approx(240.0 / 400.0)
+        assert attr["attributed"] == 2
 
     def test_counters_sum(self, launch_docs):
         merged = merge_profiles(launch_docs)

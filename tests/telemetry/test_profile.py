@@ -85,7 +85,28 @@ class TestSchemaVersioning:
     def test_live_profiles_are_current_version(self, memcpy_profile):
         from repro.telemetry.profile import SCHEMA_VERSION
         doc = memcpy_profile.profiles[0].to_dict()
-        assert doc["version"] == SCHEMA_VERSION == 4
+        assert doc["version"] == SCHEMA_VERSION == 5
+
+    def test_v5_requires_attribution_component(self, memcpy_profile):
+        doc = memcpy_profile.profiles[0].to_dict()
+        attr = doc["components"]["attribution"]
+        for key in ("translation_cycles", "translation_hidden",
+                    "translation_exposed", "hidden_fraction",
+                    "critical_path_cycles", "attributed"):
+            assert key in attr
+        broken = json.loads(json.dumps(doc))
+        broken["components"].pop("attribution")
+        with pytest.raises(ValueError, match="attribution"):
+            validate_profile(broken)
+
+    def test_v4_document_without_attribution_still_validates(
+            self, memcpy_profile):
+        # v4 predates components.attribution; dropping the section and
+        # restamping must keep loading (ACCEPTED_VERSIONS covers 2-5).
+        doc = json.loads(json.dumps(memcpy_profile.profiles[0].to_dict()))
+        doc["version"] = 4
+        doc["components"].pop("attribution")
+        validate_profile(doc)
 
     def test_v3_requires_sanitizer_component(self, memcpy_profile):
         doc = memcpy_profile.profiles[0].to_dict()
@@ -119,7 +140,7 @@ class TestSchemaVersioning:
     def test_unknown_versions_rejected(self):
         with open(self.FIXTURE) as f:
             doc = json.load(f)
-        for version in (1, 5, "2", None):
+        for version in (1, 6, "2", None):
             doc["version"] = version
             with pytest.raises(ValueError, match="version"):
                 validate_profile(doc)
