@@ -99,10 +99,16 @@ class Device:
         if profiler is None:
             profiler = telemetry_hooks.current()
         engine_profile = None
+        sampler = None
         if profiler is not None:
             if tracer is None:
                 tracer = profiler.begin_launch()
             engine_profile = EngineProfile.for_sms(spec.num_sms)
+            # Cycle-window sampling (None unless the profiler enables
+            # it) — live series stream out as the launch runs.
+            begin_sampling = getattr(profiler, "begin_sampling", None)
+            if begin_sampling is not None:
+                sampler = begin_sampling(spec, tracer=tracer)
 
         def make_block(block_id: int):
             def factory():
@@ -132,15 +138,17 @@ class Device:
         if self.sanitizer is not None:
             self.sanitizer.begin_launch()
         engine = Engine(spec, occ.blocks_per_sm, tracer=tracer,
-                        profile=engine_profile)
+                        profile=engine_profile, sampler=sampler)
         cycles = engine.run([make_block(b) for b in range(cfg.grid)])
         self.total_cycles += cycles
         self.launches += 1
         launch_profile = None
         if profiler is not None:
+            if sampler is not None:
+                sampler.finish(cycles)
             launch_profile = profiler.record_launch(
                 device=self, cfg=cfg, occ=occ, engine=engine,
-                tracer=tracer)
+                tracer=tracer, sampler=sampler)
         return LaunchResult(
             cycles=cycles,
             seconds=spec.cycles_to_seconds(cycles),

@@ -130,11 +130,18 @@ class Engine:
 
     def __init__(self, spec: GPUSpec, blocks_per_sm: int, tracer=None,
                  num_devices: int = 1,
-                 profile: EngineProfile | None = None):
+                 profile: EngineProfile | None = None,
+                 sampler=None):
         self.spec = spec
         self.blocks_per_sm = max(1, blocks_per_sm)
         self.tracer = tracer
         self.profile = profile
+        # Cycle-window time-series sampler
+        # (repro.telemetry.timeseries).  Guarded like ``profile``: an
+        # unsampled launch pays one pointer test per event.  The
+        # sampler only reads simulator state — it must never change
+        # simulated cycles (asserted by the telemetry tests).
+        self.sampler = sampler
         self.num_devices = num_devices
         self.stats = EngineStats()
         total_sms = spec.num_sms * num_devices
@@ -229,6 +236,11 @@ class Engine:
     ISSUE_SLICE = 512.0
 
     def _step(self, runner: _WarpRunner, now: float) -> None:
+        if self.sampler is not None:
+            # Heap pops are monotonic and every interval recorded below
+            # starts at or after ``now``, so windows ending before it
+            # are complete and can stream out.
+            self.sampler.advance(now)
         if runner.io_stalled:
             runner.io_stalled = False
             runner.block.io_stalled -= 1
@@ -317,6 +329,9 @@ class Engine:
         if self.profile is not None:
             self.profile.sm_busy[sm] += issue_time
             self.profile.stall("issue_queue", start - now)
+        if self.sampler is not None:
+            self.sampler.issue(sm, start, issue_time, self.ISSUE_SLICE)
+            self.sampler.stall("issue_queue", start, start - now)
         req.count -= self.ISSUE_SLICE
         chain = (req.chain_length() if isinstance(req, Compute)
                  else req.chain)
@@ -356,6 +371,11 @@ class Engine:
                 self.profile.stall("issue_queue", start - now)
                 self.profile.stall("exec_dependency",
                                    latency - issue_time)
+            if self.sampler is not None:
+                self.sampler.issue(sm, start, issue_time, req.count)
+                self.sampler.stall("issue_queue", start, start - now)
+                self.sampler.stall("exec_dependency", done,
+                                   latency - issue_time)
             self._trace(runner, req, start, done)
             if self.tracer is not None:
                 self._stall(runner, None, "issue_queue", now, start)
@@ -386,6 +406,11 @@ class Engine:
                 self.profile.sm_busy[sm] += issue_time
                 self.profile.stall("issue_queue", start - now)
                 self.profile.stall("scratch", done - start - issue_time)
+            if self.sampler is not None:
+                self.sampler.issue(sm, start, issue_time, req.count)
+                self.sampler.stall("issue_queue", start, start - now)
+                self.sampler.stall("scratch", done,
+                                   done - start - issue_time)
             self._trace(runner, req, start, done)
             if self.tracer is not None:
                 self._stall(runner, None, "issue_queue", now, start)
@@ -405,6 +430,8 @@ class Engine:
             done = start + spec.atomic_latency_cycles
             if self.profile is not None:
                 self.profile.stall("atomic", done - now)
+            if self.sampler is not None:
+                self.sampler.stall("atomic", done, done - now)
             self._trace(runner, req, start, done)
             if self.tracer is not None:
                 self._stall(runner, req, "atomic", now, done)
@@ -412,6 +439,10 @@ class Engine:
         elif isinstance(req, LoadFence):
             if self.profile is not None:
                 self.profile.stall("memory", runner.outstanding - now)
+            if self.sampler is not None:
+                self.sampler.stall("memory", max(runner.outstanding,
+                                                 now),
+                                   runner.outstanding - now)
             if self.tracer is not None:
                 self._stall(runner, req, "memory", now,
                             runner.outstanding)
@@ -444,6 +475,8 @@ class Engine:
                         else lock.latency)
                 if self.profile is not None:
                     self.profile.stall("lock", now - enqueued)
+                if self.sampler is not None:
+                    self.sampler.stall("lock", now, now - enqueued)
                 if self.tracer is not None:
                     block = waiter.block
                     self.tracer.record(self._warp_id(waiter),
@@ -470,6 +503,9 @@ class Engine:
             done = start + xfer + fixed
             if self.profile is not None:
                 self.profile.stall("io", done - now)
+            if self.sampler is not None:
+                self.sampler.pcie(start, req.nbytes, xfer)
+                self.sampler.stall("io", done, done - now)
             self._trace(runner, req, start, done)
             if self.tracer is not None:
                 self._stall(runner, req, "io", now, done)
@@ -482,6 +518,8 @@ class Engine:
             self.stats.host_seconds += req.seconds
             if self.profile is not None:
                 self.profile.stall("io", done - now)
+            if self.sampler is not None:
+                self.sampler.stall("io", done, done - now)
             self._trace(runner, req, start, done)
             if self.tracer is not None:
                 self._stall(runner, req, "io", now, done)
@@ -498,6 +536,9 @@ class Engine:
             if self.profile is not None:
                 self.profile.stall("spin" if req.io_wait else "sleep",
                                    req.cycles)
+            if self.sampler is not None:
+                self.sampler.stall("spin" if req.io_wait else "sleep",
+                                   now + req.cycles, req.cycles)
             if req.io_wait:
                 self._maybe_preempt(runner, now, now + req.cycles)
             self._schedule(runner, now + req.cycles)
@@ -528,6 +569,12 @@ class Engine:
             self.profile.stall("issue_queue", start - now)
             self.profile.dram_queue_cycles += dram_start - pre_done
             self.profile.dram_queued_accesses += 1
+        if self.sampler is not None:
+            self.sampler.issue(sm, start, issue_time, req.count + 1)
+            self.sampler.stall("issue_queue", start, start - now)
+            self.sampler.dram(dram_start, nbytes, req.transactions,
+                              nbytes / self._dram_bpc,
+                              dram_start - pre_done)
         dep = spec.dependent_issue_cycles
         tr_attr = False
         tr_cnt = tr_chain = pre = 0.0
@@ -583,6 +630,9 @@ class Engine:
         final = max(ready, start + issue_time)
         if self.profile is not None:
             self.profile.stall("memory", ready - (start + issue_time))
+        if self.sampler is not None:
+            self.sampler.stall("memory", final,
+                               ready - (start + issue_time))
         if self.tracer is not None:
             self._stall(runner, req, "memory", start + issue_time, final)
             if tr_attr:
@@ -647,6 +697,9 @@ class Engine:
             for waiter, arrived in waiting:
                 if self.profile is not None:
                     self.profile.stall("barrier", release - arrived)
+                if self.sampler is not None:
+                    self.sampler.stall("barrier", release,
+                                       release - arrived)
                 if self.tracer is not None:
                     self._stall(waiter, None, "barrier", arrived, release)
                 self._schedule(waiter, release)

@@ -63,6 +63,12 @@ PAGING_SPAN_KINDS = frozenset({
 #: the macro-op events, so timeline rendering skips them.
 ATTRIBUTION_KINDS = frozenset({"stall", "issue", "translation"})
 
+#: Event kind recorded by the time-series sampler
+#: (:mod:`repro.telemetry.timeseries`): one named sample per window,
+#: exported as a Chrome ``"C"`` (counter) event so Perfetto renders a
+#: counter track next to the span timeline.
+COUNTER_KIND = "counter"
+
 
 class Tracer:
     """Collects :class:`TraceEvent` records during a launch."""
@@ -79,6 +85,13 @@ class Tracer:
             return
         self.events.append(TraceEvent(warp, block, kind, start, end,
                                       detail, sm))
+
+    def record_counter(self, name: str, t: float, value: float) -> None:
+        """Record one named counter sample at time ``t`` (a point, not
+        a span) — the time-series sampler mirrors each closed window
+        onto these.  Exported as Chrome ``"C"`` events."""
+        self.record(0, -1, COUNTER_KIND, t, t,
+                    f"{name}={value:.12g}")
 
     # ------------------------------------------------------------------
     def by_kind(self) -> dict:
@@ -131,6 +144,8 @@ class Tracer:
                          "tid": 0, "args": {"name": name}})
         seen_tracks = set()
         for e in self.events:
+            if e.kind == COUNTER_KIND:
+                continue           # counter tracks are named, not warps
             key = (e.sm + 1, e.warp)
             if key not in seen_tracks:
                 seen_tracks.add(key)
@@ -139,6 +154,18 @@ class Tracer:
                              "args": {"name": f"warp {e.warp}"}})
         spans = []
         for e in sorted(self.events, key=lambda e: (e.start, e.end)):
+            if e.kind == COUNTER_KIND:
+                name, _, value = e.detail.partition("=")
+                spans.append({
+                    "name": name,
+                    "cat": "timeseries",
+                    "ph": "C",
+                    "ts": e.start * scale,
+                    "pid": e.sm + 1,
+                    "tid": 0,
+                    "args": {"value": float(value or 0.0)},
+                })
+                continue
             args: dict = {"block": e.block}
             if e.detail:
                 args["detail"] = e.detail
@@ -193,6 +220,15 @@ def events_from_chrome_trace(trace: dict) -> tuple[list[TraceEvent], int]:
         scale = 1e6 / clock_hz
     events = []
     for rec in trace.get("traceEvents", []):
+        if rec.get("ph") == "C":
+            t = rec["ts"] / scale
+            value = rec.get("args", {}).get("value", 0.0)
+            events.append(TraceEvent(
+                warp=0, block=-1, kind=COUNTER_KIND, start=t, end=t,
+                detail=f"{rec.get('name', '')}={value:.12g}",
+                sm=int(rec.get("pid", 0)) - 1,
+            ))
+            continue
         if rec.get("ph") != "X":
             continue
         args = rec.get("args", {})
@@ -248,7 +284,7 @@ def render_timeline(tracer: Tracer, width: int = 72,
     for warp in chosen:
         busy: list[Counter] = [Counter() for _ in range(width)]
         for e in tracer.for_warp(warp):
-            if e.kind in ATTRIBUTION_KINDS:
+            if e.kind in ATTRIBUTION_KINDS or e.kind == COUNTER_KIND:
                 continue
             # An event ending exactly at the span end belongs to the
             # last bucket, not a phantom bucket `width`.

@@ -28,6 +28,16 @@ summary in each profile's ``components.attribution``.
 and each experiment's key metric — to the benchmark trend record
 after the run; ``repro-attr --compare`` diffs the latest two rows and
 fails on tier-1 regressions.
+
+``--timeseries`` turns on cycle-window sampling
+(:mod:`repro.telemetry.timeseries`) for every launch: profiles gain a
+``components.timeseries`` section (schema v6) holding the sampled
+series.  ``--live-dir PATH`` additionally streams the samples as they
+happen — ``PATH/<experiment>/series-*.jsonl`` plus ``heartbeats.jsonl``
+and a Prometheus ``metrics.prom`` snapshot — the layout ``repro-top
+PATH/<experiment>`` renders live.  ``--window-cycles N`` sets the
+sampling window width; ``--no-progress`` suppresses the stderr
+progress line (heartbeat files are still written).
 """
 
 from __future__ import annotations
@@ -87,12 +97,32 @@ def main(argv=None) -> int:
                              "date, key metric per experiment) to "
                              "this benchmark trend record; compare "
                              "rows with repro-attr --compare")
+    parser.add_argument("--timeseries", action="store_true",
+                        help="sample every launch in cycle windows "
+                             "(implies profiling; the series lands in "
+                             "the profiles' components.timeseries)")
+    parser.add_argument("--live-dir", metavar="PATH",
+                        help="stream sampled windows and worker "
+                             "heartbeats here as the run progresses "
+                             "(implies --timeseries; watch with "
+                             "repro-top PATH/<experiment>)")
+    parser.add_argument("--window-cycles", type=float, default=None,
+                        metavar="N",
+                        help="sampling window width in simulated "
+                             "cycles (default: the sampler's)")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="never draw the stderr progress line "
+                             "(live files are still written)")
     args = parser.parse_args(argv)
 
     if args.attribute and not args.profile_dir:
         parser.error("--attribute requires --profile-dir (the "
                      "attribution summary is written with the "
                      "profiles)")
+    if args.timeseries and not (args.live_dir or args.profile_dir):
+        parser.error("--timeseries needs somewhere to land: give "
+                     "--profile-dir (series in the profiles) and/or "
+                     "--live-dir (streaming files)")
 
     if args.list:
         for name in ALL_EXPERIMENTS:
@@ -130,12 +160,22 @@ def main(argv=None) -> int:
                     result = _run_legacy(fn, args)
                     report = None
                 else:
+                    live = None
+                    if args.live_dir or args.timeseries:
+                        from repro.harness.runner import LiveOptions
+                        live = LiveOptions(
+                            live_dir=(os.path.join(args.live_dir, name)
+                                      if args.live_dir else None),
+                            window_cycles=args.window_cycles)
                     report = run_experiment(
                         exp, scale=args.scale, jobs=jobs,
                         options={"eviction_policy":
                                  args.eviction_policy},
                         profile=bool(args.profile_dir),
                         attribution=args.attribute,
+                        live=live,
+                        progress=(False if args.no_progress
+                                  else None),
                         executor=executor)
                     result = report.result
             except Exception:

@@ -17,7 +17,14 @@ with:
   ``LaunchProfile`` documents are shipped back and merged into one
   suite profile (:func:`repro.telemetry.merge_profiles`, schema v4
   with a ``run.workers`` section);
-* a **progress line** on stderr when attached to a terminal.
+* **live telemetry** — with a :class:`LiveOptions`, every point runs
+  under the cycle-window sampler
+  (:mod:`repro.telemetry.timeseries`): each process streams its
+  point's windows to a ``series-*.jsonl`` file in the live directory
+  and ships compact heartbeats to the parent over a manager queue;
+* a **progress line** on stderr when attached to a terminal — drawn
+  by exactly one :class:`~repro.harness.heartbeat.HeartbeatRenderer`
+  in the parent, so ``--jobs N`` output never interleaves.
 
 Spawn-safety is what the registry buys: point functions are
 module-level (pickled by reference) and grid params are plain dicts,
@@ -35,12 +42,38 @@ import traceback
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from queue import Empty
 from typing import Optional
 
+from repro.harness.heartbeat import (
+    DEFAULT_MIN_INTERVAL,
+    HeartbeatRenderer,
+    HeartbeatSender,
+    make_heartbeat,
+)
 from repro.harness.registry import Experiment, ExperimentResult
 
 #: Default base seed; combine with a per-point hash for the final seed.
 DEFAULT_BASE_SEED = 0x5EED
+
+
+@dataclass(frozen=True)
+class LiveOptions:
+    """Live-telemetry configuration for a run (implies profiling).
+
+    ``live_dir`` receives the streaming layout ``repro-top`` tails:
+    one ``series-<experiment>-p<NNN>.jsonl`` per grid point, written
+    by whichever process ran the point, plus parent-written
+    ``heartbeats.jsonl`` and ``metrics.prom`` snapshots.  With
+    ``live_dir=None`` heartbeats still drive the progress line but
+    nothing is written to disk.  The dataclass is frozen and
+    field-picklable, so it ships to spawn workers as-is.
+    """
+
+    live_dir: Optional[str] = None
+    timeseries: bool = True
+    window_cycles: Optional[float] = None     # None = sampler default
+    heartbeat_interval: float = DEFAULT_MIN_INTERVAL
 
 
 class ExperimentPointError(RuntimeError):
@@ -102,31 +135,84 @@ def _seed_rngs(seed: int) -> None:
     np.random.seed(seed & 0xFFFFFFFF)
 
 
+def _sampling_config(live: Optional["LiveOptions"], exp_name: str,
+                     index: int, sender: Optional[HeartbeatSender]):
+    """Per-point sampling wiring for :func:`_execute_point`, or
+    ``None`` when live telemetry is off.  Built in the process that
+    runs the point (the ``on_window`` closure is not picklable)."""
+    if live is None or not live.timeseries:
+        return None
+    cfg: dict = {
+        "window_cycles": live.window_cycles,
+        "meta": {"experiment": exp_name, "point": index,
+                 "pid": os.getpid()},
+    }
+    if live.live_dir:
+        cfg["series_path"] = os.path.join(
+            live.live_dir, f"series-{exp_name}-p{index:03d}.jsonl")
+    if sender is not None:
+        cfg["on_window"] = (
+            lambda record: sender.window_beat(exp_name, index, record))
+    return cfg
+
+
 def _execute_point(point_fn, params: dict, seed: int, scale: str,
                    profile: bool, trace: bool,
-                   attribution: bool = False):
+                   attribution: bool = False, sampling=None):
     """Run one point (any process); returns (rows, profile docs,
     tracers).  Tracers only exist for in-process execution — they are
     not shipped across the pool.  ``attribution`` forces a tracer per
     launch (the analyzer needs the event log) and stores the
-    cycle-attribution summary in each profile's components."""
+    cycle-attribution summary in each profile's components.
+    ``sampling`` (a :func:`_sampling_config` dict) turns on the
+    cycle-window sampler and streams each point's windows to its own
+    series file."""
     _seed_rngs(seed)
     if not profile:
         return point_fn(scale=scale, **params), [], []
     from repro.telemetry import capture
-    with capture(trace=trace or attribution, max_traces=1,
-                 attribution=attribution) as prof:
-        rows = point_fn(scale=scale, **params)
+    kwargs: dict = {}
+    sink = None
+    if sampling is not None:
+        kwargs["timeseries"] = True
+        kwargs["window_cycles"] = sampling.get("window_cycles")
+        if sampling.get("series_path"):
+            from repro.telemetry.timeseries import JsonlSink
+            sink = JsonlSink(sampling["series_path"],
+                             meta=sampling.get("meta"),
+                             on_window=sampling.get("on_window"))
+            kwargs["series_sink"] = sink
+        elif sampling.get("on_window") is not None:
+            kwargs["series_sink"] = sampling["on_window"]
+    try:
+        with capture(trace=trace or attribution, max_traces=1,
+                     attribution=attribution, **kwargs) as prof:
+            rows = point_fn(scale=scale, **params)
+    finally:
+        if sink is not None:
+            sink.close()
     return rows, [p.to_dict() for p in prof.profiles], prof.traces
 
 
 def _pool_task(point_fn, index: int, params: dict, seed: int,
-               scale: str, profile: bool, attribution: bool = False):
-    """Worker-side wrapper: never raises — failures come back as data."""
+               scale: str, profile: bool, attribution: bool = False,
+               live=None, exp_name: str = "", beat_queue=None):
+    """Worker-side wrapper: never raises — failures come back as data.
+
+    With live telemetry on, the worker writes its point's series file
+    itself (one writer per file) and ships rate-limited ``window``
+    heartbeats to the parent over ``beat_queue``.
+    """
     try:
+        sender = None
+        if beat_queue is not None and live is not None:
+            sender = HeartbeatSender(beat_queue.put,
+                                     min_interval=live.heartbeat_interval)
+        sampling = _sampling_config(live, exp_name, index, sender)
         rows, docs, _ = _execute_point(point_fn, params, seed, scale,
                                        profile, trace=False,
-                                       attribution=attribution)
+                                       attribution=attribution,
+                                       sampling=sampling)
         return (index, rows, docs, None, None, os.getpid())
     except BaseException as exc:                    # noqa: BLE001
         return (index, None, [], f"{type(exc).__name__}: {exc}",
@@ -151,6 +237,7 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
                    attribution: bool = False,
                    base_seed: int = DEFAULT_BASE_SEED,
                    progress: Optional[bool] = None,
+                   live: Optional[LiveOptions] = None,
                    executor: Optional[ProcessPoolExecutor] = None,
                    ) -> RunReport:
     """Run every grid point of ``exp``; return a :class:`RunReport`.
@@ -162,20 +249,30 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
     harness-wide flags (``--eviction-policy``) can be offered to every
     experiment and only land where declared.  ``attribution=True``
     implies profiling and runs the cycle-attribution analyzer on every
-    launch (see :mod:`repro.telemetry.attribution`).
+    launch (see :mod:`repro.telemetry.attribution`).  ``live`` (a
+    :class:`LiveOptions`) also implies profiling and turns on
+    cycle-window sampling with streaming export and heartbeats.
     """
     started = time.time()
-    profile = profile or attribution
+    profile = profile or attribution or (live is not None)
     jobs = resolve_jobs(jobs)
     opts = {k: v for k, v in (options or {}).items()
             if k in exp.options and v is not None}
     grid = exp.grid(scale, **opts)
     result = exp.new_result(scale)
-    show = _progress_enabled(progress)
     outcomes: list = [None] * len(grid)
+    renderer = HeartbeatRenderer(
+        show=_progress_enabled(progress),
+        live_dir=live.live_dir if live is not None else None)
+    renderer.handle(make_heartbeat("start", exp.name,
+                                   points=len(grid), jobs=jobs,
+                                   scale=scale))
 
     if jobs == 1 and executor is None:
         in_process_trace = profile if trace is None else trace
+        sender = (HeartbeatSender(renderer.handle,
+                                  min_interval=live.heartbeat_interval)
+                  if live is not None else None)
         for i, params in enumerate(grid):
             seed = point_seed(exp.name, i, params, base_seed)
             out = PointOutcome(index=i, params=params, seed=seed,
@@ -183,39 +280,63 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
             try:
                 out.rows, out.profiles, out.tracers = _execute_point(
                     exp.point, params, seed, scale, profile,
-                    trace=in_process_trace, attribution=attribution)
+                    trace=in_process_trace, attribution=attribution,
+                    sampling=_sampling_config(live, exp.name, i,
+                                              sender))
             except Exception as exc:
                 out.error = f"{type(exc).__name__}: {exc}"
                 out.traceback = traceback.format_exc()
             outcomes[i] = out
-            _progress(show, exp.name, sum(o is not None
-                                          for o in outcomes),
-                      len(grid), jobs)
+            renderer.handle(make_heartbeat(
+                "point_done", exp.name, point=i,
+                ok=out.error is None))
     else:
         own_pool = executor is None
         pool = executor if executor is not None else spawn_executor(jobs)
+        manager = None
+        beat_queue = None
+        if live is not None and live.timeseries:
+            # Spawn-safe heartbeat channel: a manager-proxy queue is
+            # picklable, so workers can push window beats mid-point
+            # (an executor's own result pipe only speaks at task end).
+            manager = multiprocessing.get_context("spawn").Manager()
+            beat_queue = manager.Queue()
         try:
             futures = {}
             for i, params in enumerate(grid):
                 seed = point_seed(exp.name, i, params, base_seed)
                 futures[pool.submit(_pool_task, exp.point, i, params,
-                                    seed, scale, profile,
-                                    attribution)] = (i, params, seed)
-            done = 0
-            from concurrent.futures import as_completed
-            for fut in as_completed(futures):
-                i, params, seed = futures[fut]
-                index, rows, docs, error, tb, pid = fut.result()
-                outcomes[index] = PointOutcome(
-                    index=index, params=params, seed=seed, rows=rows,
-                    error=error, traceback=tb, profiles=docs,
-                    worker_pid=pid)
-                done += 1
-                _progress(show, exp.name, done, len(grid), jobs)
+                                    seed, scale, profile, attribution,
+                                    live, exp.name,
+                                    beat_queue)] = (i, params, seed)
+            from concurrent.futures import FIRST_COMPLETED, wait
+            pending = set(futures)
+            while pending:
+                # Short timeout so mid-point heartbeats render live;
+                # without a queue, block until a point finishes.
+                finished, pending = wait(
+                    pending,
+                    timeout=0.1 if beat_queue is not None else None,
+                    return_when=FIRST_COMPLETED)
+                _drain_beats(beat_queue, renderer)
+                for fut in finished:
+                    i, params, seed = futures[fut]
+                    index, rows, docs, error, tb, pid = fut.result()
+                    outcomes[index] = PointOutcome(
+                        index=index, params=params, seed=seed,
+                        rows=rows, error=error, traceback=tb,
+                        profiles=docs, worker_pid=pid)
+                    renderer.handle(make_heartbeat(
+                        "point_done", exp.name, point=index,
+                        ok=error is None, worker=pid))
+            _drain_beats(beat_queue, renderer)
         finally:
             if own_pool:
                 pool.shutdown()
-    _progress_end(show)
+            if manager is not None:
+                manager.shutdown()
+    renderer.handle(make_heartbeat("run_done", exp.name,
+                                   points=len(grid)))
 
     rows: list = []
     profiles: list = []
@@ -263,7 +384,8 @@ def run_named(name: str, **kwargs) -> RunReport:
 
 
 # ----------------------------------------------------------------------
-# Progress line (stderr, terminals only unless forced)
+# Progress (stderr, terminals only unless forced) — the line itself is
+# drawn by the HeartbeatRenderer, the single stderr writer.
 # ----------------------------------------------------------------------
 def _progress_enabled(progress: Optional[bool]) -> bool:
     if progress is not None:
@@ -271,15 +393,13 @@ def _progress_enabled(progress: Optional[bool]) -> bool:
     return bool(getattr(sys.stderr, "isatty", lambda: False)())
 
 
-def _progress(show: bool, name: str, done: int, total: int,
-              jobs: int) -> None:
-    if show:
-        sys.stderr.write(f"\r[{name}] {done}/{total} points "
-                         f"({jobs} worker{'s' if jobs != 1 else ''})")
-        sys.stderr.flush()
-
-
-def _progress_end(show: bool) -> None:
-    if show:
-        sys.stderr.write("\n")
-        sys.stderr.flush()
+def _drain_beats(beat_queue, renderer: HeartbeatRenderer) -> None:
+    """Feed every queued worker heartbeat to the parent's renderer."""
+    if beat_queue is None:
+        return
+    while True:
+        try:
+            beat = beat_queue.get_nowait()
+        except Empty:
+            return
+        renderer.handle(beat)

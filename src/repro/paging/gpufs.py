@@ -205,6 +205,13 @@ class GPUfs:
                 profiler.register("readahead", self.readahead.stats)
             if self.sanitizer is not None:
                 profiler.register("sanitizer", self.sanitizer.stats)
+            # Level gauges for the time-series sampler: cache fill and
+            # pinning, staging-ring pressure, readahead in flight.
+            for component in (self.cache, self.batcher, self.readahead):
+                if component is None:
+                    continue
+                for name, fn in component.gauges().items():
+                    telemetry_hooks.gauge(name, fn)
 
     # ------------------------------------------------------------------
     # Host-side file management

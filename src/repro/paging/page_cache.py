@@ -79,6 +79,19 @@ class PageCache:
         return sum(1 for e in self._owner
                    if e is not None and e.refcount > 0)
 
+    def gauges(self) -> dict:
+        """Instantaneous-level probes for the time-series sampler
+        (read at window close; never mutate cache state)."""
+        total = self.config.num_frames
+        return {
+            "page_cache.frames_used":
+                lambda: float(self.frames_in_use),
+            "page_cache.pinned_frames":
+                lambda: float(self.pinned_frames()),
+            "page_cache.occupancy":
+                lambda: self.frames_in_use / total,
+        }
+
     # ------------------------------------------------------------------
     #: Spin interval while every frame is transiently busy/pinned.
     ALLOC_RETRY_CYCLES = 400.0

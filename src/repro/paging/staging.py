@@ -70,6 +70,18 @@ class TransferBatcher:
         """The device's current spec (respects later overrides)."""
         return self._device.spec
 
+    def ring_utilization(self) -> float:
+        """Fraction of staging-ring slots holding an in-flight copy."""
+        return sum(self._slot_busy) / self.num_slots
+
+    def gauges(self) -> dict:
+        """Instantaneous-level probes for the time-series sampler."""
+        return {
+            "staging.ring_utilization": self.ring_utilization,
+            "staging.busy_slots":
+                lambda: float(sum(self._slot_busy)),
+        }
+
     def fetch(self, ctx: WarpContext, handle, file_offset: int,
               nbytes: int, dst_addr: int):
         """Timed: read ``nbytes`` at ``file_offset`` of ``handle`` into

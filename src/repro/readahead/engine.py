@@ -143,6 +143,13 @@ class ReadaheadEngine:
     def inflight_pages(self) -> int:
         return len(self._inflight)
 
+    def gauges(self) -> dict:
+        """Instantaneous-level probes for the time-series sampler."""
+        return {
+            "readahead.inflight_pages":
+                lambda: float(self.inflight_pages),
+        }
+
     # ------------------------------------------------------------------
     # Fault-path hooks (called by GPUfs)
     # ------------------------------------------------------------------

@@ -43,16 +43,27 @@ from repro.telemetry.profile import (
     validate_profile,
 )
 from repro.telemetry.profiler import Profiler, capture, write_profile_docs
+from repro.telemetry.timeseries import (
+    DEFAULT_WINDOW_CYCLES,
+    JsonlSink,
+    TimeseriesSampler,
+    merge_series,
+    prometheus_lines,
+    write_prometheus,
+)
 from repro.telemetry.trend import append_run, compare, load_trend
 
 __all__ = [
     "AttributionReport",
+    "DEFAULT_WINDOW_CYCLES",
+    "JsonlSink",
     "LaunchProfile",
     "MetricsRegistry",
     "Profiler",
     "PROFILE_SCHEMA",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "TimeseriesSampler",
     "TruncatedTraceError",
     "append_run",
     "attribute_chrome_trace",
@@ -63,6 +74,9 @@ __all__ = [
     "hooks",
     "load_trend",
     "merge_profiles",
+    "merge_series",
+    "prometheus_lines",
     "validate_profile",
     "write_profile_docs",
+    "write_prometheus",
 ]

@@ -60,8 +60,14 @@ def _cmd_attribute(args) -> int:
                 print(f"{path}: INVALID profile: {exc}",
                       file=sys.stderr)
                 return 2
+            note = ""
+            series = doc.get("components", {}).get("timeseries", {})
+            if series.get("enabled"):
+                note = (f", {series.get('windows', 0)} sampled "
+                        f"windows @ "
+                        f"{series.get('window_cycles', 0):g} cycles")
             print(f"{path}: valid profile "
-                  f"(schema v{doc.get('version')})")
+                  f"(schema v{doc.get('version')}{note})")
     if not traces:
         if args.validate and profiles:
             return 0

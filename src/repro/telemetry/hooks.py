@@ -29,3 +29,15 @@ def pop(profiler) -> None:
     if not _STACK or _STACK[-1] is not profiler:
         raise RuntimeError("profiler deactivation out of order")
     _STACK.pop()
+
+
+def gauge(name: str, fn) -> None:
+    """Register an instantaneous-level probe (``fn()`` -> number) with
+    the current profiler, if one is active and supports gauges.  The
+    time-series sampler reads every registered gauge at each window
+    close; with no active profiler this is a no-op — the zero-cost-
+    when-off rule applies to gauges too."""
+    profiler = current()
+    register = getattr(profiler, "register_gauge", None)
+    if register is not None:
+        register(name, fn)

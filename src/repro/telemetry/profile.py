@@ -29,11 +29,15 @@ SCHEMA_NAME = "repro.telemetry/launch-profile"
 #: :mod:`repro.telemetry.attribution`): translation hidden/exposed
 #: cycles, the launch critical-path length, and an ``attributed`` flag
 #: (0 when no tracer was attached or the trace was truncated).
-SCHEMA_VERSION = 5
+#: v6 added the ``components.timeseries`` section (cycle-window
+#: sampling, :mod:`repro.telemetry.timeseries`): ``enabled`` flag,
+#: window width, window count, and the per-window ``series`` list
+#: (empty when sampling was off for the launch).
+SCHEMA_VERSION = 6
 
 #: Versions ``validate_profile`` accepts: current plus archived ones
 #: whose required sections are a subset of what we still emit.
-ACCEPTED_VERSIONS = frozenset({2, 3, 4, SCHEMA_VERSION})
+ACCEPTED_VERSIONS = frozenset({2, 3, 4, 5, SCHEMA_VERSION})
 
 #: Required integer counters of ``run.workers`` when a ``run`` section
 #: is present (v4+).
@@ -52,6 +56,7 @@ _COMPONENT_KEYS = (
     ("attribution", 5, ("translation_cycles", "translation_hidden",
                         "translation_exposed", "hidden_fraction",
                         "critical_path_cycles", "attributed")),
+    ("timeseries", 6, ("enabled", "window_cycles", "windows")),
 )
 
 
@@ -101,6 +106,12 @@ class MetricsRegistry:
 
     def kinds(self) -> list[str]:
         return sorted({kind for kind, _, _ in self._components})
+
+    def components(self) -> list:
+        """Live ``(kind, stats_obj)`` pairs — what the time-series
+        sampler probes by snapshot at window boundaries (with its own
+        baselines, so probing never disturbs :meth:`collect`)."""
+        return [(kind, stats) for kind, stats, _ in self._components]
 
     def collect(self) -> dict:
         """Summed per-kind deltas since the last collect; rebaselines."""
@@ -231,6 +242,20 @@ def validate_profile(doc: dict) -> None:
                     or isinstance(sub.get(key), bool):
                 raise ValueError(
                     f"components.{kind}.{key} missing or mistyped")
+    if version >= 6:
+        # timeseries carries the one non-scalar component payload: the
+        # per-window series list (possibly empty when sampling is off).
+        series = components["timeseries"].get("series")
+        if not isinstance(series, list):
+            raise ValueError("components.timeseries.series must be "
+                             "a list")
+        for record in series:
+            if not isinstance(record, dict) \
+                    or not isinstance(record.get("window"), int) \
+                    or not isinstance(record.get("sm_busy"), list):
+                raise ValueError(
+                    "components.timeseries.series[] records need "
+                    "integer 'window' and list 'sm_busy' keys")
     for key, value in doc["stalls"].items():
         if not isinstance(value, (int, float)):
             raise ValueError(f"stalls.{key} must be numeric")
@@ -295,12 +320,20 @@ def merge_profiles(docs: list, *, name: str = "suite",
         for key, value in doc["stalls"].items():
             stalls[key] = stalls.get(key, 0) + value
         for kind, counters in doc["components"].items():
+            if kind == "timeseries":
+                continue      # concatenated below, not summed
             agg = components.setdefault(kind, {})
             for key, value in counters.items():
                 agg[key] = agg.get(key, 0) + value
         for sm in doc["sms"]:
             sm_busy[sm["sm"]] = (sm_busy.get(sm["sm"], 0.0)
                                  + sm["busy_cycles"])
+
+    # Worker time-series streams concatenate (each window keeps its
+    # per-launch index and gains a ``launch`` source key) — summing
+    # windows across launches would be meaningless.
+    from repro.telemetry.timeseries import merge_series
+    components["timeseries"] = merge_series(docs)
 
     # Zero-fill every component section the current schema requires,
     # then recompute the derived rates from the summed raw counters.

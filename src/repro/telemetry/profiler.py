@@ -32,7 +32,10 @@ class Profiler:
 
     def __init__(self, trace: bool = True, max_traces: int = 8,
                  max_trace_events: int = 200_000,
-                 attribution: bool = False):
+                 attribution: bool = False,
+                 timeseries: bool = False,
+                 window_cycles: float | None = None,
+                 series_sink=None):
         self.registry = MetricsRegistry()
         self.profiles: list[LaunchProfile] = []
         self.traces: list = []           # parallel to profiles; None ok
@@ -43,11 +46,27 @@ class Profiler:
         # store its report in ``components.attribution``.  Off by
         # default: the analyzer walks the whole event list.
         self.attribution = attribution
+        # Cycle-window sampling (repro.telemetry.timeseries).  Off by
+        # default: launches see no sampler and pay only the engine's
+        # ``is not None`` pointer test per event.  ``series_sink`` is
+        # called with each window record as it closes (streaming
+        # export); the profile carries the series either way.
+        self.timeseries = timeseries
+        self.window_cycles = window_cycles
+        self.series_sink = series_sink
+        self._gauges: list = []          # (name, fn) pairs
 
     # ------------------------------------------------------------------
     def register(self, kind: str, stats) -> None:
         """Attach a component stats object (idempotent per object)."""
         self.registry.register(kind, stats)
+
+    def register_gauge(self, name: str, fn) -> None:
+        """Attach an instantaneous-level probe (``fn()`` -> number),
+        read by the time-series sampler at each window close.  Several
+        registrations under one name sum (e.g. frames in use across
+        two GPUfs instances)."""
+        self._gauges.append((name, fn))
 
     def begin_launch(self):
         """Called by the device at launch start; returns the launch's
@@ -56,9 +75,29 @@ class Profiler:
             return Tracer(max_events=self.max_trace_events)
         return None
 
+    def begin_sampling(self, spec, tracer=None):
+        """Called by the device at launch start; returns the launch's
+        :class:`~repro.telemetry.timeseries.TimeseriesSampler`, or
+        ``None`` when sampling is off."""
+        if not self.timeseries:
+            return None
+        from repro.telemetry.timeseries import (
+            DEFAULT_WINDOW_CYCLES,
+            TimeseriesSampler,
+        )
+        return TimeseriesSampler(
+            num_sms=spec.num_sms,
+            window_cycles=(self.window_cycles
+                           if self.window_cycles
+                           else DEFAULT_WINDOW_CYCLES),
+            sink=self.series_sink,
+            tracer=tracer,
+            probes=self.registry,
+            gauges=self._gauges)
+
     # ------------------------------------------------------------------
     def record_launch(self, *, device, cfg, occ, engine,
-                      tracer=None) -> LaunchProfile:
+                      tracer=None, sampler=None) -> LaunchProfile:
         """Reduce one finished launch to a :class:`LaunchProfile`."""
         spec = device.spec
         stats = engine.stats
@@ -129,6 +168,8 @@ class Profiler:
                     "dropped": tracer.dropped}
                    if tracer is not None else None),
         )
+        if sampler is not None:
+            profile.components["timeseries"] = sampler.to_component()
         if self.attribution and tracer is not None \
                 and not tracer.dropped:
             # A truncated trace is refused by the analyzer; the profile
@@ -235,6 +276,13 @@ def _merge_components(collected: dict) -> dict:
             "hidden_fraction": 0.0,
             "critical_path_cycles": 0.0,
             "attributed": 0,
+        },
+        "timeseries": {
+            "enabled": 0,
+            "window_cycles": 0.0,
+            "windows": 0,
+            "dropped_windows": 0,
+            "series": [],
         },
     }
     for kind, counters in collected.items():

@@ -125,8 +125,12 @@ def compare(doc: dict, *, threshold: float = REGRESSION_THRESHOLD
 
     Returns ``(regressions, lines)``: tier-1 metrics whose value moved
     more than ``threshold`` in the harmful direction, plus one
-    human-readable delta line per metric present in both rows.  Fewer
-    than two rows compares nothing (no regressions, a note line).
+    human-readable delta line per metric present in both rows.  Metrics
+    appearing or disappearing between the rows get their own lines,
+    with a ``WARNING`` marker when the metric is tier-1 — a vanished
+    tier-1 metric cannot regress, which is exactly how a perf gate
+    silently rots.  Fewer than two rows compares nothing (no
+    regressions, a note line).
     """
     runs = doc.get("runs", [])
     if len(runs) < 2:
@@ -139,8 +143,10 @@ def compare(doc: dict, *, threshold: float = REGRESSION_THRESHOLD
     for name, rec in sorted(last.get("metrics", {}).items()):
         before = prev.get("metrics", {}).get(name)
         if before is None or before.get("metric") != rec.get("metric"):
+            warn = (" << WARNING: tier-1 metric appeared"
+                    if rec.get("tier1") else "")
             lines.append(f"  {name}.{rec.get('metric')}: new metric, "
-                         "no baseline")
+                         f"no baseline{warn}")
             continue
         p, v = before.get("value"), rec.get("value")
         if not isinstance(p, (int, float)) \
@@ -159,4 +165,17 @@ def compare(doc: dict, *, threshold: float = REGRESSION_THRESHOLD
             flag = "  << REGRESSION"
         lines.append(f"  {name}.{rec.get('metric')}: {p:g} -> {v:g} "
                      f"{unit} ({change:+.1%}){flag}")
+    # A metric silently vanishing is how a perf gate rots: say so.  A
+    # renamed metric (same experiment, different ``metric`` field)
+    # shows up as removed + appeared.
+    last_metrics = last.get("metrics", {})
+    for name, before in sorted(prev.get("metrics", {}).items()):
+        after = last_metrics.get(name)
+        if after is not None \
+                and after.get("metric") == before.get("metric"):
+            continue
+        warn = (" << WARNING: tier-1 metric disappeared"
+                if before.get("tier1") else "")
+        lines.append(f"  {name}.{before.get('metric')}: removed "
+                     f"(was {before.get('value')}){warn}")
     return regressions, lines

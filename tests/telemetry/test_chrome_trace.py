@@ -38,7 +38,7 @@ def _validate_chrome_trace(doc):
     open_stack = {}
     last_ts = None
     for ev in doc["traceEvents"]:
-        assert ev["ph"] in ("X", "B", "E", "M")
+        assert ev["ph"] in ("X", "B", "E", "M", "C")
         if ev["ph"] == "M":
             continue
         assert ev["ts"] >= 0

@@ -81,11 +81,12 @@ class TestLaunchProfileSchema:
 
 class TestSchemaVersioning:
     FIXTURE = "tests/telemetry/fixtures/profile-v2.json"
+    FIXTURE_V5 = "tests/telemetry/fixtures/profile-v5.json"
 
     def test_live_profiles_are_current_version(self, memcpy_profile):
         from repro.telemetry.profile import SCHEMA_VERSION
         doc = memcpy_profile.profiles[0].to_dict()
-        assert doc["version"] == SCHEMA_VERSION == 5
+        assert doc["version"] == SCHEMA_VERSION == 6
 
     def test_v5_requires_attribution_component(self, memcpy_profile):
         doc = memcpy_profile.profiles[0].to_dict()
@@ -137,10 +138,36 @@ class TestSchemaVersioning:
         with pytest.raises(ValueError, match="sanitizer"):
             validate_profile(doc)
 
+    def test_v6_requires_timeseries_component(self, memcpy_profile):
+        doc = memcpy_profile.profiles[0].to_dict()
+        series = doc["components"]["timeseries"]
+        for key in ("enabled", "window_cycles", "windows"):
+            assert key in series
+        broken = json.loads(json.dumps(doc))
+        broken["components"].pop("timeseries")
+        with pytest.raises(ValueError, match="timeseries"):
+            validate_profile(broken)
+
+    def test_archived_v5_profile_still_validates(self):
+        # Regression gate for the v5 -> v6 bump: profiles written
+        # before the timeseries component existed must keep loading.
+        with open(self.FIXTURE_V5) as f:
+            doc = json.load(f)
+        assert doc["version"] == 5
+        assert "timeseries" not in doc["components"]
+        validate_profile(doc)
+
+    def test_v5_document_claiming_v6_is_rejected(self):
+        with open(self.FIXTURE_V5) as f:
+            doc = json.load(f)
+        doc["version"] = 6
+        with pytest.raises(ValueError, match="timeseries"):
+            validate_profile(doc)
+
     def test_unknown_versions_rejected(self):
         with open(self.FIXTURE) as f:
             doc = json.load(f)
-        for version in (1, 6, "2", None):
+        for version in (1, 7, "2", None):
             doc["version"] = version
             with pytest.raises(ValueError, match="version"):
                 validate_profile(doc)

@@ -137,6 +137,44 @@ class TestCompare:
         assert regressions == []
         assert any("no baseline" in line for line in lines)
 
+    def test_added_tier1_metric_warns(self):
+        doc = two_runs(1.0, 1.0)
+        doc["runs"][-1]["metrics"]["fresh"] = metric(5.0)
+        _, lines = compare(doc)
+        assert any("WARNING" in line and "appeared" in line
+                   for line in lines)
+
+    def test_added_non_tier1_metric_does_not_warn(self):
+        doc = two_runs(1.0, 1.0)
+        doc["runs"][-1]["metrics"]["fresh"] = metric(5.0, tier1=False)
+        _, lines = compare(doc)
+        assert not any("WARNING" in line for line in lines)
+
+    def test_removed_tier1_metric_warns(self):
+        doc = two_runs(1.0, 1.0)
+        doc["runs"][-2]["metrics"]["gone"] = metric(7.0)
+        regressions, lines = compare(doc)
+        assert regressions == []       # a vanished metric cannot gate
+        removed = [line for line in lines if "removed" in line]
+        assert len(removed) == 1
+        assert "gone" in removed[0]
+        assert "WARNING" in removed[0] and "disappeared" in removed[0]
+
+    def test_removed_non_tier1_metric_reported_without_warning(self):
+        doc = two_runs(1.0, 1.0)
+        doc["runs"][-2]["metrics"]["gone"] = metric(7.0, tier1=False)
+        _, lines = compare(doc)
+        removed = [line for line in lines if "removed" in line]
+        assert len(removed) == 1
+        assert "WARNING" not in removed[0]
+
+    def test_renamed_metric_reported_as_removed_and_appeared(self):
+        doc = two_runs(100.0, 100.0)
+        doc["runs"][-1]["metrics"]["exp"] = metric(1.0, name="other")
+        _, lines = compare(doc)
+        joined = "\n".join(lines)
+        assert "removed" in joined and "no baseline" in joined
+
     def test_only_latest_two_rows_compared(self):
         doc = two_runs(100.0, 99.0)
         doc["runs"].insert(0, {
