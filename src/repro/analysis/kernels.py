@@ -44,6 +44,18 @@ CTX_PLAIN_METHODS = frozenset({
     "ffs", "popc", "trace_span",
 })
 
+#: Warp-level syscall layer methods (:mod:`repro.syscalls`): take the
+#: context as first argument and return timed generators — a bare
+#: ``sc.pread(ctx, ...)`` without ``yield from`` performs no I/O.
+SYSCALL_METHODS = frozenset({
+    "pread", "pwrite", "msync", "madvise", "ftruncate",
+    "pread_async", "pwrite_async", "wait", "invoke",
+})
+
+#: Non-blocking syscalls returning a :class:`SyscallTicket` that must
+#: reach ``wait(ctx, ticket)`` before the kernel exits.
+TICKET_CREATORS = frozenset({"pread_async", "pwrite_async"})
+
 #: Methods of APtr / AVM / GPUfs / TLB / page-table / DSM objects that
 #: take the context as first argument and return timed generators.
 #: Matching requires *both* the name and a context first argument, so
@@ -62,7 +74,7 @@ TIMED_CTX_ARG_METHODS = frozenset({
     "unref", "drain",
     # staging / transfers
     "fetch", "writeback", "flush_page",
-})
+}) | SYSCALL_METHODS
 
 #: Lane-indexed WarpContext attributes: per-lane vectors whose values
 #: differ across the lanes of a warp (taint sources for the

@@ -21,6 +21,13 @@ Per kernel function the rule tracks names bound by creator calls
 A pointer that *escapes* - returned, yielded, stored into a container
 or attribute, aliased, or passed to another function - transfers
 ownership, and the rule stays silent rather than guess.
+
+The same machinery tracks *syscall tickets*: ``pread_async`` /
+``pwrite_async`` (:mod:`repro.syscalls`) return a ticket whose
+transfer only completes once the kernel drives ``yield from
+sc.wait(ctx, ticket)``.  A ticket that is never waited on races the
+warp's exit against the DMA; one waited on only inside a branch leaks
+the race on the other arm.  Escape analysis applies identically.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.kernels import (
     APTR_CREATORS,
+    TICKET_CREATORS,
     KernelFn,
     ModuleIndex,
     call_name,
@@ -80,6 +88,7 @@ def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
                       order[id(stmt)], depth[id(stmt)]))
     calls.sort(key=lambda item: item[2])
 
+    tickets: dict[str, _Pointer] = {}
     for node, name, pos, dep in calls:
         if name in APTR_CREATORS or (
                 name == "clone" and first_arg_is_ctx(
@@ -87,6 +96,13 @@ def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
             target = _assigned_name(node)
             if target is not None:
                 pointers[target] = _Pointer(
+                    name=target, created=node, create_depth=dep,
+                    create_pos=pos)
+        elif name in TICKET_CREATORS \
+                and first_arg_is_ctx(node, kernel.ctx_names):
+            target = _assigned_name(node)
+            if target is not None:
+                tickets[target] = _Pointer(
                     name=target, created=node, create_depth=dep,
                     create_pos=pos)
 
@@ -99,11 +115,18 @@ def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
                 ptr = pointers.get(node.args[1].id)
                 if ptr is not None:
                     ptr.destroys.append((pos, dep))
+        elif name == "wait" and first_arg_is_ctx(node, kernel.ctx_names):
+            # sc.wait(ctx, ticket) completes its second argument.
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Name):
+                tkt = tickets.get(node.args[1].id)
+                if tkt is not None:
+                    tkt.destroys.append((pos, dep))
         elif name in _USE_METHODS and _receiver_name(node) in pointers \
                 and first_arg_is_ctx(node, kernel.ctx_names):
             pointers[_receiver_name(node)].uses.append((pos, node))
 
     _find_escapes(kernel, pointers)
+    _find_escapes(kernel, tickets)
 
     findings: list[Finding] = []
     for ptr in pointers.values():
@@ -134,6 +157,26 @@ def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
                     f"apointer '{ptr.name}' is dereferenced after "
                     f"destroy() - re-faults pages that are never "
                     f"released"))
+
+    for tkt in tickets.values():
+        if tkt.escaped:
+            continue
+        creator = call_name(tkt.created)
+        if not tkt.destroys:
+            findings.append(_finding(
+                kernel, index, tkt.created,
+                f"syscall ticket '{tkt.name}' from {creator}() is "
+                f"never waited on - the warp can exit while the "
+                f"transfer is in flight; add 'yield from "
+                f"sc.wait(ctx, {tkt.name})'"))
+            continue
+        if tkt.create_depth == 0 \
+                and min(d for _, d in tkt.destroys) > 0:
+            findings.append(_finding(
+                kernel, index, tkt.created,
+                f"syscall ticket '{tkt.name}' from {creator}() is "
+                f"waited on only inside a branch - some exit paths "
+                f"race the warp's exit against the transfer"))
     return findings
 
 
@@ -169,6 +212,10 @@ def _enclosing_stmt(node: ast.AST):
 
 def _assigned_name(call: ast.Call) -> str | None:
     up = parent(call)
+    # Tickets are bound through the driving delegation:
+    # ``t = yield from sc.pread_async(ctx, ...)``.
+    if isinstance(up, (ast.YieldFrom, ast.Await)):
+        up = parent(up)
     if isinstance(up, ast.Assign) and len(up.targets) == 1 \
             and isinstance(up.targets[0], ast.Name):
         return up.targets[0].id
@@ -199,9 +246,10 @@ def _find_escapes(kernel: KernelFn, pointers: dict) -> None:
         if isinstance(up, (ast.Return, ast.Yield)):
             ptr.escaped = True
         elif isinstance(up, ast.Call):
-            # An argument position other than gvmunmap's hands the
-            # pointer to code this rule cannot see.
-            if call_name(up) != "gvmunmap" and node in up.args:
+            # An argument position other than gvmunmap's / wait's
+            # hands the value to code this rule cannot see.
+            if call_name(up) not in ("gvmunmap", "wait") \
+                    and node in up.args:
                 ptr.escaped = True
         elif isinstance(up, (ast.Assign, ast.AnnAssign, ast.NamedExpr,
                              ast.Tuple, ast.List, ast.Dict, ast.Set,

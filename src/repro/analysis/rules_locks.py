@@ -15,7 +15,12 @@ Also reported per function:
 * re-acquiring a key already held (self-deadlock on a non-reentrant
   spinlock);
 * ``ctx.unlock`` of a key that is not currently held (unbalanced
-  pairing the static scan can prove wrong).
+  pairing the static scan can prove wrong);
+* a *blocking syscall* (``pread``/``pwrite``/``msync``/``ftruncate``/
+  ``wait`` from :mod:`repro.syscalls`, identified by a context first
+  argument) invoked while any lock is held - syscalls acquire
+  page-table bucket locks internally and block on host I/O, so the
+  held spinlock can deadlock against the fault path.
 
 The scan is lexical per function: ``yield from ctx.lock(k)`` pushes
 ``k``, ``yield from ctx.unlock(k)`` pops it, and branches are walked
@@ -32,11 +37,18 @@ from repro.analysis.kernels import (
     KernelFn,
     ModuleIndex,
     call_name,
+    first_arg_is_ctx,
     receiver_is_ctx,
 )
 from repro.analysis.model import Finding
 
 RULE = "lock-order"
+
+#: Syscall-layer entry points that block the warp and take bucket
+#: locks internally (GPU-syscalls taxonomy: strong/relaxed blocking).
+_BLOCKING_SYSCALLS = frozenset({
+    "pread", "pwrite", "msync", "ftruncate", "wait",
+})
 
 
 @dataclass
@@ -149,13 +161,30 @@ class LockOrderGraph:
             return
         calls = [n for n in ast.walk(node)
                  if isinstance(n, ast.Call)
-                 and call_name(n) in ("lock", "unlock")
-                 and receiver_is_ctx(n, kernel.ctx_names)
-                 and n.args]
+                 and ((call_name(n) in ("lock", "unlock")
+                       and receiver_is_ctx(n, kernel.ctx_names)
+                       and n.args)
+                      or (call_name(n) in _BLOCKING_SYSCALLS
+                          and first_arg_is_ctx(n, kernel.ctx_names)))]
         calls.sort(key=lambda n: (n.lineno, n.col_offset))
         for call in calls:
+            name = call_name(call)
+            if name in _BLOCKING_SYSCALLS \
+                    and not receiver_is_ctx(call, kernel.ctx_names):
+                if held:
+                    findings.append(Finding(
+                        rule=RULE, path=index.path,
+                        line=call.lineno, col=call.col_offset,
+                        function=kernel.qualname,
+                        message=(
+                            f"blocking syscall '{name}' invoked "
+                            f"while lock '{held[-1]}' is held - "
+                            f"syscalls take page-table bucket locks "
+                            f"internally and block on host I/O; "
+                            f"release held locks first")))
+                continue
             key = _canonical_key(call.args[0])
-            if call_name(call) == "lock":
+            if name == "lock":
                 if key in held:
                     findings.append(Finding(
                         rule=RULE, path=index.path,

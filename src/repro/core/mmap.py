@@ -25,7 +25,7 @@ from repro.core.config import APConfig
 from repro.core.metrics import APStats
 from repro.core.tlb import SoftwareTLB
 from repro.gpu.kernel import WarpContext
-from repro.paging.gpufs import GPUfs
+from repro.paging.gpufs import GPUfs, PROT_READ, PROT_WRITE
 from repro.telemetry import hooks as telemetry_hooks
 
 #: Instructions a direct-backend "fault" costs: recompute base + offset.
@@ -94,20 +94,32 @@ class AVM:
 
     # ------------------------------------------------------------------
     def gvmmap(self, ctx: WarpContext, size: int, fid: int,
-               foffset: int = 0, write: bool = False) -> APtr:
+               foffset: int = 0, write: bool = False,
+               prot: Optional[int] = None) -> APtr:
         """Map ``size`` bytes of file ``fid`` at ``foffset``.
 
         Mirrors the paper's Figure 3: returns an initialized, *unlinked*
         apointer — the first dereference will fault.  Not timed beyond
         pointer construction: the mapping itself only records metadata.
+
+        ``prot`` is a ``PROT_READ`` / ``PROT_WRITE`` bitmask; when
+        omitted it is derived from the legacy ``write`` boolean.  A
+        ``PROT_WRITE`` mapping requires the fd to be writable — checked
+        here, at map time, not when write-back finally fails.
         """
         if self.gpufs is None:
             raise RuntimeError("this AVM has no GPUfs layer for files")
         if foffset % self.gpufs.page_size:
             raise ValueError("gvmmap offset must be page-aligned")
-        backend = GPUfsBackend(self.gpufs, fid, write=write)
+        if prot is None:
+            prot = PROT_READ | (PROT_WRITE if write else 0)
+        writable = bool(prot & PROT_WRITE)
+        if writable and not self.gpufs.handle_for(fid).writable:
+            raise ValueError(
+                f"PROT_WRITE gvmmap of read-only fd {fid}")
+        backend = GPUfsBackend(self.gpufs, fid, write=writable)
         return APtr(ctx, self, backend, base_offset=foffset, size=size,
-                    write=write)
+                    write=writable)
 
     def gvmmap_device(self, ctx: WarpContext, base: int, size: int,
                       page_size: int = 4096, write: bool = True) -> APtr:

@@ -960,6 +960,180 @@ def ablation_io_preemption_point(*, scale: str, p2p: bool,
 
 
 # ----------------------------------------------------------------------
+# Write-capable syscall workloads (repro.syscalls extension)
+# ----------------------------------------------------------------------
+def syscall_kvstore_grid(scale: str) -> list[dict]:
+    return [{"cache": cache} for cache in ("full", "half")]
+
+
+def syscall_kvstore_trend(result: ExperimentResult) -> Optional[dict]:
+    """Trend metric: KV throughput under write-back eviction."""
+    try:
+        row = result.row_by(cache="half")
+    except KeyError:
+        return None
+    return {"metric": "kv_ops_per_s", "value": row["ops_per_s"],
+            "unit": "ops/s", "higher_is_better": True, "tier1": True}
+
+
+@experiment(
+    "syscall_kvstore",
+    title="On-GPU key-value store (pwrite/pread/msync persistence)",
+    columns=(Column("cache", role="param", numeric=False),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("ops_per_s", unit="ops/s", role="measured"),
+             Column("pwrites", role="measured"),
+             Column("writeback_bytes", unit="B", role="measured"),
+             Column("major_faults", role="measured")),
+    grid=syscall_kvstore_grid,
+    trend=syscall_kvstore_trend,
+    notes="Each warp PUT/GETs a private bucket of 64 B records "
+          "through the generic syscall layer; a final msync "
+          "persists the dirty pages.  `cache=half` holds half the "
+          "store's pages, forcing write-back eviction mid-run.  The "
+          "final file is verified byte-exactly against a serial "
+          "host replay.",
+)
+def syscall_kvstore_point(*, scale: str, cache: str) -> list:
+    """KV store over the syscall layer, with and without eviction.
+
+    The write path the paper's GPUfs integration needs but §VI never
+    measures: write faults, dirty-page tracking, and flush.  The
+    ``half`` cache point is the stress case — dirty pages are evicted
+    (written back) mid-run and re-faulted.
+    """
+    from repro.workloads.kvstore import run_kvstore
+
+    nwarps, ops = _sizes(scale, (8, 16), (32, 64))
+    rpw = 128                       # two pages per bucket
+    npages = nwarps * rpw * 64 // PAGE
+    frames = npages + 8 if cache == "full" else max(npages // 2,
+                                                    nwarps + 2)
+    r = run_kvstore(nwarps=nwarps, records_per_warp=rpw,
+                    ops_per_warp=ops, num_frames=frames)
+    if not r.verified:
+        raise AssertionError(f"kvstore ({cache} cache) lost writes")
+    return [{
+        "cache": cache,
+        "cycles": round(r.cycles),
+        "ops_per_s": round(r.ops_per_s, 1),
+        "pwrites": r.pwrites,
+        "writeback_bytes": r.writeback_bytes,
+        "major_faults": r.major_faults,
+    }]
+
+
+def syscall_grepscan_grid(scale: str) -> list[dict]:
+    return [{"density": density} for density in ("sparse", "dense")]
+
+
+def syscall_grepscan_trend(result: ExperimentResult) -> Optional[dict]:
+    """Trend metric: out-of-core scan throughput (sparse matches)."""
+    try:
+        row = result.row_by(density="sparse")
+    except KeyError:
+        return None
+    return {"metric": "scan_gb_per_s", "value": row["gb_per_s"],
+            "unit": "GB/s", "higher_is_better": True, "tier1": True}
+
+
+@experiment(
+    "syscall_grepscan",
+    title="Out-of-core grep/scan (pread stream + match pwrite)",
+    columns=(Column("density", role="param", numeric=False),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("gb_per_s", unit="GB/s", role="measured"),
+             Column("matches", role="measured"),
+             Column("truncated_warps", role="measured")),
+    grid=syscall_grepscan_grid,
+    trend=syscall_grepscan_trend,
+    notes="Each warp preads its chunk page-by-page (never resident "
+          "all at once), scans with 16 B wide loads, and pwrites its "
+          "match offsets into a fixed-capacity slot of a shared "
+          "output file.  `dense` overflows the slots, exercising the "
+          "capacity-truncation path.  Output file verified "
+          "byte-exactly against a numpy scan.",
+)
+def syscall_grepscan_point(*, scale: str, density: str) -> list:
+    """Grep-style scan through pread with pwrite-published results."""
+    from repro.workloads.grepscan import run_grepscan
+
+    nwarps, ppw = _sizes(scale, (8, 4), (32, 16))
+    threshold = 2**26 if density == "sparse" else 2**31
+    r = run_grepscan(nwarps=nwarps, pages_per_warp=ppw,
+                     threshold=threshold)
+    if not r.verified:
+        raise AssertionError(f"grepscan ({density}) wrote wrong offsets")
+    return [{
+        "density": density,
+        "cycles": round(r.cycles),
+        "gb_per_s": round(r.gb_per_s, 3),
+        "matches": r.matches,
+        "truncated_warps": r.truncated_warps,
+    }]
+
+
+def syscall_graphwalk_grid(scale: str) -> list[dict]:
+    return [{"tlb": tlb} for tlb in (True, False)]
+
+
+def syscall_graphwalk_fold(rows: list, scale: str) -> list:
+    """TLB benefit is vs the TLB-less point."""
+    base = next((r["cycles"] for r in rows if not r["tlb"]), None)
+    return [dict(r, speedup=(round(base / r["cycles"], 3)
+                             if base else None)) for r in rows]
+
+
+def syscall_graphwalk_trend(result: ExperimentResult) -> Optional[dict]:
+    """Trend metric: translation cost per edge with the TLB on."""
+    try:
+        row = result.row_by(tlb=True)
+    except KeyError:
+        return None
+    return {"metric": "walk_cycles_per_edge",
+            "value": row["cycles_per_edge"], "unit": "cycles",
+            "higher_is_better": False, "tier1": True}
+
+
+@experiment(
+    "syscall_graphwalk",
+    title="Pointer-chasing graph traversal (page-divergent, TLB stress)",
+    columns=(Column("tlb", role="param", numeric=False),
+             Column("cycles", unit="cycles", role="measured"),
+             Column("cycles_per_edge", unit="cycles", role="measured"),
+             Column("speedup", unit="x", role="derived"),
+             Column("tlb_hits", role="measured"),
+             Column("tlb_misses", role="measured")),
+    grid=syscall_graphwalk_grid,
+    fold=syscall_graphwalk_fold,
+    trend=syscall_graphwalk_trend,
+    notes="Every lane chases a private chain through a permutation "
+          "next-pointer file via per-lane vector seek: each hop is a "
+          "32-way page-divergent dereference, the worst case for the "
+          "block TLB.  Final nodes are pwritten to a shared output "
+          "file and verified against a numpy chase.",
+)
+def syscall_graphwalk_point(*, scale: str, tlb: bool) -> list:
+    """Pointer chase with per-lane divergence, TLB on vs off."""
+    from repro.workloads.graphwalk import run_graphwalk
+
+    nwarps, steps, nnodes = _sizes(
+        scale, (4, 16, 64 * 1024), (32, 32, 256 * 1024))
+    r = run_graphwalk(nwarps=nwarps, steps=steps, nnodes=nnodes,
+                      use_tlb=tlb)
+    if not r.verified:
+        raise AssertionError(
+            f"graphwalk (tlb={tlb}) walked to wrong nodes")
+    return [{
+        "tlb": tlb,
+        "cycles": round(r.cycles),
+        "cycles_per_edge": round(r.cycles_per_edge, 1),
+        "tlb_hits": r.tlb_hits,
+        "tlb_misses": r.tlb_misses,
+    }]
+
+
+# ----------------------------------------------------------------------
 # Legacy API: one function per table/figure (deprecated)
 # ----------------------------------------------------------------------
 def _run_registered(name: str, scale: str,
@@ -1096,6 +1270,7 @@ _EXPERIMENT_ORDER = (
     "ablation_batching", "ablation_registers", "ablation_eviction",
     "ablation_readahead", "ablation_future_hw",
     "ablation_io_preemption",
+    "syscall_kvstore", "syscall_grepscan", "syscall_graphwalk",
 )
 
 #: Name -> callable view of the registry (kept for compatibility with

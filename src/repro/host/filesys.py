@@ -49,6 +49,12 @@ class FileHandle:
         self._check_open()
         return self._fs.ramfs.open(self.name).size
 
+    def truncate(self, size: int) -> None:
+        self._check_open()
+        if not self.writable:
+            raise FileSystemError(f"fd {self.fd} opened read-only")
+        self._fs.ramfs.open(self.name).truncate(size)
+
     def close(self) -> None:
         self.closed = True
 

@@ -19,7 +19,13 @@ reimplements the *redesigned* GPUfs paging subsystem the paper describes:
 from repro.paging.page_table import PageTable, PageTableEntry
 from repro.paging.page_cache import PageCache, PageCacheConfig
 from repro.paging.staging import TransferBatcher
-from repro.paging.gpufs import GPUfs, GPUfsConfig, PagingStats
+from repro.paging.gpufs import (
+    GPUfs,
+    GPUfsConfig,
+    PagingStats,
+    PROT_READ,
+    PROT_WRITE,
+)
 
 __all__ = [
     "PageTable",
@@ -30,4 +36,6 @@ __all__ = [
     "GPUfs",
     "GPUfsConfig",
     "PagingStats",
+    "PROT_READ",
+    "PROT_WRITE",
 ]

@@ -7,18 +7,17 @@ buffer allocation, read/write system calls, and file pointer
 arithmetics" and enables zero-copy — so having both lets the difference
 be demonstrated and measured (see ``examples/gread_vs_mmap.py``).
 
-Both calls go through the same page cache as everything else: a gread
-pins the spanned pages, copies the bytes into the destination buffer
-(the extra copy mmap avoids), and unpins.
+Both calls are thin wrappers over the generic syscall layer
+(:mod:`repro.syscalls`): ``gread`` is ``pread``, ``gwrite`` is
+``pwrite``.  The page-walk, warp-cooperative copy, and staging logic
+live there — this module only keeps the historical GPUfs names and
+per-file call counters.
 """
 
 from __future__ import annotations
 
 from repro.gpu.kernel import WarpContext
 from repro.paging.gpufs import GPUfs
-
-#: Per-call bookkeeping (argument checks, file table lookup).
-CALL_INSTRS = 20
 
 
 class GFile:
@@ -35,65 +34,17 @@ class GFile:
               dst_addr: int):
         """Timed: read ``nbytes`` at ``offset`` into the device buffer
         at ``dst_addr``.  The whole warp participates in the copy."""
-        if nbytes <= 0:
-            raise ValueError("gread of non-positive size")
         self.reads += 1
-        ctx.charge(CALL_INSTRS)
-        yield from self._for_each_page(ctx, offset, nbytes, dst_addr,
-                                       write=False)
-        return nbytes
+        return (yield from self.gpufs.syscalls.pread(
+            ctx, self.file_id, offset, nbytes, dst_addr))
 
     def gwrite(self, ctx: WarpContext, offset: int, nbytes: int,
                src_addr: int):
         """Timed: write ``nbytes`` from the device buffer at
         ``src_addr`` into the file at ``offset``."""
-        if nbytes <= 0:
-            raise ValueError("gwrite of non-positive size")
         self.writes += 1
-        ctx.charge(CALL_INSTRS)
-        yield from self._for_each_page(ctx, offset, nbytes, src_addr,
-                                       write=True)
-        return nbytes
-
-    # ------------------------------------------------------------------
-    def _for_each_page(self, ctx: WarpContext, offset: int, nbytes: int,
-                       buf_addr: int, write: bool):
-        gpufs = self.gpufs
-        page = gpufs.page_size
-        pos = offset
-        end = offset + nbytes
-        while pos < end:
-            fpn = pos // page
-            in_page = pos % page
-            chunk = min(end - pos, page - in_page)
-            frame_addr = yield from gpufs.handle_fault(
-                ctx, self.file_id, fpn, refs=1, write=write)
-            if write:
-                yield from self._copy(ctx, buf_addr + (pos - offset),
-                                      frame_addr + in_page, chunk)
-            else:
-                yield from self._copy(ctx, frame_addr + in_page,
-                                      buf_addr + (pos - offset), chunk)
-            yield from gpufs.release_page(ctx, self.file_id, fpn, refs=1)
-            pos += chunk
-
-    def _copy(self, ctx: WarpContext, src: int, dst: int, nbytes: int):
-        """Warp-cooperative copy — the buffer copy mmap avoids."""
-        step = 16 * ctx.warp_size
-        for off in range(0, nbytes - nbytes % step, step):
-            lane = off + ctx.lane * 16
-            ctx.charge(4)
-            vals = yield from ctx.load_wide(src + lane, "f4", 4,
-                                            nonblocking=True)
-            yield from ctx.store_wide(dst + lane, vals, "f4")
-        yield from ctx.fence()
-        tail = nbytes % step
-        if tail:
-            base = nbytes - tail
-            ctx.charge(4)
-            ctx.memory.write(dst + base, ctx.memory.read(src + base,
-                                                         tail).copy())
-            yield from ctx.compute(tail / 8)
+        return (yield from self.gpufs.syscalls.pwrite(
+            ctx, self.file_id, offset, nbytes, src_addr))
 
 
 def gopen(gpufs: GPUfs, name: str, flags: int = 0) -> GFile:

@@ -27,12 +27,20 @@ import numpy as np
 
 from repro.gpu.kernel import WarpContext
 from repro.host.filesys import FileHandle, HostFileSystem, O_RDONLY
+from repro.host.ramfs import FileSystemError
 from repro.paging.page_cache import PageCache, PageCacheConfig
 from repro.paging.page_table import PageTableEntry
 from repro.paging.staging import TransferBatcher
 from repro.telemetry import hooks as telemetry_hooks
 
 SPIN_WAIT_CYCLES = 200.0
+
+#: ``gmmap`` / ``gvmmap`` protection flags (mmap-style).  A mapping
+#: without ``PROT_WRITE`` can never dirty a shared frame: write faults
+#: through it fail fast instead of corrupting the page cache and only
+#: surfacing at write-back.
+PROT_READ = 0x1
+PROT_WRITE = 0x2
 
 #: Instruction cost of the paging layer's fault-handler bookkeeping
 #: beyond the structural work modelled explicitly (argument marshalling,
@@ -197,10 +205,20 @@ class GPUfs:
             device.sanitizer = self.sanitizer
         else:
             self.sanitizer = None
+        # The generic warp-level syscall layer (repro.syscalls) rides
+        # this instance's cache/batcher; imported lazily because the
+        # syscalls package imports paging modules.
+        from repro.syscalls.layer import SyscallLayer
+        self.syscalls = SyscallLayer(self)
+        if self.readahead is None:
+            # madvise(WILLNEED) prefetches need the same completion
+            # polling the readahead daemon gets from the cache.
+            self.cache.spec_listener = self.syscalls
         profiler = telemetry_hooks.current()
         if profiler is not None:
             profiler.register("paging", self.stats)
             profiler.register("staging", self.batcher.stats)
+            profiler.register("syscalls", self.syscalls.stats)
             if self.readahead is not None:
                 profiler.register("readahead", self.readahead.stats)
             if self.sanitizer is not None:
@@ -258,6 +276,13 @@ class GPUfs:
     def _handle_fault(self, ctx: WarpContext, file_id: int, fpn: int,
                       refs: int, write: bool):
         t0 = ctx.now
+        if write and not self.handle_for(file_id).writable:
+            # Fail at fault time: dirtying a shared frame through a
+            # read-only fd would corrupt it for every other reader and
+            # only surface when write-back finally throws.
+            raise FileSystemError(
+                f"write fault on read-only fd {file_id} "
+                f"(page {fpn})")
         if self.readahead is not None:
             # Feed the stream detector and let the daemon issue
             # speculative page-ins for the pages ahead of this one.
@@ -275,9 +300,15 @@ class GPUfs:
                     yield from self.cache.table.add_refs(ctx, entry, -refs)
                     continue
                 self.stats.minor_faults += 1
-                if self.readahead is not None and entry.speculative:
-                    self.readahead.on_hit(ctx, entry,
-                                          waited=was_inflight)
+                if entry.speculative:
+                    if self.readahead is not None:
+                        self.readahead.on_hit(ctx, entry,
+                                              waited=was_inflight)
+                    else:
+                        # madvise(WILLNEED) prefetch with no engine:
+                        # first demand touch promotes the frame.
+                        entry.speculative = False
+                        self.cache.promote_frame(entry.frame)
                     # The daemon lands raw file bytes; the page-in
                     # filter (e.g. decryption) runs on the GPU at first
                     # touch, charged to the touching warp.
@@ -305,9 +336,13 @@ class GPUfs:
                     continue
                 self.stats.lost_insert_races += 1
                 self.stats.minor_faults += 1
-                if self.readahead is not None and winner.speculative:
-                    self.readahead.on_hit(ctx, winner,
-                                          waited=was_inflight)
+                if winner.speculative:
+                    if self.readahead is not None:
+                        self.readahead.on_hit(ctx, winner,
+                                              waited=was_inflight)
+                    else:
+                        winner.speculative = False
+                        self.cache.promote_frame(winner.frame)
                     yield from self._apply_filter_in(
                         ctx, self.cache.frame_addr(winner.frame), fpn)
                 if write:
@@ -336,26 +371,42 @@ class GPUfs:
         return frame_addr
 
     def release_page(self, ctx: WarpContext, file_id: int, fpn: int,
-                     refs: int = 1):
-        """Timed: drop ``refs`` references from a resident page."""
+                     refs: int = 1, dirty: bool = False):
+        """Timed: drop ``refs`` references from a resident page.
+
+        ``dirty`` re-marks the page dirty *after* the caller's stores
+        completed.  The fault path marks dirty at fault time — before
+        the data lands — so a concurrent ``msync`` can flush the page
+        and clear the bit mid-write; without the re-mark here the
+        writer's bytes would silently never reach the host.
+        """
         ctx.charge(MINOR_FAULT_INSTRS / 2)
         entry = yield from self.cache.table.lookup(ctx, file_id, fpn)
         if entry is None:
             raise RuntimeError(
                 f"release of non-resident page ({file_id}, {fpn})")
+        if dirty:
+            entry.dirty = True
         yield from self.cache.table.add_refs(ctx, entry, -refs)
 
     # ------------------------------------------------------------------
     # gmmap: the original GPUfs page-granularity interface (§VI-C)
     # ------------------------------------------------------------------
     def gmmap(self, ctx: WarpContext, file_id: int, offset: int,
-              write: bool = False):
+              prot: int = PROT_READ):
         """Timed: pin the page containing ``offset``; returns its device
-        address adjusted for the intra-page offset."""
+        address adjusted for the intra-page offset.
+
+        ``prot`` is a ``PROT_READ`` / ``PROT_WRITE`` bitmask: a
+        ``PROT_WRITE`` mapping dirties the page (write-back on eviction
+        or flush) and requires the fd to be writable."""
+        if not prot & (PROT_READ | PROT_WRITE):
+            raise ValueError(f"gmmap without PROT_READ/PROT_WRITE: "
+                             f"{prot:#x}")
         self.stats.gmmap_calls += 1
         fpn, in_page = divmod(offset, self.page_size)
         frame_addr = yield from self.handle_fault(
-            ctx, file_id, fpn, refs=1, write=write)
+            ctx, file_id, fpn, refs=1, write=bool(prot & PROT_WRITE))
         if ctx.sanitizer is not None:
             ctx.sanitizer.note_pin(ctx, file_id, fpn)
         return frame_addr + in_page
@@ -371,12 +422,9 @@ class GPUfs:
     # Shutdown / maintenance
     # ------------------------------------------------------------------
     def flush(self, ctx: WarpContext):
-        """Timed: write every dirty resident page back to the host."""
-        for entry in self.cache.table.entries():
-            if entry is not None and entry.dirty:
-                yield from self._writeback(
-                    ctx, entry, self.cache.frame_addr(entry.frame))
-                entry.dirty = False
+        """Timed: write every dirty resident page back to the host —
+        a whole-cache ``msync`` through the syscall layer."""
+        return (yield from self.syscalls.msync(ctx))
 
     # ------------------------------------------------------------------
     def _span(self, ctx: WarpContext, kind: str, start: float,
@@ -410,6 +458,7 @@ class GPUfs:
         yield from self.batcher.writeback(
             ctx, handle, entry.fpn * self.page_size, frame_addr,
             self.page_size, data=data)
+        self.syscalls.stats.writeback_bytes += self.page_size
         self._span(ctx, "page_out", t0, entry.fpn)
 
     def _apply_filter_in(self, ctx: WarpContext, frame_addr: int, fpn: int):

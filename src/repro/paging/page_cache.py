@@ -223,9 +223,20 @@ class PageCache:
                     or entry.key in protect):
                 continue
             if not self.table.host_remove(entry):
+                # Deferred: bucket lock held (a warp is mid-fault on
+                # the page) or the entry turned dirty — host_remove
+                # refuses both, so a promoted-and-written page can
+                # never be silently reclaimed here.
                 continue
-            # Speculative pages are clean by construction (promotion
-            # precedes any write), so no writeback is needed.
             self._retire(entry, frame)
             return frame
         return None
+
+    def discard_frame(self, entry: PageTableEntry) -> None:
+        """Drop a clean, unreferenced page whose table entry was just
+        removed (``madvise(DONTNEED)``, ``ftruncate``): the frame goes
+        back on the free list."""
+        frame = entry.frame
+        self._retire(entry, frame)
+        self._free.append(frame)
+        self.policy.on_release(frame)

@@ -81,6 +81,10 @@ class PageTable:
         self.probes = 0
         self.inserts = 0
         self.removes = 0
+        #: Untimed removals refused because the key's bucket lock was
+        #: held (the ``ra_deferred``-style defer pattern) or the entry
+        #: was dirty — either way the caller must not drop the page.
+        self.deferred_removes = 0
 
     # ------------------------------------------------------------------
     # Pure helpers (no simulated time)
@@ -149,13 +153,31 @@ class PageTable:
         return entry
 
     def host_remove(self, entry: PageTableEntry) -> bool:
-        """Untimed removal by the host readahead daemon.
+        """Untimed removal by the host daemon (readahead reclaim,
+        ``madvise(DONTNEED)``).
 
         Only succeeds on the exact entry while it is ready and
         unreferenced — the same eligibility the timed
         :meth:`remove_if_unreferenced` enforces, since the daemon must
-        never yank a page out from under a faulting warp.
+        never yank a page out from under a faulting warp.  Two further
+        refusals (both counted in ``deferred_removes``):
+
+        * the key's bucket lock is held — a warp may be mid-fault on
+          this very page, about to take a reference; removing under it
+          would evict the page it is installing (mirrors the
+          :meth:`host_insert` defer);
+        * the entry is **dirty** — the untimed path cannot write the
+          page back, so removing it would silently drop the write.
+          The caller must defer to the timed eviction path (which
+          flushes dirty victims) or flush first.
         """
+        if self._lock_for(self._hash(entry.file_id,
+                                     entry.fpn)).holder is not None:
+            self.deferred_removes += 1
+            return False
+        if entry.dirty:
+            self.deferred_removes += 1
+            return False
         slot = self._index.get(entry.key)
         current = self._slots[slot] if slot is not None else None
         if current is not entry or entry.refcount > 0 or not entry.ready:

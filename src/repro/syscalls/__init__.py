@@ -1,0 +1,29 @@
+"""Warp-level GPU syscalls (the arXiv 1705.06965 §3 taxonomy) over
+GPUfs: ``pread`` / ``pwrite`` / ``msync`` / ``madvise`` / ``ftruncate``
+plus the non-blocking ``*_async`` ticketed variants."""
+
+from repro.syscalls.layer import (
+    MADV_DONTNEED,
+    MADV_WILLNEED,
+    ORDER_RELAXED,
+    ORDER_STRONG,
+    SYSCALL_INSTRS,
+    SYSCALLS,
+    SyscallLayer,
+    SyscallSpec,
+    SyscallStats,
+    SyscallTicket,
+)
+
+__all__ = [
+    "MADV_DONTNEED",
+    "MADV_WILLNEED",
+    "ORDER_RELAXED",
+    "ORDER_STRONG",
+    "SYSCALL_INSTRS",
+    "SYSCALLS",
+    "SyscallLayer",
+    "SyscallSpec",
+    "SyscallStats",
+    "SyscallTicket",
+]

@@ -33,11 +33,15 @@ SCHEMA_NAME = "repro.telemetry/launch-profile"
 #: sampling, :mod:`repro.telemetry.timeseries`): ``enabled`` flag,
 #: window width, window count, and the per-window ``series`` list
 #: (empty when sampling was off for the launch).
-SCHEMA_VERSION = 6
+#: v7 added the ``components.syscalls`` section (warp-level syscall
+#: layer, :mod:`repro.syscalls`): per-syscall invocation counts,
+#: cycles spent blocked inside blocking calls, and bytes written back
+#: to the host through the PCIe model.
+SCHEMA_VERSION = 7
 
 #: Versions ``validate_profile`` accepts: current plus archived ones
 #: whose required sections are a subset of what we still emit.
-ACCEPTED_VERSIONS = frozenset({2, 3, 4, 5, SCHEMA_VERSION})
+ACCEPTED_VERSIONS = frozenset({2, 3, 4, 5, 6, SCHEMA_VERSION})
 
 #: Required integer counters of ``run.workers`` when a ``run`` section
 #: is present (v4+).
@@ -57,6 +61,9 @@ _COMPONENT_KEYS = (
                         "translation_exposed", "hidden_fraction",
                         "critical_path_cycles", "attributed")),
     ("timeseries", 6, ("enabled", "window_cycles", "windows")),
+    ("syscalls", 7, ("pread", "pwrite", "msync", "madvise",
+                     "ftruncate", "blocked_cycles",
+                     "writeback_bytes")),
 )
 
 

@@ -260,12 +260,14 @@ def _merge_components(collected: dict) -> dict:
     from repro.core.metrics import APStats
     from repro.paging.gpufs import PagingStats
     from repro.readahead import ReadaheadStats
+    from repro.syscalls import SyscallStats
     from repro.telemetry.profile import _numeric_fields
 
     components = {
         "translation": dict(_numeric_fields(APStats()),
                             tlb_hit_rate=0.0),
         "paging": _numeric_fields(PagingStats()),
+        "syscalls": _numeric_fields(SyscallStats()),
         "readahead": dict(_numeric_fields(ReadaheadStats()),
                           hit_rate=0.0),
         "sanitizer": _numeric_fields(SanitizerStats()),

@@ -25,6 +25,9 @@ from repro.workloads.suite import (
     workload_by_name,
 )
 from repro.workloads.memcpy import MemcpyResult, run_memcpy
+from repro.workloads.kvstore import KVStoreResult, run_kvstore
+from repro.workloads.grepscan import GrepScanResult, run_grepscan
+from repro.workloads.graphwalk import GraphWalkResult, run_graphwalk
 
 __all__ = [
     "Workload",
@@ -40,4 +43,10 @@ __all__ = [
     "workload_by_name",
     "MemcpyResult",
     "run_memcpy",
+    "KVStoreResult",
+    "run_kvstore",
+    "GrepScanResult",
+    "run_grepscan",
+    "GraphWalkResult",
+    "run_graphwalk",
 ]

@@ -27,6 +27,7 @@ from repro.core import APConfig, AVM
 from repro.gpu import Device
 from repro.gpu.kernel import WarpContext
 from repro.host import HostFileSystem
+from repro.host.filesys import O_RDONLY
 from repro.host.ramfs import RamFS
 from repro.paging import GPUfs, GPUfsConfig
 from repro.workloads.base import LOOP_INSTRS, Workload, WorkloadRun
@@ -39,20 +40,30 @@ def make_file_env(total_bytes: int, *, page_size: int = 4096,
                   eviction_policy: str = "clock",
                   readahead: bool = False,
                   readahead_window: int = 4,
+                  sanitize: bool = False,
+                  flags: int = O_RDONLY,
+                  data: Optional[np.ndarray] = None,
                   seed: int = 7) -> tuple[Device, GPUfs, int, np.ndarray]:
-    """Create a device + GPUfs + RAMfs file filled with random floats."""
-    rng = np.random.RandomState(seed)
-    data = rng.uniform(0.25, 4.0, total_bytes // 4).astype(np.float32)
+    """Create a device + GPUfs + RAMfs file filled with random floats.
+
+    ``data`` overrides the default random-float fill (it is viewed as
+    bytes, so any dtype works); ``flags`` is passed to the GPUfs open —
+    the write-capable workloads open with ``O_RDWR``.
+    """
+    if data is None:
+        rng = np.random.RandomState(seed)
+        data = rng.uniform(0.25, 4.0, total_bytes // 4).astype(np.float32)
     fs = RamFS()
-    fs.create("bench", data.view(np.uint8))
+    fs.create("bench", data.reshape(-1).view(np.uint8))
     device = Device(memory_bytes=memory_bytes)
     gpufs = GPUfs(device, HostFileSystem(fs),
                   GPUfsConfig(page_size=page_size, num_frames=num_frames,
                               batching=batching,
                               eviction_policy=eviction_policy,
                               readahead=readahead,
-                              readahead_window=readahead_window))
-    fid = gpufs.open("bench")
+                              readahead_window=readahead_window,
+                              sanitize=sanitize))
+    fid = gpufs.open("bench", flags)
     return device, gpufs, fid, data
 
 

@@ -334,6 +334,126 @@ class TestLockOrder:
 
 
 # ----------------------------------------------------------------------
+# syscall layer coverage (missing-yield-from / aptr-lifecycle /
+# lock-order extensions)
+# ----------------------------------------------------------------------
+class TestSyscallYieldFrom:
+    def test_bare_syscall_fires(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf):
+                sc.pread(ctx, fid, 0, 4096, buf)
+                yield from ctx.fence()
+        """)
+        assert "missing-yield-from" in rules_of(findings)
+
+    def test_driven_syscall_is_clean(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf):
+                yield from sc.pwrite(ctx, fid, 0, 4096, buf)
+                yield from sc.msync(ctx, fid)
+        """)
+        assert not findings
+
+    def test_bare_msync_fires(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid):
+                sc.msync(ctx, fid)
+                yield from ctx.fence()
+        """)
+        assert "missing-yield-from" in rules_of(findings)
+
+    def test_host_side_pread_not_matched(self):
+        # handle.pread(off, n) has no context argument - the host file
+        # API must not be confused with the warp syscall.
+        findings = _lint("""
+            def kernel(ctx, handle):
+                data = handle.pread(0, 4096)
+                yield from ctx.fence()
+        """)
+        assert not findings
+
+
+class TestTicketLifecycle:
+    def test_unwaited_ticket_fires(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf):
+                t = yield from sc.pread_async(ctx, fid, 0, 4096, buf)
+                yield from ctx.fence()
+        """)
+        assert any(f.rule == "aptr-lifecycle"
+                   and "never waited" in f.message for f in findings)
+
+    def test_waited_ticket_is_clean(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf):
+                t = yield from sc.pwrite_async(ctx, fid, 0, 4096, buf)
+                yield from ctx.compute(8)
+                yield from sc.wait(ctx, t)
+        """)
+        assert not findings
+
+    def test_conditionally_waited_ticket_fires(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf, flag):
+                t = yield from sc.pread_async(ctx, fid, 0, 4096, buf)
+                if flag:
+                    yield from sc.wait(ctx, t)
+        """)
+        assert any(f.rule == "aptr-lifecycle"
+                   and "inside a branch" in f.message for f in findings)
+
+    def test_escaping_ticket_transfers_ownership(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf, consume):
+                t = yield from sc.pread_async(ctx, fid, 0, 4096, buf)
+                yield from consume(ctx, t)
+        """)
+        assert "aptr-lifecycle" not in rules_of(findings)
+
+
+class TestBlockingSyscallUnderLock:
+    def test_syscall_while_locked_fires(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf, lk):
+                yield from ctx.lock(lk)
+                yield from sc.pwrite(ctx, fid, 0, 4096, buf)
+                yield from ctx.unlock(lk)
+        """)
+        assert any(f.rule == "lock-order"
+                   and "blocking syscall" in f.message for f in findings)
+
+    def test_syscall_after_unlock_is_clean(self):
+        findings = _lint("""
+            def kernel(ctx, sc, fid, buf, lk):
+                yield from ctx.lock(lk)
+                yield from ctx.unlock(lk)
+                yield from sc.pwrite(ctx, fid, 0, 4096, buf)
+        """)
+        assert not findings
+
+    def test_wait_while_locked_fires(self):
+        findings = _lint("""
+            def kernel(ctx, sc, t, lk):
+                yield from ctx.lock(lk)
+                yield from sc.wait(ctx, t)
+                yield from ctx.unlock(lk)
+        """)
+        assert any("blocking syscall 'wait'" in f.message
+                   for f in findings)
+
+    def test_nonblocking_madvise_while_locked_is_clean(self):
+        # madvise is a hint (non-blocking taxonomy class): legal under
+        # a held lock.
+        findings = _lint("""
+            def kernel(ctx, sc, fid, lk):
+                yield from ctx.lock(lk)
+                yield from sc.madvise(ctx, fid, 0, 4096, 1)
+                yield from ctx.unlock(lk)
+        """)
+        assert not findings
+
+
+# ----------------------------------------------------------------------
 # uncalibrated-cost
 # ----------------------------------------------------------------------
 class TestUncalibratedCost:

@@ -8,7 +8,7 @@ from repro.gpu import Device
 from repro.host import HostFileSystem, O_RDWR
 from repro.host.ramfs import RamFS
 from repro.paging import GPUfs, GPUfsConfig
-from repro.paging.gpufs import FaultFilter
+from repro.paging.gpufs import FaultFilter, PROT_READ, PROT_WRITE
 
 PAGE = 4096
 
@@ -136,7 +136,7 @@ class TestEvictionAndWriteback:
         fid = gfs.open("data", O_RDWR)
 
         def kern(ctx, fid):
-            addr = yield from gfs.gmmap(ctx, fid, 0, write=True)
+            addr = yield from gfs.gmmap(ctx, fid, 0, prot=PROT_READ | PROT_WRITE)
             yield from ctx.store(addr + ctx.lane * 4,
                                  np.full(32, 0xAB, np.uint32), "u4")
             yield from gfs.gmunmap(ctx, fid, 0)
@@ -154,7 +154,7 @@ class TestEvictionAndWriteback:
         fid = gfs.open("data", O_RDWR)
 
         def kern(ctx, fid):
-            addr = yield from gfs.gmmap(ctx, fid, PAGE, write=True)
+            addr = yield from gfs.gmmap(ctx, fid, PAGE, prot=PROT_READ | PROT_WRITE)
             yield from ctx.store(addr + ctx.lane * 4,
                                  np.full(32, 0xCD, np.uint32), "u4")
             yield from gfs.gmunmap(ctx, fid, PAGE)
@@ -218,7 +218,7 @@ class TestFaultFilter:
         seen = []
 
         def kern(ctx, fid):
-            addr = yield from gfs.gmmap(ctx, fid, 0, write=True)
+            addr = yield from gfs.gmmap(ctx, fid, 0, prot=PROT_READ | PROT_WRITE)
             vals = yield from ctx.load(addr + ctx.lane * 4, "u4")
             seen.append(vals.copy())
             yield from ctx.store(addr + ctx.lane * 4, vals + 1, "u4")

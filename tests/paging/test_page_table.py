@@ -212,3 +212,61 @@ class TestHostInsertLockDiscipline:
         live = [s for s in table._slots if isinstance(s, PageTableEntry)]
         assert live.count(daemon_entry) == 1
         assert live.count(warp_entry) == 1
+
+
+class TestHostRemoveLockDiscipline:
+    """host_remove must defer — never drop a write — when a warp holds
+    the bucket lock or the page is dirty (the write-back analogue of
+    the host_insert defer above)."""
+
+    def test_host_remove_defers_while_bucket_lock_held(self, device,
+                                                       table):
+        e = PageTableEntry(1, 7, frame=0, ready=True, speculative=True)
+        assert table.host_insert(e) is e
+        lock = table._lock_for(table._hash(1, 7))
+        lock.holder = object()          # a warp is mid-fault here
+        assert not table.host_remove(e)
+        assert table.deferred_removes == 1
+        assert table.get(1, 7) is e     # still resident, not removed
+        assert not e.removed
+        lock.holder = None
+        assert table.host_remove(e)
+        assert table.get(1, 7) is None
+
+    def test_host_remove_refuses_dirty_entry(self, device, table):
+        e = PageTableEntry(1, 7, frame=0, ready=True, speculative=True)
+        table.host_insert(e)
+        e.dirty = True                  # a write landed on the page
+        assert not table.host_remove(e)
+        assert table.deferred_removes == 1
+        assert table.get(1, 7) is e
+        e.dirty = False                 # flushed by the timed path
+        assert table.host_remove(e)
+
+    def test_speculative_reclaim_skips_dirty_promoted_page(self, device):
+        """allocate_speculative goes through host_remove, so a
+        speculative page that was promoted and written can never be
+        silently reclaimed by the readahead daemon."""
+        from repro.paging.page_cache import PageCache, PageCacheConfig
+
+        cache = PageCache(device, PageCacheConfig(page_size=4096,
+                                                  num_frames=2))
+        frames = [cache.allocate_speculative() for _ in range(2)]
+        assert None not in frames
+        entries = []
+        for i, frame in enumerate(frames):
+            e = PageTableEntry(1, i, frame=frame, ready=True,
+                               speculative=True)
+            cache.table.host_insert(e)
+            cache.bind(e)
+            cache.mark_speculative(frame)
+            entries.append(e)
+        entries[0].dirty = True         # written after a write fault
+        got = cache.allocate_speculative()
+        # Only the clean speculative frame is reclaimable.
+        assert got == entries[1].frame
+        assert cache.table.get(1, 0) is entries[0]
+        assert cache.table.get(1, 1) is None
+        assert cache.allocate_speculative() is None
+        # Each refused reclaim attempt on the dirty page counts.
+        assert cache.table.deferred_removes == 2

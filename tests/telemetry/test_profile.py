@@ -82,11 +82,12 @@ class TestLaunchProfileSchema:
 class TestSchemaVersioning:
     FIXTURE = "tests/telemetry/fixtures/profile-v2.json"
     FIXTURE_V5 = "tests/telemetry/fixtures/profile-v5.json"
+    FIXTURE_V6 = "tests/telemetry/fixtures/profile-v6.json"
 
     def test_live_profiles_are_current_version(self, memcpy_profile):
         from repro.telemetry.profile import SCHEMA_VERSION
         doc = memcpy_profile.profiles[0].to_dict()
-        assert doc["version"] == SCHEMA_VERSION == 6
+        assert doc["version"] == SCHEMA_VERSION == 7
 
     def test_v5_requires_attribution_component(self, memcpy_profile):
         doc = memcpy_profile.profiles[0].to_dict()
@@ -164,10 +165,37 @@ class TestSchemaVersioning:
         with pytest.raises(ValueError, match="timeseries"):
             validate_profile(doc)
 
+    def test_v7_requires_syscalls_component(self, memcpy_profile):
+        doc = memcpy_profile.profiles[0].to_dict()
+        sc = doc["components"]["syscalls"]
+        for key in ("pread", "pwrite", "msync", "madvise", "ftruncate",
+                    "blocked_cycles", "writeback_bytes"):
+            assert key in sc
+        broken = json.loads(json.dumps(doc))
+        broken["components"].pop("syscalls")
+        with pytest.raises(ValueError, match="syscalls"):
+            validate_profile(broken)
+
+    def test_archived_v6_profile_still_validates(self):
+        # Regression gate for the v6 -> v7 bump: profiles written
+        # before the syscalls component existed must keep loading.
+        with open(self.FIXTURE_V6) as f:
+            doc = json.load(f)
+        assert doc["version"] == 6
+        assert "syscalls" not in doc["components"]
+        validate_profile(doc)
+
+    def test_v6_document_claiming_v7_is_rejected(self):
+        with open(self.FIXTURE_V6) as f:
+            doc = json.load(f)
+        doc["version"] = 7
+        with pytest.raises(ValueError, match="syscalls"):
+            validate_profile(doc)
+
     def test_unknown_versions_rejected(self):
         with open(self.FIXTURE) as f:
             doc = json.load(f)
-        for version in (1, 7, "2", None):
+        for version in (1, 8, "2", None):
             doc["version"] = version
             with pytest.raises(ValueError, match="version"):
                 validate_profile(doc)

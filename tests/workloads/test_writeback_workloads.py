@@ -1,0 +1,69 @@
+"""The three write-capable syscall workloads: each must verify
+byte-exactly against its host oracle with the runtime sanitizer on,
+and must surface syscall counters in the captured v7 profile."""
+
+from repro.telemetry.profiler import capture
+from repro.workloads import run_graphwalk, run_grepscan, run_kvstore
+
+
+class TestKVStore:
+    def test_verifies_with_sanitizer(self):
+        r = run_kvstore(nwarps=4, records_per_warp=64, ops_per_warp=8,
+                        sanitize=True)
+        assert r.verified
+        assert r.pwrites == 16
+        assert r.preads == 16
+        assert r.msyncs == 4
+        assert r.writeback_bytes > 0
+
+    def test_verifies_under_writeback_eviction(self):
+        r = run_kvstore(nwarps=8, records_per_warp=128, ops_per_warp=16,
+                        num_frames=10, sanitize=True)
+        assert r.verified
+        # 16 pages through 10 frames: dirty pages were evicted,
+        # written back, and re-faulted.
+        assert r.major_faults > 16
+
+
+class TestGrepScan:
+    def test_verifies_with_sanitizer(self):
+        r = run_grepscan(nwarps=4, pages_per_warp=2, sanitize=True)
+        assert r.verified
+        assert r.preads == 4 * 2         # one per streamed page
+        assert r.bytes_scanned == 4 * 2 * 4096
+
+    def test_slot_capacity_truncation_matches_oracle(self):
+        r = run_grepscan(nwarps=4, pages_per_warp=2,
+                         threshold=2**31, sanitize=True)
+        assert r.verified
+        assert r.truncated_warps == 4
+
+
+class TestGraphWalk:
+    def test_verifies_with_sanitizer(self):
+        r = run_graphwalk(nwarps=2, steps=8, nnodes=16 * 1024,
+                          sanitize=True)
+        assert r.verified
+        assert r.edges == 2 * 32 * 8
+        assert r.pwrites == 2
+
+    def test_tlb_off_also_verifies(self):
+        r = run_graphwalk(nwarps=2, steps=8, nnodes=16 * 1024,
+                          use_tlb=False, sanitize=True)
+        assert r.verified
+        assert r.tlb_hits == 0 and r.tlb_misses == 0
+
+
+class TestProfileIntegration:
+    def test_syscall_counters_in_captured_profile(self):
+        with capture(trace=False) as prof:
+            r = run_kvstore(nwarps=4, records_per_warp=64,
+                            ops_per_warp=8)
+            assert r.verified
+        doc = prof.profiles[0].to_dict()
+        assert doc["version"] == 7
+        sy = doc["components"]["syscalls"]
+        assert sy["pread"] == 16
+        assert sy["pwrite"] == 16
+        assert sy["msync"] == 4
+        assert sy["writeback_bytes"] > 0
