@@ -17,8 +17,17 @@ dependency-free.
 
 from repro.analysis.model import RULES, Finding
 
-__all__ = ["RULES", "Finding", "Sanitizer", "Violation",
-           "SanitizerStats"]
+__all__ = ["RULES", "Finding", "EffectProgram", "EffectSummary",
+           "CallGraph", "Sanitizer", "Violation", "SanitizerStats"]
+
+
+def _effects_exports():
+    # Local import: keeps ``import repro.analysis`` cheap and avoids
+    # an import cycle with the rule modules.
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.effects import EffectProgram, EffectSummary
+    return {"CallGraph": CallGraph, "EffectProgram": EffectProgram,
+            "EffectSummary": EffectSummary}
 
 _LAZY = {"Sanitizer", "Violation", "SanitizerStats",
          "SanitizedWarpContext"}
@@ -28,5 +37,7 @@ def __getattr__(name: str):
     if name in _LAZY:
         from repro.analysis import sanitizer as _sanitizer
         return getattr(_sanitizer, name)
+    if name in ("CallGraph", "EffectProgram", "EffectSummary"):
+        return _effects_exports()[name]
     raise AttributeError(
         f"module 'repro.analysis' has no attribute {name!r}")

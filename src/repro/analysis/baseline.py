@@ -1,0 +1,80 @@
+"""Findings baseline: the ratchet that lets CI fail only on *new* debt.
+
+``shared-race`` is a may-analysis; some of its reports are per-warp
+disjoint by construction and will never be "fixed".  Instead of
+suppressing them inline file by file, the repo commits a baseline
+(``lint-baseline.json``): a set of finding *fingerprints* that are
+known and accepted.  CI then:
+
+* **fails** on any finding whose fingerprint is not in the baseline
+  (new debt never lands silently);
+* **warns** on baseline entries that no longer match any finding
+  (fixed debt should be deleted from the baseline so the ratchet only
+  ever tightens).
+
+Fingerprints are deliberately **line-independent** -
+``sha1(rule|path|function|message)`` truncated to 16 hex chars - so
+unrelated edits above a finding do not churn the baseline.  Two
+identical findings in one function fold into one fingerprint, which
+is the right granularity for a ratchet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.analysis.model import Finding
+
+#: Schema version of the baseline file.
+VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    blob = "|".join((finding.rule, finding.path, finding.function,
+                     finding.message))
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def render(findings: list[Finding]) -> dict:
+    """The committed baseline document for ``findings``."""
+    entries: dict[str, dict] = {}
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col,
+                                             f.rule)):
+        entries.setdefault(fingerprint(f), {
+            "rule": f.rule, "path": f.path, "function": f.function,
+            "message": f.message,
+        })
+    return {"version": VERSION, "findings": entries}
+
+
+def write(path: str, findings: list[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(render(findings), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load(path: str) -> dict:
+    """Baseline entries ``{fingerprint: entry}``; {} if absent."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    except (OSError, ValueError):
+        return {}
+    return dict(doc.get("findings", {}))
+
+
+def compare(findings: list[Finding], entries: dict):
+    """Split ``findings`` against a loaded baseline.
+
+    Returns ``(new_findings, stale_entries)``: findings whose
+    fingerprint is unknown (CI fails on these) and baseline entries no
+    current finding matches (CI warns: delete them).
+    """
+    current = {fingerprint(f) for f in findings}
+    new = [f for f in findings if fingerprint(f) not in entries]
+    stale = {fp: entry for fp, entry in sorted(entries.items())
+             if fp not in current}
+    return new, stale

@@ -1,0 +1,219 @@
+"""Kernel-coroutine call graph for interprocedural analysis.
+
+The effect inference (:mod:`repro.analysis.effects`) needs to know, for
+every ``yield from helper(ctx, ...)`` site, *which* generator functions
+the call can reach.  This module builds that graph over every
+:class:`~repro.analysis.kernels.ModuleIndex` handed to it:
+
+* **nodes** are generator kernel functions (anything
+  :func:`~repro.analysis.kernels.index_module` classified as a kernel
+  whose own body yields);
+* **edges** follow calls that can transfer control into another
+  indexed generator - bare-name calls to module-local helpers,
+  ``self._helper(ctx, ...)`` method calls, and cross-module method
+  calls resolved *by name* (``backend.fault(ctx, ...)`` reaches every
+  indexed generator named ``fault``: dynamic dispatch is modelled as
+  the join over all candidates).
+
+Resolution is deliberately conservative: a method call only resolves
+when the context is passed as first argument (the kernel-coroutine
+calling convention), and an unresolvable timed call is reported to the
+caller as *opaque* rather than silently dropped.
+
+:meth:`CallGraph.sccs` returns strongly connected components in
+reverse topological order (callees before callers), which is the
+evaluation order the bottom-up summary propagation wants; recursive
+cliques come out as multi-node SCCs that the effects pass iterates to
+a fixpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.kernels import (
+    KernelFn,
+    ModuleIndex,
+    call_name,
+    first_arg_is_ctx,
+    is_generator_fn,
+    receiver_is_ctx,
+)
+
+
+@dataclass(frozen=True)
+class FnKey:
+    """Stable identity of one function: file path + qualified name."""
+
+    path: str
+    qualname: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.path}::{self.qualname}"
+
+
+@dataclass
+class FnNode:
+    """One generator kernel function in the graph."""
+
+    key: FnKey
+    kernel: KernelFn
+    index: ModuleIndex
+
+    @property
+    def name(self) -> str:
+        return self.kernel.node.name
+
+    def param_names(self) -> list[str]:
+        """Positional parameter names, in order (``self`` included)."""
+        args = self.kernel.node.args
+        return [a.arg for a in
+                list(args.posonlyargs) + list(args.args)]
+
+
+@dataclass
+class CallGraph:
+    """Name-resolved call graph over a set of indexed modules."""
+
+    nodes: dict[FnKey, FnNode] = field(default_factory=dict)
+    #: function/method name -> every generator node with that name.
+    by_name: dict[str, list[FnKey]] = field(default_factory=dict)
+    #: names that are *also* a non-generator ctx-taking function
+    #: somewhere: cross-module by-name resolution refuses these so a
+    #: collision cannot bind a host helper to a coroutine summary.
+    plain_names: set[str] = field(default_factory=set)
+    edges: dict[FnKey, set[FnKey]] = field(default_factory=dict)
+    callers: dict[FnKey, set[FnKey]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, indexes: list[ModuleIndex]) -> "CallGraph":
+        graph = cls()
+        for index in indexes:
+            graph.plain_names |= index.local_plain
+            for kernel in index.kernels:
+                if not is_generator_fn(kernel.node):
+                    continue
+                key = FnKey(index.path, kernel.qualname)
+                graph.nodes[key] = FnNode(key=key, kernel=kernel,
+                                          index=index)
+                graph.by_name.setdefault(
+                    kernel.node.name, []).append(key)
+        for index in indexes:
+            for kernel in index.kernels:
+                key = FnKey(index.path, kernel.qualname)
+                if key not in graph.nodes:
+                    continue
+                succs = graph.edges.setdefault(key, set())
+                for node in ast.walk(kernel.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for callee in graph.resolve(node, kernel, index):
+                        succs.add(callee.key)
+                        graph.callers.setdefault(
+                            callee.key, set()).add(key)
+        return graph
+
+    # ------------------------------------------------------------------
+    def resolve(self, call: ast.Call, kernel: KernelFn,
+                index: ModuleIndex) -> list[FnNode]:
+        """Every indexed generator ``call`` can transfer into.
+
+        Empty for context intrinsics (``ctx.load``), plain host calls,
+        and names with no indexed generator candidate - the caller
+        decides whether an empty resolution of a *timed* name means an
+        opaque callee.
+        """
+        name = call_name(call)
+        if not name or receiver_is_ctx(call, kernel.ctx_names):
+            return []
+        if name not in self.by_name:
+            return []
+        same_module = [k for k in self.by_name[name]
+                       if k.path == index.path]
+        if isinstance(call.func, ast.Name):
+            # Bare-name call: a module-local helper (possibly a closure
+            # capturing ctx) or, with an explicit ctx argument, any
+            # known free function of that name.
+            if name in index.local_generators and same_module:
+                return [self.nodes[k] for k in same_module]
+            if first_arg_is_ctx(call, kernel.ctx_names):
+                keys = same_module or self._global(name)
+                return [self.nodes[k] for k in keys]
+            return []
+        # Method call: require the coroutine calling convention (ctx as
+        # first argument) so host-side APIs sharing a name never bind.
+        if not first_arg_is_ctx(call, kernel.ctx_names):
+            return []
+        keys = same_module or self._global(name)
+        return [self.nodes[k] for k in keys]
+
+    def _global(self, name: str) -> list[FnKey]:
+        """Cross-module by-name candidates, refused on collisions."""
+        if name in self.plain_names:
+            return []
+        return self.by_name[name]
+
+    # ------------------------------------------------------------------
+    def sccs(self) -> list[list[FnKey]]:
+        """Strongly connected components, callees before callers."""
+        index_of: dict[FnKey, int] = {}
+        low: dict[FnKey, int] = {}
+        on_stack: set[FnKey] = set()
+        stack: list[FnKey] = []
+        out: list[list[FnKey]] = []
+        counter = [0]
+
+        def strongconnect(root: FnKey) -> None:
+            # Iterative Tarjan: (node, iterator over successors).
+            work = [(root, iter(sorted(self.edges.get(root, ()),
+                                       key=str)))]
+            index_of[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, succs = work[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in self.nodes:
+                        continue
+                    if succ not in index_of:
+                        index_of[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(sorted(self.edges.get(succ, ()),
+                                               key=str))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    component: list[FnKey] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    out.append(component)
+
+        for key in sorted(self.nodes, key=str):
+            if key not in index_of:
+                strongconnect(key)
+        return out
+
+    def roots(self) -> list[FnKey]:
+        """Nodes no indexed kernel calls - the entry kernels whose
+        closed effect contexts the race rule evaluates."""
+        return sorted((k for k in self.nodes
+                       if not self.callers.get(k)), key=str)

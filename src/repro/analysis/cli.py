@@ -3,6 +3,24 @@
 Exit status: 0 when clean, 1 when findings exist, 2 on usage errors -
 the contract the CI lint job keys on.  ``--format=json`` emits a
 machine-readable envelope (findings + counts) on stdout.
+
+The interprocedural additions:
+
+``--effects PATH``
+    Serialize every generator kernel's inferred effect summary
+    (``effects.json``); ``-`` writes to stdout.
+``--sarif PATH``
+    Emit SARIF 2.1.0 for GitHub code scanning upload.
+``--baseline PATH``
+    Ratchet mode: only findings *not* fingerprinted in the baseline
+    fail the run; stale baseline entries (fixed but not removed) are
+    warned about on stderr.
+``--update-baseline``
+    Rewrite the baseline file from this run's findings and exit 0.
+``--no-interprocedural``
+    Lexical-only mode - what the linter saw before effect inference
+    existed.  Exists so tests can prove the interprocedural rules
+    catch bugs this mode provably misses.
 """
 
 from __future__ import annotations
@@ -11,17 +29,21 @@ import argparse
 import json
 import sys
 
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import sarif as sarif_mod
 from repro.analysis.linter import lint_paths
 from repro.analysis.model import RULES
+
+DEFAULT_BASELINE = "lint-baseline.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=("Static analysis for SIMT kernel coroutines: "
-                     "un-driven timed generators, divergent yields, "
-                     "apointer lifecycle, lock order, uncalibrated "
-                     "costs."))
+                     "un-driven timed generators, divergent yields "
+                     "and barriers, apointer lifecycle, lock order, "
+                     "shared-structure races, uncalibrated costs."))
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)")
@@ -31,6 +53,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule registry and exit")
+    parser.add_argument(
+        "--effects", metavar="PATH",
+        help="write inferred effect summaries as JSON ('-' = stdout)")
+    parser.add_argument(
+        "--sarif", metavar="PATH",
+        help="write findings as SARIF 2.1.0 for code scanning")
+    parser.add_argument(
+        "--baseline", metavar="PATH", nargs="?",
+        const=DEFAULT_BASELINE,
+        help=(f"fail only on findings not in this baseline "
+              f"(default path: {DEFAULT_BASELINE})"))
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run's findings")
+    parser.add_argument(
+        "--no-interprocedural", action="store_true",
+        help="disable effect inference (lexical rules only)")
     return parser
 
 
@@ -40,25 +79,67 @@ def main(argv: list[str] | None = None) -> int:
         for name, desc in RULES.items():
             print(f"{name}: {desc}")
         return 0
-    result = lint_paths(args.paths)
+    result = lint_paths(args.paths,
+                        interprocedural=not args.no_interprocedural)
+
+    if args.effects:
+        if result.effects is None:
+            print("repro-lint: --effects requires interprocedural "
+                  "analysis (drop --no-interprocedural)",
+                  file=sys.stderr)
+            return 2
+        doc = json.dumps(result.effects.to_dict(), indent=2,
+                         sort_keys=True)
+        if args.effects == "-":
+            print(doc)
+        else:
+            with open(args.effects, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
+    if args.sarif:
+        sarif_mod.write(args.sarif, result.findings, result.errors)
+
+    baseline_path = args.baseline or (
+        DEFAULT_BASELINE if args.update_baseline else None)
+    if args.update_baseline:
+        baseline_mod.write(baseline_path, result.findings)
+        print(f"repro-lint: baseline '{baseline_path}' updated with "
+              f"{len(result.findings)} finding(s)", file=sys.stderr)
+        return 0
+
+    shown = result.findings
+    stale: dict = {}
+    hidden = 0
+    if baseline_path is not None:
+        entries = baseline_mod.load(baseline_path)
+        shown, stale = baseline_mod.compare(result.findings, entries)
+        hidden = len(result.findings) - len(shown)
+
     if args.format == "json":
         print(json.dumps({
-            "findings": [f.to_dict() for f in result.findings],
+            "findings": [f.to_dict() for f in shown],
+            "baselined": hidden,
+            "stale_baseline": stale,
             "files_checked": result.files_checked,
             "kernels_checked": result.kernels_checked,
             "errors": [{"path": p, "message": m}
                        for p, m in result.errors],
         }, indent=2))
     else:
-        for finding in result.findings:
+        for finding in shown:
             where = f" in {finding.function}" if finding.function else ""
             print(f"{finding.location()}: [{finding.rule}]{where}: "
                   f"{finding.message}")
-        print(f"repro-lint: {len(result.findings)} finding(s) in "
+        for fp, entry in stale.items():
+            print(f"repro-lint: warning: baseline entry {fp} "
+                  f"({entry.get('rule')} in {entry.get('path')}) no "
+                  f"longer matches any finding - remove it from the "
+                  f"baseline", file=sys.stderr)
+        suffix = f", {hidden} baselined" if hidden else ""
+        print(f"repro-lint: {len(shown)} finding(s) in "
               f"{result.files_checked} file(s), "
-              f"{result.kernels_checked} kernel(s) checked",
+              f"{result.kernels_checked} kernel(s) checked{suffix}",
               file=sys.stderr)
-    return 1 if result.findings else 0
+    return 1 if shown else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

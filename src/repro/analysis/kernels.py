@@ -56,6 +56,21 @@ SYSCALL_METHODS = frozenset({
 #: reach ``wait(ctx, ticket)`` before the kernel exits.
 TICKET_CREATORS = frozenset({"pread_async", "pwrite_async"})
 
+#: Syscall-layer entry points that block the warp and take bucket
+#: locks internally (GPU-syscalls taxonomy: strong/relaxed blocking).
+#: Shared by the lock-order rule and the effect inference.
+BLOCKING_SYSCALLS = frozenset({
+    "pread", "pwrite", "msync", "ftruncate", "wait",
+})
+
+#: Context attributes that are warp-uniform but *vary between warps of
+#: one block* (``ctx.warp_id``...): branching on them is fine for
+#: plain yields, but a barrier reached under such a condition breaks
+#: block-level lockstep (the sanitizer's runtime ``lockstep`` check).
+#: ``block_id`` is absent on purpose - it is uniform within a block,
+#: so barriers under a block-id branch are safe.
+WARP_VARYING_ATTRS = frozenset({"warp_id", "warp_in_block"})
+
 #: Methods of APtr / AVM / GPUfs / TLB / page-table / DSM objects that
 #: take the context as first argument and return timed generators.
 #: Matching requires *both* the name and a context first argument, so

@@ -1,8 +1,19 @@
-"""Orchestrates the five ``repro-lint`` rules over a set of files.
+"""Orchestrates the ``repro-lint`` rules over a set of files.
 
 Deliberately dependency-free (``ast`` + ``tokenize`` only) so the CI
 lint job does not pay the numpy import tax: ``lint_paths`` never
 imports the simulator, only parses its source.
+
+The run is two-phase.  Phase one parses and indexes every file and -
+unless ``interprocedural=False`` - builds the
+:class:`~repro.analysis.effects.EffectProgram`: the call graph plus a
+bottom-up effect summary for every generator kernel.  Phase two runs
+the per-kernel rules with those summaries in hand, then the two
+whole-program passes that only make sense once every file is in:
+lock-order inversion detection over the global acquisition graph, and
+the ``shared-race`` happens-before check over the call-graph roots.
+Finally every file's suppression table reports its dead pragmas as
+``unused-suppression`` findings.
 """
 
 from __future__ import annotations
@@ -16,12 +27,20 @@ from repro.analysis import (
     rules_divergence,
     rules_lifecycle,
     rules_locks,
+    rules_race,
     rules_yield,
 )
-from repro.analysis.kernels import index_module
-from repro.analysis.model import Finding, parse_suppressions
+from repro.analysis.effects import EffectProgram
+from repro.analysis.kernels import ModuleIndex, index_module
+from repro.analysis.model import (
+    Finding,
+    Suppressions,
+    parse_suppressions,
+)
 
-#: Per-kernel rules, run in reporting order.
+#: Per-kernel rules, run in reporting order.  Every rule takes the
+#: optional ``effects`` program and degrades to its lexical behaviour
+#: without it.
 _KERNEL_RULES = (
     rules_yield.check,
     rules_divergence.check,
@@ -40,6 +59,10 @@ class LintResult:
     #: files that failed to parse: (path, message) - reported as
     #: findings too, but kept separate for the JSON envelope.
     errors: list[tuple[str, str]] = field(default_factory=list)
+    #: the effect program of the run (``None`` with
+    #: ``interprocedural=False``) - the CLI serializes this for
+    #: ``--effects``.
+    effects: EffectProgram | None = None
 
 
 def iter_python_files(paths: list[str]) -> list[str]:
@@ -61,31 +84,40 @@ def iter_python_files(paths: list[str]) -> list[str]:
 
 def lint_source(path: str, source: str,
                 lock_graph: rules_locks.LockOrderGraph | None = None,
-                ) -> list[Finding]:
+                interprocedural: bool = True) -> list[Finding]:
     """Lint one file's source; pure function used by the tests.
 
-    When ``lock_graph`` is omitted a private graph is created and its
-    inversion pass runs immediately; callers that share a graph across
-    files run ``inversions()`` themselves once every file is in.
+    When ``lock_graph`` is omitted a private graph is created and the
+    whole-program passes (inversions, shared-race, unused
+    suppressions) run immediately; callers that share a graph across
+    files run those themselves once every file is in.
     """
     result = LintResult()
     private_graph = lock_graph is None
     graph = lock_graph if lock_graph is not None \
         else rules_locks.LockOrderGraph()
-    _lint_one(path, source, graph, result)
+    index, suppressions = _parse_one(path, source, result)
+    effects = None
+    if interprocedural:
+        effects = EffectProgram([index] if index is not None else [])
+        effects.infer()
+        result.effects = effects
+    if index is not None:
+        _run_rules(index, graph, effects, suppressions, result)
     if private_graph:
-        suppressions = parse_suppressions(source)
-        result.findings.extend(
-            f for f in graph.inversions() if suppressions.allows(f))
+        _whole_program(result, graph, {path: suppressions}, effects)
         result.findings.sort(
             key=lambda f: (f.path, f.line, f.col, f.rule))
     return result.findings
 
 
-def lint_paths(paths: list[str]) -> LintResult:
+def lint_paths(paths: list[str],
+               interprocedural: bool = True) -> LintResult:
     """Lint every ``.py`` file reachable from ``paths``."""
     result = LintResult()
     lock_graph = rules_locks.LockOrderGraph()
+    parsed: list[tuple[ModuleIndex, Suppressions]] = []
+    sup_map: dict[str, Suppressions] = {}
     for path in iter_python_files(paths):
         try:
             with open(path, encoding="utf-8") as fh:
@@ -93,31 +125,27 @@ def lint_paths(paths: list[str]) -> LintResult:
         except OSError as exc:
             result.errors.append((path, str(exc)))
             continue
-        _lint_one(path, source, lock_graph, result)
-    # Lock-order inversions are global: only known once every file's
-    # acquisition sites are in the graph.  Inversion findings honour
-    # the suppressions of the file they are reported in.
-    inversions = lock_graph.inversions()
-    if inversions:
-        sup_cache = {}
-        for finding in inversions:
-            if finding.path not in sup_cache:
-                try:
-                    with open(finding.path, encoding="utf-8") as fh:
-                        sup_cache[finding.path] = parse_suppressions(
-                            fh.read())
-                except OSError:
-                    sup_cache[finding.path] = parse_suppressions("")
-            if sup_cache[finding.path].allows(finding):
-                result.findings.append(finding)
+        index, suppressions = _parse_one(path, source, result)
+        sup_map[path] = suppressions
+        if index is not None:
+            parsed.append((index, suppressions))
+    effects = None
+    if interprocedural:
+        effects = EffectProgram([index for index, _ in parsed])
+        effects.infer()
+        result.effects = effects
+    for index, suppressions in parsed:
+        _run_rules(index, lock_graph, effects, suppressions, result)
+    _whole_program(result, lock_graph, sup_map, effects)
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return result
 
 
-def _lint_one(path: str, source: str,
-              lock_graph: rules_locks.LockOrderGraph,
-              result: LintResult) -> None:
+# ----------------------------------------------------------------------
+def _parse_one(path: str, source: str, result: LintResult):
+    """Parse + index one file; returns ``(index|None, suppressions)``."""
     result.files_checked += 1
+    suppressions = parse_suppressions(source)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -126,20 +154,52 @@ def _lint_one(path: str, source: str,
         result.findings.append(Finding(
             rule="parse-error", path=path, line=exc.lineno or 1,
             col=exc.offset or 0, message=msg))
-        return
-    suppressions = parse_suppressions(source)
-    index = index_module(path, tree)
+        return None, suppressions
+    return index_module(path, tree), suppressions
+
+
+def _run_rules(index: ModuleIndex,
+               lock_graph: rules_locks.LockOrderGraph,
+               effects: EffectProgram | None,
+               suppressions: Suppressions,
+               result: LintResult) -> None:
     raw: list[Finding] = []
     for kernel in index.kernels:
         result.kernels_checked += 1
         for rule in _KERNEL_RULES:
-            raw.extend(rule(kernel, index))
-        raw.extend(lock_graph.scan(kernel, index))
+            raw.extend(rule(kernel, index, effects=effects))
+        raw.extend(lock_graph.scan(kernel, index, effects=effects))
     for line, directive in suppressions.bad_directives:
         raw.append(Finding(
-            rule="bad-suppression", path=path, line=line, col=0,
+            rule="bad-suppression", path=index.path, line=line, col=0,
             message=(f"malformed aplint directive '{directive}' - "
                      f"unknown rule name or bad syntax, nothing was "
                      f"suppressed")))
     result.findings.extend(
         f for f in raw if suppressions.allows(f))
+
+
+def _whole_program(result: LintResult,
+                   lock_graph: rules_locks.LockOrderGraph,
+                   sup_map: dict[str, Suppressions],
+                   effects: EffectProgram | None) -> None:
+    """The passes that need every file: inversions, races, dead
+    pragmas.  Findings honour the suppressions of the file they are
+    reported in."""
+    global_findings = lock_graph.inversions()
+    if effects is not None:
+        global_findings += rules_race.check_program(effects)
+    for finding in global_findings:
+        if finding.path not in sup_map:
+            # A shared lock graph can carry sites from files linted
+            # outside this call; fetch their pragmas from disk.
+            try:
+                with open(finding.path, encoding="utf-8") as fh:
+                    sup_map[finding.path] = parse_suppressions(
+                        fh.read())
+            except OSError:
+                sup_map[finding.path] = parse_suppressions("")
+        if sup_map[finding.path].allows(finding):
+            result.findings.append(finding)
+    for path in sorted(sup_map):
+        result.findings.extend(sup_map[path].unused(path))

@@ -35,6 +35,17 @@ RULES: dict[str, str] = {
     "uncalibrated-cost":
         "ctx.charge/ctx.compute with a bare magic-number cost - map it "
         "to a CostModel field or a named module constant",
+    "barrier-divergence":
+        "a barrier (direct or hidden inside a helper coroutine) is "
+        "reachable only under a warp-varying condition - the block "
+        "leaves barrier lockstep and hangs on hardware",
+    "shared-race":
+        "write/write or read/write accesses to the same shared "
+        "structure (page table, page cache, staging, tickets) with no "
+        "common lock and no separating barrier - a static torn-write",
+    "unused-suppression":
+        "an `# aplint:` suppression that suppressed nothing this run "
+        "- delete the dead pragma so the baseline stays honest",
 }
 
 
@@ -65,27 +76,79 @@ class Finding:
 
 @dataclass
 class Suppressions:
-    """Per-line rule suppressions parsed from ``# aplint:`` comments."""
+    """Rule suppressions parsed from ``# aplint:`` comments.
+
+    Two scopes: per-line (``# aplint: disable[=rule,...]`` on the
+    finding's physical line) and file-level
+    (``# aplint: disable-file <rule>`` anywhere in the file, always
+    rule-scoped - there is deliberately no file-wide disable-all).
+    Every suppression records whether it actually matched a finding,
+    so the linter can report dead pragmas as ``unused-suppression``
+    findings instead of letting them rot in the baseline.
+    """
 
     #: line -> set of suppressed rule names; the sentinel ``"*"``
     #: suppresses every rule on that line.
     by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rule -> line of the ``disable-file`` directive.
+    file_level: dict[str, int] = field(default_factory=dict)
     #: malformed directives (unknown rule names), reported as findings
     #: so a typoed suppression cannot silently disable nothing.
     bad_directives: list[tuple[int, str]] = field(default_factory=list)
+    #: (line, name) pairs that suppressed at least one finding, plus
+    #: ("file", rule) markers for used file-level directives.
+    used: set = field(default_factory=set)
 
     def allows(self, finding: Finding) -> bool:
+        if finding.rule in self.file_level:
+            self.used.add(("file", finding.rule))
+            return False
         rules = self.by_line.get(finding.line)
         if not rules:
             return True
-        return finding.rule not in rules and "*" not in rules
+        if "*" in rules:
+            self.used.add((finding.line, "*"))
+            return False
+        if finding.rule in rules:
+            self.used.add((finding.line, finding.rule))
+            return False
+        return True
+
+    def unused(self, path: str) -> list[Finding]:
+        """``unused-suppression`` findings for every dead pragma."""
+        findings: list[Finding] = []
+        for line in sorted(self.by_line):
+            for name in sorted(self.by_line[line]):
+                if (line, name) not in self.used:
+                    shown = "disable" if name == "*" \
+                        else f"disable={name}"
+                    findings.append(Finding(
+                        rule="unused-suppression", path=path,
+                        line=line, col=0,
+                        message=(f"suppression '# aplint: {shown}' "
+                                 f"matched no finding - delete it")))
+        for rule, line in sorted(self.file_level.items(),
+                                 key=lambda kv: kv[1]):
+            if ("file", rule) not in self.used:
+                findings.append(Finding(
+                    rule="unused-suppression", path=path,
+                    line=line, col=0,
+                    message=(f"file-level suppression '# aplint: "
+                             f"disable-file {rule}' matched no "
+                             f"finding - delete it")))
+        return findings
 
 
 _MARKER = "aplint:"
 
 
+def _split_names(spec: str) -> list[str]:
+    return [n.strip() for n in spec.replace(",", " ").split()
+            if n.strip()]
+
+
 def parse_suppressions(source: str) -> Suppressions:
-    """Extract ``# aplint: disable[=rule,...]`` comments from source."""
+    """Extract ``# aplint: disable...`` comments from source."""
     sup = Suppressions()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -100,11 +163,20 @@ def parse_suppressions(source: str) -> Suppressions:
             if directive == "disable":
                 sup.by_line.setdefault(line, set()).add("*")
                 continue
+            if directive.startswith("disable-file"):
+                spec = directive[len("disable-file"):].lstrip("= ")
+                names = _split_names(spec)
+                unknown = [n for n in names if n not in RULES]
+                if unknown or not names:
+                    sup.bad_directives.append((line, directive))
+                for name in names:
+                    if name in RULES:
+                        sup.file_level.setdefault(name, line)
+                continue
             if not directive.startswith("disable="):
                 sup.bad_directives.append((line, directive))
                 continue
-            names = [n.strip() for n in
-                     directive[len("disable="):].split(",") if n.strip()]
+            names = _split_names(directive[len("disable="):])
             unknown = [n for n in names if n not in RULES]
             if unknown or not names:
                 sup.bad_directives.append((line, directive))

@@ -40,7 +40,8 @@ LITERAL_THRESHOLD = 8
 _COST_KEYWORDS = frozenset({"chain", "arith"})
 
 
-def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+def check(kernel: KernelFn, index: ModuleIndex,
+          effects=None) -> list[Finding]:
     findings: list[Finding] = []
     for node in ast.walk(kernel.node):
         if not isinstance(node, ast.Call):

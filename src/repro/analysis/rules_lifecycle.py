@@ -20,7 +20,14 @@ Per kernel function the rule tracks names bound by creator calls
 
 A pointer that *escapes* - returned, yielded, stored into a container
 or attribute, aliased, or passed to another function - transfers
-ownership, and the rule stays silent rather than guess.
+ownership, and the rule stays silent rather than guess.  With an
+:class:`~repro.analysis.effects.EffectProgram` attached, passing the
+pointer to a *resolvable helper coroutine* is no longer an escape:
+the helper's ``destroys_params`` summary says whether it destroys the
+argument on every path (counts as a destroy here) or only on some
+(counts as a *conditional* destroy - the early-return-helper leak the
+lexical scan could never see).  A resolvable helper that never
+destroys the argument still transfers ownership conservatively.
 
 The same machinery tracks *syscall tickets*: ``pread_async`` /
 ``pwrite_async`` (:mod:`repro.syscalls`) return a ticket whose
@@ -67,7 +74,8 @@ class _Pointer:
     escaped: bool = False
 
 
-def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+def check(kernel: KernelFn, index: ModuleIndex,
+          effects=None) -> list[Finding]:
     pointers: dict[str, _Pointer] = {}
     order: dict[int, int] = {}      # id(stmt) -> linear position
     depth: dict[int, int] = {}      # id(stmt) -> branch nesting depth
@@ -125,8 +133,10 @@ def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
                 and first_arg_is_ctx(node, kernel.ctx_names):
             pointers[_receiver_name(node)].uses.append((pos, node))
 
-    _find_escapes(kernel, pointers)
-    _find_escapes(kernel, tickets)
+    consumed = _apply_summaries(kernel, index, effects, calls,
+                                pointers, tickets)
+    _find_escapes(kernel, pointers, consumed)
+    _find_escapes(kernel, tickets, consumed)
 
     findings: list[Finding] = []
     for ptr in pointers.values():
@@ -232,9 +242,57 @@ def _receiver_name(call: ast.Call) -> str | None:
     return None
 
 
-def _find_escapes(kernel: KernelFn, pointers: dict) -> None:
+def _apply_summaries(kernel: KernelFn, index: ModuleIndex, effects,
+                     calls: list, pointers: dict,
+                     tickets: dict) -> dict:
+    """Consume callee ``destroys_params`` summaries.
+
+    Returns ``{id(call): {arg names the summary accounted for}}`` so
+    escape analysis skips those argument positions.  A destroy the
+    callee performs on *every* path counts at the call's own depth;
+    one performed only on *some* paths counts one level deeper, which
+    is exactly what makes the conditional-destroy finding fire for an
+    unconditionally created pointer.  Dynamic dispatch only counts
+    when every candidate destroys the parameter.
+    """
+    consumed: dict[int, set[str]] = {}
+    if effects is None:
+        return consumed
+    from repro.analysis.effects import aligned_param_index
+    for node, name, pos, dep in calls:
+        if name in ("destroy", "gvmunmap", "wait"):
+            continue
+        candidates = effects.graph.resolve(node, kernel, index)
+        if not candidates:
+            continue
+        for arg_pos, arg in enumerate(node.args):
+            if not isinstance(arg, ast.Name):
+                continue
+            tracked = pointers.get(arg.id) or tickets.get(arg.id)
+            if tracked is None:
+                continue
+            modes = []
+            for callee in candidates:
+                summary = effects.summaries.get(callee.key)
+                mode = None
+                if summary is not None:
+                    idx = aligned_param_index(callee, node, arg_pos)
+                    mode = summary.destroys_params.get(idx)
+                modes.append(mode)
+            if any(m is None for m in modes):
+                continue    # some candidate never destroys: escape
+            all_always = all(m == "always" for m in modes)
+            tracked.destroys.append(
+                (pos, dep if all_always else dep + 1))
+            consumed.setdefault(id(node), set()).add(arg.id)
+    return consumed
+
+
+def _find_escapes(kernel: KernelFn, pointers: dict,
+                  consumed: dict | None = None) -> None:
     if not pointers:
         return
+    consumed = consumed or {}
     for node in walk_function(kernel.node):
         if not (isinstance(node, ast.Name) and node.id in pointers
                 and isinstance(node.ctx, ast.Load)):
@@ -247,9 +305,11 @@ def _find_escapes(kernel: KernelFn, pointers: dict) -> None:
             ptr.escaped = True
         elif isinstance(up, ast.Call):
             # An argument position other than gvmunmap's / wait's
-            # hands the value to code this rule cannot see.
+            # hands the value to code this rule cannot see - unless an
+            # effect summary already told us what the callee does.
             if call_name(up) not in ("gvmunmap", "wait") \
-                    and node in up.args:
+                    and node in up.args \
+                    and node.id not in consumed.get(id(up), ()):
                 ptr.escaped = True
         elif isinstance(up, (ast.Assign, ast.AnnAssign, ast.NamedExpr,
                              ast.Tuple, ast.List, ast.Dict, ast.Set,

@@ -14,18 +14,28 @@ Also reported per function:
 
 * re-acquiring a key already held (self-deadlock on a non-reentrant
   spinlock);
-* ``ctx.unlock`` of a key that is not currently held (unbalanced
-  pairing the static scan can prove wrong);
+* ``ctx.unlock`` of a key that is provably not held on any path
+  (unbalanced pairing the static scan can prove wrong);
 * a *blocking syscall* (``pread``/``pwrite``/``msync``/``ftruncate``/
-  ``wait`` from :mod:`repro.syscalls`, identified by a context first
-  argument) invoked while any lock is held - syscalls acquire
-  page-table bucket locks internally and block on host I/O, so the
-  held spinlock can deadlock against the fault path.
+  ``wait`` from :mod:`repro.syscalls`) reached while any lock may be
+  held - directly, or hidden inside a helper coroutine whose effect
+  summary says it can block.
 
-The scan is lexical per function: ``yield from ctx.lock(k)`` pushes
-``k``, ``yield from ctx.unlock(k)`` pops it, and branches are walked
-with a copy of the held stack so an unlock on one arm does not leak
-into the other.
+The walk is path-sensitive with a **must/may split** at every join:
+after a branch the intersection of the arms is *must-held* (used for
+self-deadlock via helpers and for the shared-race rule's common-lock
+proof) and the union is *may-held* (used for order edges and for
+blocking-under-lock, which only needs possibility).  Loop exits join
+the zero-iteration path with every ``break`` state, so a lock
+acquired before a ``break`` is still held after the loop - the
+join-state bug the purely lexical scan had.
+
+With an :class:`~repro.analysis.effects.EffectProgram` attached, the
+scan is interprocedural: ``yield from helper(ctx, k)`` applies the
+helper's summary - order edges from every held key to every key the
+helper may acquire (parameter names substituted with the caller's
+argument expressions), blocking syscalls it reaches, and the locks it
+leaves held or releases on the caller's behalf.
 """
 
 from __future__ import annotations
@@ -33,7 +43,16 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
+from repro.analysis.effects import (
+    EffectSummary,
+    _canonical_key,
+    _join_states,
+    _State,
+    param_arg_map,
+    _substitute,
+)
 from repro.analysis.kernels import (
+    BLOCKING_SYSCALLS,
     KernelFn,
     ModuleIndex,
     call_name,
@@ -44,11 +63,8 @@ from repro.analysis.model import Finding
 
 RULE = "lock-order"
 
-#: Syscall-layer entry points that block the warp and take bucket
-#: locks internally (GPU-syscalls taxonomy: strong/relaxed blocking).
-_BLOCKING_SYSCALLS = frozenset({
-    "pread", "pwrite", "msync", "ftruncate", "wait",
-})
+#: Backwards-compatible alias (pre-effects name of the shared set).
+_BLOCKING_SYSCALLS = BLOCKING_SYSCALLS
 
 
 @dataclass
@@ -68,8 +84,8 @@ class LockOrderGraph:
 
     The linter feeds each kernel through :meth:`scan` and calls
     :meth:`inversions` once at the end; per-function findings
-    (re-acquire, unmatched unlock) are returned from :meth:`scan`
-    directly.
+    (re-acquire, unmatched unlock, blocking-under-lock) are returned
+    from :meth:`scan` directly.
     """
 
     #: held-key -> acquired-key -> list of witnessing acquire sites
@@ -77,146 +93,17 @@ class LockOrderGraph:
         default_factory=dict)
 
     # ------------------------------------------------------------------
-    def scan(self, kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+    def scan(self, kernel: KernelFn, index: ModuleIndex,
+             effects=None) -> list[Finding]:
         findings: list[Finding] = []
-        self._walk_body(kernel.node.body, [], kernel, index, findings)
+        walker = _LockWalker(self, kernel, index, effects, findings)
+        walker.walk(kernel.node.body, _State())
         return findings
 
-    def _walk_body(self, body: list, held: list[str],
-                   kernel: KernelFn, index: ModuleIndex,
-                   findings: list[Finding]) -> tuple[list[str], bool]:
-        """Walk statements tracking held locks path-sensitively.
-
-        Returns ``(held_after, terminated)``: the held stack at the
-        end of the straight-line path, and whether every path through
-        ``body`` ends in return/raise/break/continue (in which case
-        the caller must not propagate this arm's stack).
-        """
-        for stmt in body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef)):
-                continue
-            if isinstance(stmt, ast.If):
-                self._scan_expr(stmt.test, held, kernel, index, findings)
-                arms = [
-                    self._walk_body(stmt.body, list(held),
-                                    kernel, index, findings),
-                    self._walk_body(stmt.orelse, list(held),
-                                    kernel, index, findings),
-                ]
-                live = [h for h, terminated in arms if not terminated]
-                if not live:
-                    return held, True
-                held = live[0] if len(live) == 1 \
-                    else _merge_stacks(live[0], live[1])
-                continue
-            if isinstance(stmt, (ast.While, ast.For)):
-                test = stmt.test if isinstance(stmt, ast.While) \
-                    else stmt.iter
-                self._scan_expr(test, held, kernel, index, findings)
-                # Loop bodies are assumed lock-balanced per iteration:
-                # walk with a copy so an early break/continue does not
-                # poison the fall-through stack.
-                self._walk_body(stmt.body, list(held),
-                                kernel, index, findings)
-                held, terminated = self._walk_body(
-                    stmt.orelse, held, kernel, index, findings)
-                if terminated:
-                    return held, True
-                continue
-            if isinstance(stmt, ast.Try):
-                held, terminated = self._walk_body(
-                    stmt.body, held, kernel, index, findings)
-                for handler in stmt.handlers:
-                    self._walk_body(handler.body, list(held),
-                                    kernel, index, findings)
-                if not terminated:
-                    held, terminated = self._walk_body(
-                        stmt.orelse, held, kernel, index, findings)
-                held, fin_term = self._walk_body(
-                    stmt.finalbody, held, kernel, index, findings)
-                if terminated or fin_term:
-                    return held, True
-                continue
-            if isinstance(stmt, ast.With):
-                for item in stmt.items:
-                    self._scan_expr(item.context_expr, held,
-                                    kernel, index, findings)
-                held, terminated = self._walk_body(
-                    stmt.body, held, kernel, index, findings)
-                if terminated:
-                    return held, True
-                continue
-            # Leaf statement: process lock/unlock calls in its
-            # expressions, then handle control transfer.
-            self._scan_expr(stmt, held, kernel, index, findings)
-            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break,
-                                 ast.Continue)):
-                return held, True
-        return held, False
-
-    def _scan_expr(self, node, held: list[str], kernel: KernelFn,
-                   index: ModuleIndex, findings: list[Finding]) -> None:
-        if node is None:
-            return
-        calls = [n for n in ast.walk(node)
-                 if isinstance(n, ast.Call)
-                 and ((call_name(n) in ("lock", "unlock")
-                       and receiver_is_ctx(n, kernel.ctx_names)
-                       and n.args)
-                      or (call_name(n) in _BLOCKING_SYSCALLS
-                          and first_arg_is_ctx(n, kernel.ctx_names)))]
-        calls.sort(key=lambda n: (n.lineno, n.col_offset))
-        for call in calls:
-            name = call_name(call)
-            if name in _BLOCKING_SYSCALLS \
-                    and not receiver_is_ctx(call, kernel.ctx_names):
-                if held:
-                    findings.append(Finding(
-                        rule=RULE, path=index.path,
-                        line=call.lineno, col=call.col_offset,
-                        function=kernel.qualname,
-                        message=(
-                            f"blocking syscall '{name}' invoked "
-                            f"while lock '{held[-1]}' is held - "
-                            f"syscalls take page-table bucket locks "
-                            f"internally and block on host I/O; "
-                            f"release held locks first")))
-                continue
-            key = _canonical_key(call.args[0])
-            if name == "lock":
-                if key in held:
-                    findings.append(Finding(
-                        rule=RULE, path=index.path,
-                        line=call.lineno, col=call.col_offset,
-                        function=kernel.qualname,
-                        message=(
-                            f"lock key '{key}' acquired while "
-                            f"already held - self-deadlock on a "
-                            f"non-reentrant spinlock")))
-                site = _Acquire(key=key, path=index.path,
-                                line=call.lineno, col=call.col_offset,
-                                function=kernel.qualname)
-                for prior in held:
-                    if prior != key:
-                        self.edges.setdefault(prior, {}) \
-                            .setdefault(key, []).append(site)
-                held.append(key)
-            else:
-                if key in held:
-                    # Pop the most recent acquisition of the key.
-                    held.reverse()
-                    held.remove(key)
-                    held.reverse()
-                else:
-                    findings.append(Finding(
-                        rule=RULE, path=index.path,
-                        line=call.lineno, col=call.col_offset,
-                        function=kernel.qualname,
-                        message=(
-                            f"unlock of '{key}' which is not held "
-                            f"on this path - unbalanced "
-                            f"lock/unlock pairing")))
+    def edge(self, held: str, acquired: str, site: _Acquire) -> None:
+        if held != acquired:
+            self.edges.setdefault(held, {}) \
+                .setdefault(acquired, []).append(site)
 
     # ------------------------------------------------------------------
     def inversions(self) -> list[Finding]:
@@ -255,30 +142,243 @@ class LockOrderGraph:
         return False
 
 
-def _merge_stacks(a: list[str], b: list[str]) -> list[str]:
-    """Union of two live branch stacks, preserving first-seen order.
+class _LockWalker:
+    """Path-sensitive held-lock walk over one kernel function."""
 
-    Taking the union (rather than intersection) means a key released
-    on only one arm is still considered held afterwards - the walk
-    over-approximates held sets, which can only create order edges,
-    never false unlock-not-held reports.
-    """
-    merged = list(a)
-    for key in b:
-        if key not in merged:
-            merged.append(key)
-    return merged
+    def __init__(self, graph: LockOrderGraph, kernel: KernelFn,
+                 index: ModuleIndex, effects, findings: list):
+        self.graph = graph
+        self.kernel = kernel
+        self.index = index
+        self.effects = effects
+        self.findings = findings
+        self.loop_breaks: list = []
+        #: every key ``ctx.lock``-ed anywhere in this function so far;
+        #: distinguishes a provably unbalanced unlock from a *foreign
+        #: release* (a helper unlocking on its caller's behalf).
+        self.acquired: set[str] = set()
 
+    # ------------------------------------------------------------------
+    def walk(self, body: list, state: _State):
+        """Returns ``(state_after, terminated)``."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, state)
+                arms = [self.walk(stmt.body, state.clone()),
+                        self.walk(stmt.orelse, state.clone())]
+                live = [s for s, term in arms if not term]
+                if not live:
+                    return state, True
+                self._adopt(state, _join_states(live))
+                continue
+            if isinstance(stmt, (ast.While, ast.For)):
+                test = stmt.test if isinstance(stmt, ast.While) \
+                    else stmt.iter
+                self._scan_expr(test, state)
+                always_enters = (
+                    isinstance(stmt, ast.While)
+                    and isinstance(stmt.test, ast.Constant)
+                    and bool(stmt.test.value))
+                self.loop_breaks.append([])
+                entry = state.clone()
+                body_state, body_term = self.walk(stmt.body,
+                                                  state.clone())
+                breaks = self.loop_breaks.pop()
+                candidates = list(breaks)
+                if always_enters:
+                    if not candidates:
+                        # Every exit from ``while True`` returns or
+                        # raises: nothing ever falls through.
+                        self.walk(stmt.orelse, entry.clone())
+                        return state, True
+                else:
+                    candidates.append(entry)
+                    if not body_term:
+                        candidates.append(body_state)
+                self._adopt(state, _join_states(candidates))
+                state, term = self.walk(stmt.orelse, state)
+                if term:
+                    return state, True
+                continue
+            if isinstance(stmt, ast.Try):
+                entry = state.clone()
+                body_state, body_term = self.walk(stmt.body,
+                                                  state.clone())
+                handler_states = []
+                for handler in stmt.handlers:
+                    h_state, h_term = self.walk(handler.body,
+                                                entry.clone())
+                    if not h_term:
+                        handler_states.append(h_state)
+                if not body_term:
+                    body_state, body_term = self.walk(stmt.orelse,
+                                                      body_state)
+                live = ([] if body_term else [body_state]) \
+                    + handler_states
+                if not live:
+                    if stmt.finalbody:
+                        self.walk(stmt.finalbody, entry.clone())
+                    return state, True
+                self._adopt(state, _join_states(live))
+                state, term = self.walk(stmt.finalbody, state)
+                if term:
+                    return state, True
+                continue
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, state)
+                state, term = self.walk(stmt.body, state)
+                if term:
+                    return state, True
+                continue
+            self._scan_expr(stmt, state)
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                return state, True
+            if isinstance(stmt, (ast.Break, ast.Continue)):
+                if isinstance(stmt, ast.Break) and self.loop_breaks:
+                    self.loop_breaks[-1].append(state.clone())
+                return state, True
+        return state, False
 
-def _canonical_key(expr: ast.expr) -> str:
-    """A stable string for a lock-key expression.
+    @staticmethod
+    def _adopt(state: _State, new: _State) -> None:
+        state.may, state.must = new.may, new.must
 
-    Variable names are kept (``xpage.lock_id``); constant folding is
-    not attempted.  Distinct expressions that alias the same runtime
-    key are treated as distinct - the rule under-approximates rather
-    than guess.
-    """
-    try:
-        return ast.unparse(expr)
-    except Exception:  # pragma: no cover - unparse is total on exprs
-        return "<unknown>"
+    # ------------------------------------------------------------------
+    def _scan_expr(self, node, state: _State) -> None:
+        if node is None:
+            return
+        calls = [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+        calls.sort(key=lambda n: (n.lineno, n.col_offset))
+        for call in calls:
+            self._handle_call(call, state)
+
+    def _handle_call(self, call: ast.Call, state: _State) -> None:
+        kernel = self.kernel
+        name = call_name(call)
+        if receiver_is_ctx(call, kernel.ctx_names):
+            if name == "lock" and call.args:
+                self._acquire(call, _canonical_key(call.args[0]), state)
+            elif name == "unlock" and call.args:
+                self._release(call, _canonical_key(call.args[0]), state)
+            return
+        if name in BLOCKING_SYSCALLS \
+                and first_arg_is_ctx(call, kernel.ctx_names):
+            if state.may:
+                self._blocked(call, name, state)
+            return
+        if self.effects is None:
+            return
+        candidates = self.effects.graph.resolve(call, kernel,
+                                                self.index)
+        if not candidates:
+            return
+        results = []
+        for callee in candidates:
+            summary = self.effects.summaries.get(
+                callee.key, EffectSummary())
+            branch = state.clone()
+            self._apply_summary(call, callee, summary, branch)
+            results.append(branch)
+        self._adopt(state, _join_states(results))
+
+    # ------------------------------------------------------------------
+    def _acquire(self, node, key: str, state: _State) -> None:
+        if key in state.may:
+            self.findings.append(self._finding(
+                node,
+                f"lock key '{key}' acquired while already held - "
+                f"self-deadlock on a non-reentrant spinlock"))
+        site = _Acquire(key=key, path=self.index.path,
+                        line=node.lineno, col=node.col_offset,
+                        function=self.kernel.qualname)
+        for prior in state.may:
+            self.graph.edge(prior, key, site)
+        if key not in state.may:
+            state.may.append(key)
+        state.must.add(key)
+        self.acquired.add(key)
+
+    def _release(self, node, key: str, state: _State) -> None:
+        if key in state.may:
+            state.may.reverse()
+            state.may.remove(key)
+            state.may.reverse()
+            state.must.discard(key)
+            return
+        if key not in self.acquired and self._has_callers():
+            # Foreign release: this helper never took the lock itself
+            # and some kernel calls it, so it is plausibly unlocking on
+            # the caller's behalf.  The callers are judged against its
+            # ``releases_foreign`` summary instead.
+            return
+        self.findings.append(self._finding(
+            node,
+            f"unlock of '{key}' which is not held on this path - "
+            f"unbalanced lock/unlock pairing"))
+
+    def _has_callers(self) -> bool:
+        if self.effects is None:
+            return False
+        from repro.analysis.callgraph import FnKey
+        key = FnKey(self.index.path, self.kernel.qualname)
+        return bool(self.effects.graph.callers.get(key))
+
+    def _blocked(self, node, name: str, state: _State,
+                 via: str = "") -> None:
+        held = next((k for k in reversed(state.may)
+                     if k in state.must), state.may[-1])
+        hedge = "is" if held in state.must else "may be"
+        self.findings.append(self._finding(
+            node,
+            f"blocking syscall '{name}'{via} invoked while lock "
+            f"'{held}' {hedge} held - syscalls take page-table "
+            f"bucket locks internally and block on host I/O; "
+            f"release held locks first"))
+
+    # ------------------------------------------------------------------
+    def _apply_summary(self, call: ast.Call, callee, summary,
+                       state: _State) -> None:
+        mapping = param_arg_map(callee, call)
+        if summary.blocking_syscalls and state.may:
+            for name in sorted(summary.blocking_syscalls):
+                self._blocked(call, name, state,
+                              via=f" reached via helper "
+                                  f"'{callee.name}'")
+        site = _Acquire(key="", path=self.index.path,
+                        line=call.lineno, col=call.col_offset,
+                        function=self.kernel.qualname)
+        for raw in sorted(summary.may_acquire):
+            key = _substitute(raw, mapping)
+            if key in state.must:
+                self.findings.append(self._finding(
+                    call,
+                    f"lock key '{key}' is held here and re-acquired "
+                    f"inside helper '{callee.name}' - self-deadlock "
+                    f"on a non-reentrant spinlock"))
+            for prior in state.may:
+                self.graph.edge(
+                    prior, key,
+                    _Acquire(key=key, path=site.path, line=site.line,
+                             col=site.col, function=site.function))
+        for raw in summary.releases_foreign:
+            key = _substitute(raw, mapping)
+            if key in state.may:
+                state.may.reverse()
+                state.may.remove(key)
+                state.may.reverse()
+            state.must.discard(key)
+        for raw in summary.exit_may_held:
+            key = _substitute(raw, mapping)
+            if key not in state.may:
+                state.may.append(key)
+        for raw in summary.exit_must_held:
+            state.must.add(_substitute(raw, mapping))
+
+    def _finding(self, node, message: str) -> Finding:
+        return Finding(rule=RULE, path=self.index.path,
+                       line=node.lineno, col=node.col_offset,
+                       function=self.kernel.qualname, message=message)

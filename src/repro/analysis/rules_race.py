@@ -1,0 +1,148 @@
+"""Rule ``shared-race``: static happens-before over shared structures.
+
+The paper's whole concurrency argument is that every cross-warp
+structure - page-table entries, page-cache frames, staging slots,
+syscall tickets - is touched only under its bucket spinlock or in
+barrier-separated phases.  The runtime sanitizer checks that claim for
+the accesses a given run happens to execute; this rule checks it for
+*every* access the effect inference can see.
+
+Evaluation happens at the **call-graph roots** (entry kernels nobody
+else calls): a root's :class:`~repro.analysis.effects.EffectSummary`
+carries the transitively-closed set of
+:class:`~repro.analysis.effects.AccessSite` records, each already
+annotated with the must-held locks and barrier epoch *at the root* -
+so a helper that is only ever called with the bucket lock held is
+correctly quiet, and the same helper reached lock-free from another
+root is correctly loud.
+
+Two sites race when they touch the same structure, at least one
+writes, they share **no** must-held lock, and they are not ordered by
+barriers (same function, different epochs - the static mirror of the
+sanitizer's torn-write ordering).  A lone unlocked *write* site races
+against itself: two warps of the same grid execute the same line
+concurrently.  ``global_memory`` is deliberately not paired - raw
+addresses are not statically comparable and the runtime torn-write
+detector owns that axis.
+
+Reporting collapses the quadratic pair set to its causes: an
+**unlocked write** is one finding at the site (pairing it with every
+reader it can hurt restates the same bug dozens of times), and pair
+findings are reserved for *inconsistent locking* - every write in
+the pair holds some lock, just never the same one as the partner.
+
+This is a may-analysis: a report means "no lock or barrier *provably*
+separates these", not "they overlap on the same element".  Per-element
+disjointness (each warp touching its own slot) is what the findings
+baseline is for.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.effects import RACE_STRUCTS, AccessSite
+from repro.analysis.model import Finding
+
+RULE = "shared-race"
+
+#: Human names used in messages.
+_STRUCT_LABEL = {
+    "page_table": "page-table entry",
+    "page_cache": "page-cache frame",
+    "staging": "staging slot",
+    "syscall_ticket": "syscall ticket",
+}
+
+
+def check_program(effects) -> list[Finding]:
+    """Race findings over every call-graph root of ``effects``."""
+    findings: list[Finding] = []
+    seen: set = set()
+    for key in effects.roots():
+        summary = effects.summaries.get(key)
+        if summary is None:
+            continue
+        findings.extend(check_root(summary, seen))
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+    return findings
+
+
+def check_root(summary, seen: set | None = None) -> list[Finding]:
+    """Race pairs within one root kernel's closed access-site set.
+
+    ``seen`` dedupes across roots: the same unsynchronized helper
+    reached from three entry kernels is one finding, reported at the
+    site, not three.
+    """
+    if seen is None:
+        seen = set()
+    findings: list[Finding] = []
+    sites = [s for s in summary.sites if s.struct in RACE_STRUCTS]
+    by_struct: dict[str, list[AccessSite]] = {}
+    for site in sites:
+        by_struct.setdefault(site.struct, []).append(site)
+    for struct, group in sorted(by_struct.items()):
+        group = sorted(set(group),
+                       key=lambda s: (s.path, s.line, s.col, s.kind))
+        for i, a in enumerate(group):
+            if a.kind == "write" and not a.locks:
+                fp = ("self", struct, a.path, a.line, a.col)
+                if fp not in seen:
+                    seen.add(fp)
+                    findings.append(_self_race(summary, a))
+            for b in group[i + 1:]:
+                if _races(a, b):
+                    fp = ("pair", struct) + tuple(sorted(
+                        [(a.path, a.line, a.col),
+                         (b.path, b.line, b.col)]))
+                    if fp not in seen:
+                        seen.add(fp)
+                        findings.append(_pair_race(summary, a, b))
+    return findings
+
+
+def _races(a: AccessSite, b: AccessSite) -> bool:
+    if (a.path, a.line, a.col) == (b.path, b.line, b.col):
+        return False                  # the self-race case covers this
+    if a.kind != "write" and b.kind != "write":
+        return False
+    for site in (a, b):
+        if site.kind == "write" and not site.locks:
+            return False              # the self-race case covers this
+    if a.locks & b.locks:
+        return False                  # a common lock orders them
+    if a.function == b.function and a.epoch != b.epoch:
+        return False                  # barrier-separated phases
+    return True
+
+
+# The messages deliberately name neither the entry kernel nor the
+# partner's line number: baseline fingerprints hash the message, and
+# both churn with unrelated edits (adding a test kernel re-roots the
+# call graph; inserting a line above the partner moves it).
+
+
+def _self_race(summary, site: AccessSite) -> Finding:
+    label = _STRUCT_LABEL.get(site.struct, site.struct)
+    return Finding(
+        rule=RULE, path=site.path, line=site.line, col=site.col,
+        function=site.function,
+        message=(
+            f"unsynchronized {label} write reachable from an entry "
+            f"kernel with no lock held - two warps executing this "
+            f"line race; take the bucket lock or prove per-warp "
+            f"disjointness and baseline it"))
+
+
+def _pair_race(summary, a: AccessSite, b: AccessSite) -> Finding:
+    label = _STRUCT_LABEL.get(a.struct, a.struct)
+    first, second = sorted([a, b], key=lambda s: (s.path, s.line,
+                                                  s.col))
+    kinds = f"{first.kind}/{second.kind}"
+    return Finding(
+        rule=RULE, path=first.path, line=first.line, col=first.col,
+        function=first.function,
+        message=(
+            f"{kinds} race on a {label}: this access and the one in "
+            f"{second.function} ({second.path}) hold no common lock "
+            f"and no barrier separates them on some path reaching "
+            f"both"))

@@ -19,6 +19,15 @@ Flagged shapes (``g`` = a timed generator call):
 Not flagged: ``yield from g``, ``for _ in g``, ``return g`` /
 ``yield from x`` after assignment, and generators passed as arguments
 (ownership transferred).
+
+With an :class:`~repro.analysis.effects.EffectProgram` attached, a
+call is also *timed* when the cross-module call graph resolves it to
+a generator kernel defined in another linted file - so an imported
+helper coroutine called bare (``helper(ctx, ...)`` after ``from m
+import helper``) is caught even though the lexical per-module index
+cannot see its definition.  Names that collide with a non-generator
+ctx-taking function anywhere in the program are refused rather than
+guessed.
 """
 
 from __future__ import annotations
@@ -38,13 +47,17 @@ from repro.analysis.model import Finding
 RULE = "missing-yield-from"
 
 
-def check(kernel: KernelFn, index: ModuleIndex) -> list[Finding]:
+def check(kernel: KernelFn, index: ModuleIndex,
+          effects=None) -> list[Finding]:
     findings: list[Finding] = []
     assigned: dict[str, ast.Call] = {}
     for node in walk_function(kernel.node):
         if not isinstance(node, ast.Call):
             continue
-        if not is_timed_generator_call(node, kernel, index):
+        if not is_timed_generator_call(node, kernel, index) \
+                and not (effects is not None
+                         and effects.graph.resolve(node, kernel,
+                                                   index)):
             continue
         up = parent(node)
         if isinstance(up, ast.YieldFrom):

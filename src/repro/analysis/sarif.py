@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 export for ``repro-lint`` findings.
+
+SARIF is the interchange format GitHub code scanning ingests: the CI
+kernel-lint job runs ``repro-lint --sarif lint.sarif`` and uploads the
+file, so findings annotate pull-request diffs instead of hiding in a
+job log.  Only the small subset code scanning actually reads is
+emitted: tool metadata with the rule registry, one ``result`` per
+finding with a physical location (SARIF columns are 1-based; the
+linter's are 0-based AST offsets, hence the ``+ 1``), and the
+baseline fingerprint under ``partialFingerprints`` so the ratchet and
+the UI agree on identity.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import fingerprint
+from repro.analysis.model import RULES, Finding
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Rules whose findings block the build outright; everything else is
+#: a warning (the baseline ratchet decides what actually fails CI).
+_ERROR_RULES = frozenset({"parse-error"})
+
+
+def to_sarif(findings: list[Finding],
+             errors: list | None = None) -> dict:
+    rule_ids = sorted({f.rule for f in findings} | set(RULES))
+    results = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col,
+                                             f.rule)):
+        results.append({
+            "ruleId": f.rule,
+            "level": "error" if f.rule in _ERROR_RULES else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {
+                        "startLine": max(1, f.line),
+                        "startColumn": f.col + 1,
+                    },
+                },
+                "logicalLocations": [{
+                    "fullyQualifiedName": f.function,
+                }] if f.function else [],
+            }],
+            "partialFingerprints": {
+                "reproLint/v1": fingerprint(f),
+            },
+        })
+    invocation = {"executionSuccessful": True}
+    if errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": msg},
+             "locations": [{"physicalLocation": {
+                 "artifactLocation": {"uri": path}}}]}
+            for path, msg in errors]
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro-lint",
+                "rules": [{
+                    "id": rid,
+                    "shortDescription": {
+                        "text": RULES.get(rid, rid)},
+                } for rid in rule_ids],
+            }},
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
+
+
+def write(path: str, findings: list[Finding],
+          errors: list | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings, errors), fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,143 @@
+"""Static/dynamic cross-check: sanitizer hits fall inside may-sets.
+
+The effect inference is a *may*-analysis: anything the runtime
+sanitizer can observe during a tier-1 run must already be inside the
+static summary of the kernel that did it.  Each test here launches a
+seeded kernel from the sanitizer corpus - built by ``exec`` of the
+SAME source string the linter analyzes, so the two views cannot
+drift - and asserts that every runtime Violation maps to a static
+fact that predicted it:
+
+* ``lockstep``      -> a divergent barrier interval (min != max) and
+                       a ``barrier-divergence`` finding;
+* ``pin-leak``      -> ``pin_delta_max > 0`` at kernel exit;
+* ``torn-write``    -> the written structure is in the summary's
+                       ``writes`` may-set.
+"""
+
+import textwrap
+
+import numpy as np
+
+from repro.analysis.effects import EffectProgram
+from repro.analysis.linter import lint_source
+
+from .test_sanitizer import PAGE, make_env
+
+
+def statics(source: str):
+    """(summary, findings) for the single kernel in ``source``."""
+    source = textwrap.dedent(source)
+    prog = EffectProgram.from_sources([("<x>", source)])
+    summary = prog.summary_by_qualname("kernel")
+    assert summary is not None
+    return summary, lint_source("<x>", source)
+
+
+def run(source: str, *args, block_threads=64):
+    """Launch the same source under the sanitizer; return violations."""
+    device, gpufs, fid = make_env()
+    ns: dict = {}
+    exec(compile(textwrap.dedent(source), "<x>", "exec"), ns)
+    device.launch(ns["kernel"], grid=1, block_threads=block_threads,
+                  args=args)
+    return device, gpufs, fid, gpufs.sanitizer.violations
+
+
+class TestLockstepCrossCheck:
+    SRC = """
+        def kernel(ctx):
+            yield from ctx.syncthreads()
+            if ctx.warp_in_block == 0:
+                yield from ctx.syncthreads()
+    """
+
+    def test_violation_is_inside_the_static_interval(self):
+        _, _, _, violations = run(self.SRC)
+        [v] = violations
+        assert v.invariant == "lockstep"
+
+        summary, findings = statics(self.SRC)
+        # The runtime disagreement (1 vs 2 barriers) is exactly the
+        # static uncertainty interval...
+        assert (summary.barriers_min, summary.barriers_max) \
+            == tuple(sorted({v.details["barriers"],
+                             v.details["expected"]}))
+        # ...and the linter already called the hang out.
+        assert "barrier-divergence" in {f.rule for f in findings}
+
+    def test_clean_twin_has_a_tight_interval(self):
+        src = """
+            def kernel(ctx):
+                yield from ctx.syncthreads()
+                yield from ctx.syncthreads()
+        """
+        _, _, _, violations = run(src)
+        assert violations == []
+        summary, findings = statics(src)
+        assert summary.barriers_min == summary.barriers_max == 2
+        assert not findings
+
+
+class TestPinLeakCrossCheck:
+    SRC = """
+        def kernel(ctx, gpufs, fid):
+            addr = yield from gpufs.gmmap(ctx, fid, 0)
+            _ = yield from ctx.load(addr + ctx.lane * 4, "f4")
+    """
+
+    def test_leak_is_inside_the_static_pin_delta(self):
+        device, gpufs, fid = make_env()
+        ns: dict = {}
+        exec(compile(textwrap.dedent(self.SRC), "<x>", "exec"), ns)
+        device.launch(ns["kernel"], grid=1, block_threads=32,
+                      args=(gpufs, fid))
+        [v] = gpufs.sanitizer.violations
+        assert v.invariant == "pin-leak"
+
+        summary, _ = statics(self.SRC)
+        assert summary.pin_delta_max > 0      # the may-set covers it
+
+    def test_clean_twin_balances_statically_too(self):
+        src = """
+            def kernel(ctx, gpufs, fid):
+                addr = yield from gpufs.gmmap(ctx, fid, 0)
+                _ = yield from ctx.load(addr + ctx.lane * 4, "f4")
+                yield from gpufs.gmunmap(ctx, fid, 0)
+        """
+        device, gpufs, fid = make_env()
+        ns: dict = {}
+        exec(compile(textwrap.dedent(src), "<x>", "exec"), ns)
+        device.launch(ns["kernel"], grid=1, block_threads=32,
+                      args=(gpufs, fid))
+        assert gpufs.sanitizer.violations == []
+        summary, _ = statics(src)
+        assert (summary.pin_delta_min, summary.pin_delta_max) == (0, 0)
+
+
+class TestTornWriteCrossCheck:
+    SRC = """
+        def kernel(ctx, buf, vals):
+            yield from ctx.store(buf + ctx.lane * 4, vals, "f4")
+    """
+
+    def test_racy_store_is_inside_the_static_write_set(self):
+        device, gpufs, fid = make_env()
+        buf = device.alloc(PAGE)
+        vals = np.ones(32, np.float32)
+        ns: dict = {}
+        exec(compile(textwrap.dedent(self.SRC), "<x>", "exec"), ns)
+        device.launch(ns["kernel"], grid=1, block_threads=64,
+                      args=(buf, vals))
+        [v] = gpufs.sanitizer.violations
+        assert v.invariant == "torn-write"
+
+        # The static side deliberately does not PAIR raw global-memory
+        # stores (addresses are not statically comparable - the
+        # runtime detector owns that axis), but the may-set must still
+        # contain the access the violation happened on.
+        summary, _ = statics(self.SRC)
+        assert "global_memory" in summary.writes
+        [site] = [s for s in summary.sites
+                  if s.struct == "global_memory" and s.kind == "write"]
+        assert site.locks == frozenset()      # statically unordered

@@ -1,0 +1,455 @@
+"""Seeded-bug corpus: defects only visible *through* helper calls.
+
+Every case here hides a real kernel-coroutine bug one or two helpers
+away from the function where it bites, then asserts three things:
+
+1. the interprocedural linter reports it,
+2. the pre-effects lexical scan (``interprocedural=False``) provably
+   misses it - the regression the effect summaries exist to close,
+3. a minimally different clean twin stays quiet in both modes.
+"""
+
+import textwrap
+
+from repro.analysis.linter import lint_paths, lint_source
+
+
+def lint(code: str, interprocedural: bool = True) -> list:
+    return lint_source("<t>", textwrap.dedent(code),
+                       interprocedural=interprocedural)
+
+
+def rules_of(findings) -> set:
+    return {f.rule for f in findings}
+
+
+def messages(findings, rule: str) -> str:
+    return "\n".join(f.message for f in findings if f.rule == rule)
+
+
+class TestLockOrderThroughHelpers:
+    BUGGY = """
+        def take_second(ctx, kb):
+            yield from ctx.lock(kb)
+            yield from ctx.unlock(kb)
+
+        def forward(ctx, a, b):
+            yield from ctx.lock(a)
+            yield from take_second(ctx, b)
+            yield from ctx.unlock(a)
+
+        def backward(ctx, a, b):
+            yield from ctx.lock(b)
+            yield from ctx.lock(a)
+            yield from ctx.unlock(a)
+            yield from ctx.unlock(b)
+    """
+
+    def test_inversion_via_one_helper(self):
+        findings = lint(self.BUGGY)
+        assert "lock-order" in rules_of(findings)
+        assert "inversion" in messages(findings, "lock-order")
+
+    def test_lexical_scan_misses_it(self):
+        # Without summaries ``forward`` contributes no a->b edge, so
+        # there is no cycle to find.
+        findings = lint(self.BUGGY, interprocedural=False)
+        assert "inversion" not in messages(findings, "lock-order")
+
+    def test_clean_twin_same_order(self):
+        clean = self.BUGGY.replace(
+            "yield from ctx.lock(b)\n            yield from ctx.lock(a)",
+            "yield from ctx.lock(a)\n            yield from ctx.lock(b)"
+        ).replace(
+            "yield from ctx.unlock(a)\n            yield from ctx.unlock(b)",
+            "yield from ctx.unlock(b)\n            yield from ctx.unlock(a)")
+        assert not lint(clean)
+        assert not lint(clean, interprocedural=False)
+
+    def test_inversion_two_helpers_deep(self):
+        # The acquisition is two substitutions away from the entry
+        # kernel: inner locks its param, outer forwards its own.
+        code = """
+            def inner(ctx, key2):
+                yield from ctx.lock(key2)
+                yield from ctx.unlock(key2)
+
+            def outer(ctx, key1):
+                yield from inner(ctx, key1)
+
+            def forward(ctx, a, b):
+                yield from ctx.lock(a)
+                yield from outer(ctx, b)
+                yield from ctx.unlock(a)
+
+            def backward(ctx, a, b):
+                yield from ctx.lock(b)
+                yield from ctx.lock(a)
+                yield from ctx.unlock(a)
+                yield from ctx.unlock(b)
+        """
+        assert "inversion" in messages(lint(code), "lock-order")
+        assert "inversion" not in messages(
+            lint(code, interprocedural=False), "lock-order")
+
+
+class TestBlockingUnderLockThroughHelpers:
+    BUGGY = """
+        def spill(ctx, sc, fid, buf):
+            yield from sc.pwrite(ctx, fid, buf, 0)
+
+        def kernel(ctx, sc, fid, buf, k):
+            yield from ctx.lock(k)
+            yield from spill(ctx, sc, fid, buf)
+            yield from ctx.unlock(k)
+    """
+
+    def test_hidden_pwrite_under_lock(self):
+        findings = lint(self.BUGGY)
+        msg = messages(findings, "lock-order")
+        assert "blocking syscall 'pwrite'" in msg
+        assert "reached via helper 'spill'" in msg
+
+    def test_lexical_scan_misses_it(self):
+        assert not lint(self.BUGGY, interprocedural=False)
+
+    def test_clean_twin_releases_first(self):
+        clean = """
+            def spill(ctx, sc, fid, buf):
+                yield from sc.pwrite(ctx, fid, buf, 0)
+
+            def kernel(ctx, sc, fid, buf, k):
+                yield from ctx.lock(k)
+                yield from ctx.unlock(k)
+                yield from spill(ctx, sc, fid, buf)
+        """
+        assert not lint(clean)
+
+    def test_lock_handoff_helper(self):
+        # The helper RETURNS holding the lock (exit_must_held); the
+        # caller's own direct pwrite is then under it.
+        code = """
+            def grab(ctx, kk):
+                yield from ctx.lock(kk)
+
+            def kernel(ctx, sc, fid, buf, k):
+                yield from grab(ctx, k)
+                yield from sc.pwrite(ctx, fid, buf, 0)
+                yield from ctx.unlock(k)
+        """
+        msg = messages(lint(code), "lock-order")
+        assert "blocking syscall 'pwrite'" in msg
+        assert "lock 'k' is held" in msg
+        # The lexical scan cannot see the handoff (it flags the
+        # caller's unlock instead, a different finding entirely).
+        lexical = messages(lint(code, interprocedural=False),
+                           "lock-order")
+        assert "blocking syscall" not in lexical
+
+    def test_lock_handoff_clean_twin(self):
+        clean = """
+            def grab(ctx, kk):
+                yield from ctx.lock(kk)
+
+            def kernel(ctx, sc, fid, buf, k):
+                yield from grab(ctx, k)
+                yield from ctx.unlock(k)
+                yield from sc.pwrite(ctx, fid, buf, 0)
+        """
+        assert not lint(clean)
+
+
+class TestSelfDeadlockAndForeignRelease:
+    def test_reacquire_inside_helper(self):
+        code = """
+            def regrab(ctx, kk):
+                yield from ctx.lock(kk)
+                yield from ctx.unlock(kk)
+
+            def kernel(ctx, k):
+                yield from ctx.lock(k)
+                yield from regrab(ctx, k)
+                yield from ctx.unlock(k)
+        """
+        msg = messages(lint(code), "lock-order")
+        assert "re-acquired inside helper 'regrab'" in msg
+        assert not lint(code, interprocedural=False)
+
+    def test_reacquire_clean_twin_different_key(self):
+        clean = """
+            def regrab(ctx, kk):
+                yield from ctx.lock(kk)
+                yield from ctx.unlock(kk)
+
+            def kernel(ctx, k, other):
+                yield from ctx.lock(k)
+                yield from regrab(ctx, other)
+                yield from ctx.unlock(k)
+        """
+        assert not lint(clean)
+
+    def test_helper_releases_callers_lock(self):
+        # ``handoff`` unlocks on the caller's behalf
+        # (releases_foreign); the caller's own unlock is then
+        # provably unbalanced.
+        code = """
+            def handoff(ctx, kk):
+                yield from ctx.unlock(kk)
+
+            def kernel(ctx, k):
+                yield from ctx.lock(k)
+                yield from handoff(ctx, k)
+                yield from ctx.unlock(k)
+        """
+        msg = messages(lint(code), "lock-order")
+        assert "unlock of 'k' which is not held" in msg
+        # Lexically the caller looks balanced - lock(k), opaque call,
+        # unlock(k) - so the bug is invisible there.
+        lexical = messages(lint(code, interprocedural=False),
+                           "lock-order")
+        assert "unlock of 'k'" not in lexical
+
+    def test_foreign_release_clean_twin(self):
+        clean = """
+            def handoff(ctx, kk):
+                yield from ctx.unlock(kk)
+
+            def kernel(ctx, k):
+                yield from ctx.lock(k)
+                yield from handoff(ctx, k)
+        """
+        assert not lint(clean)
+
+
+class TestLifecycleThroughHelpers:
+    BUGGY = """
+        def finish(ctx, p, n):
+            if n == 0:
+                return
+            yield from p.destroy(ctx)
+
+        def kernel(ctx, avm, fid, n):
+            p = yield from avm.gvmmap(ctx, fid, 0, 4096)
+            yield from finish(ctx, p, n)
+    """
+
+    def test_pin_leak_through_early_return_helper(self):
+        findings = lint(self.BUGGY)
+        msg = messages(findings, "aptr-lifecycle")
+        assert "only destroyed inside a branch" in msg
+
+    def test_lexical_scan_treats_it_as_escape(self):
+        assert not lint(self.BUGGY, interprocedural=False)
+
+    def test_clean_twin_unconditional_destroy(self):
+        clean = """
+            def finish(ctx, p):
+                yield from p.destroy(ctx)
+
+            def kernel(ctx, avm, fid):
+                p = yield from avm.gvmmap(ctx, fid, 0, 4096)
+                yield from finish(ctx, p)
+        """
+        assert not lint(clean)
+        assert not lint(clean, interprocedural=False)
+
+    def test_helper_that_never_destroys_is_still_an_escape(self):
+        # Ownership transfer stays the conservative default: a
+        # resolvable helper with no destroy summary keeps the rule
+        # quiet rather than reporting a leak it cannot prove.
+        code = """
+            def stash(ctx, p):
+                yield from ctx.sleep(1)
+
+            def kernel(ctx, avm, fid):
+                p = yield from avm.gvmmap(ctx, fid, 0, 4096)
+                yield from stash(ctx, p)
+        """
+        assert not lint(code)
+
+    def test_ticket_waited_conditionally_in_helper(self):
+        code = """
+            def settle(ctx, sc, t, flush):
+                if flush:
+                    yield from sc.wait(ctx, t)
+
+            def kernel(ctx, sc, fid, buf, flush):
+                t = yield from sc.pwrite_async(ctx, fid, buf, 0)
+                yield from settle(ctx, sc, t, flush)
+        """
+        msg = messages(lint(code), "aptr-lifecycle")
+        assert "waited on only inside a branch" in msg
+        assert not lint(code, interprocedural=False)
+
+    def test_ticket_clean_twin_unconditional_wait(self):
+        clean = """
+            def settle(ctx, sc, t):
+                yield from sc.wait(ctx, t)
+
+            def kernel(ctx, sc, fid, buf):
+                t = yield from sc.pwrite_async(ctx, fid, buf, 0)
+                yield from settle(ctx, sc, t)
+        """
+        assert not lint(clean)
+
+
+class TestBarrierDivergenceThroughHelpers:
+    BUGGY = """
+        def phase_sync(ctx):
+            yield from ctx.syncthreads()
+
+        def kernel(ctx, out):
+            if ctx.warp_id == 0:
+                yield from phase_sync(ctx)
+    """
+
+    def test_barrier_hidden_in_helper_under_warp_guard(self):
+        findings = lint(self.BUGGY)
+        msg = messages(findings, "barrier-divergence")
+        assert "hidden inside helper 'phase_sync'" in msg
+        assert "warp-varying condition" in msg
+
+    def test_lexical_scan_misses_it(self):
+        findings = lint(self.BUGGY, interprocedural=False)
+        assert "barrier-divergence" not in rules_of(findings)
+
+    def test_clean_twin_unguarded_helper(self):
+        clean = """
+            def phase_sync(ctx):
+                yield from ctx.syncthreads()
+
+            def kernel(ctx, out):
+                yield from phase_sync(ctx)
+        """
+        assert not lint(clean)
+
+
+class TestSharedRaceThroughHelpers:
+    BUGGY = """
+        def bind_frame(ctx, cache, fid, fpn, frame):
+            cache.bind(fid, fpn, frame)
+            yield from ctx.sleep(1)
+
+        def kernel(ctx, cache, fid, fpn, frame):
+            yield from bind_frame(ctx, cache, fid, fpn, frame)
+    """
+
+    def test_unlocked_frame_write_in_helper(self):
+        findings = lint(self.BUGGY)
+        msg = messages(findings, "shared-race")
+        assert "unsynchronized page-cache frame write" in msg
+        # Reported at the site, inside the helper.
+        [race] = [f for f in findings if f.rule == "shared-race"]
+        assert race.function == "bind_frame"
+
+    def test_lexical_scan_has_no_race_rule(self):
+        findings = lint(self.BUGGY, interprocedural=False)
+        assert "shared-race" not in rules_of(findings)
+
+    def test_clean_twin_caller_holds_lock(self):
+        # The same helper is fine when every root reaches it with the
+        # bucket lock held: sites inherit the caller's must-set.
+        clean = """
+            def bind_frame(ctx, cache, fid, fpn, frame):
+                cache.bind(fid, fpn, frame)
+                yield from ctx.sleep(1)
+
+            def kernel(ctx, cache, fid, fpn, frame, k):
+                yield from ctx.lock(k)
+                yield from bind_frame(ctx, cache, fid, fpn, frame)
+                yield from ctx.unlock(k)
+        """
+        assert "shared-race" not in rules_of(lint(clean))
+
+
+class TestCrossModule:
+    def _write(self, tmp_path, name, code):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(code))
+        return path
+
+    def test_missing_yield_from_on_imported_helper(self, tmp_path):
+        self._write(tmp_path, "helpers.py", """
+            def step_helper(ctx, n):
+                yield from ctx.sleep(n)
+        """)
+        self._write(tmp_path, "kern.py", """
+            from helpers import step_helper
+
+            def kernel(ctx, n):
+                step_helper(ctx, n)
+                yield from ctx.fence()
+        """)
+        result = lint_paths([str(tmp_path)])
+        assert "missing-yield-from" in rules_of(result.findings)
+        lexical = lint_paths([str(tmp_path)], interprocedural=False)
+        assert "missing-yield-from" not in rules_of(lexical.findings)
+
+    def test_cross_module_blocking_under_lock(self, tmp_path):
+        self._write(tmp_path, "io_helpers.py", """
+            def flush_dirty(ctx, sc, fid, buf):
+                yield from sc.pwrite(ctx, fid, buf, 0)
+        """)
+        self._write(tmp_path, "kern.py", """
+            from io_helpers import flush_dirty
+
+            def kernel(ctx, sc, fid, buf, k):
+                yield from ctx.lock(k)
+                yield from flush_dirty(ctx, sc, fid, buf)
+                yield from ctx.unlock(k)
+        """)
+        result = lint_paths([str(tmp_path)])
+        msg = messages(result.findings, "lock-order")
+        assert "reached via helper 'flush_dirty'" in msg
+        lexical = lint_paths([str(tmp_path)], interprocedural=False)
+        assert not lexical.findings
+
+
+class TestLoopJoinRegression:
+    """The lexical branch-join bug the rewrite fixed: both modes now
+    share the path-sensitive walker, so these hold WITHOUT effects."""
+
+    def test_lock_before_break_survives_the_loop(self):
+        # The old scan joined loop exits by forgetting the break
+        # states: the unlock below used to be a false 'not held'.
+        code = """
+            def kernel(ctx, k, work):
+                while True:
+                    yield from ctx.lock(k)
+                    break
+                yield from ctx.unlock(k)
+        """
+        assert not lint(code)
+        assert not lint(code, interprocedural=False)
+
+    def test_blocking_after_loop_with_lock_held(self):
+        code = """
+            def kernel(ctx, sc, fid, buf, k):
+                while True:
+                    yield from ctx.lock(k)
+                    break
+                yield from sc.pwrite(ctx, fid, buf, 0)
+                yield from ctx.unlock(k)
+        """
+        for interprocedural in (True, False):
+            msg = messages(lint(code, interprocedural=interprocedural),
+                           "lock-order")
+            assert "blocking syscall 'pwrite'" in msg
+
+    def test_conditional_lock_is_may_not_must(self):
+        # Branch join: the lock is held on one arm only, so blocking
+        # under it hedges with 'may be held' (union) while the unlock
+        # on the same arm stays balanced (no false positives from the
+        # intersection).
+        code = """
+            def kernel(ctx, sc, fid, buf, k, cond):
+                if cond:
+                    yield from ctx.lock(k)
+                yield from sc.pwrite(ctx, fid, buf, 0)
+                if cond:
+                    yield from ctx.unlock(k)
+        """
+        for interprocedural in (True, False):
+            msg = messages(lint(code, interprocedural=interprocedural),
+                           "lock-order")
+            assert "may be held" in msg

@@ -1,0 +1,180 @@
+"""Unit semantics of the ``shared-race`` happens-before check."""
+
+import textwrap
+
+from repro.analysis import rules_race
+from repro.analysis.effects import AccessSite, EffectProgram
+
+
+def site(struct="page_table", kind="write", line=10, col=0,
+         function="kernel", locks=(), epoch=0, path="<t>"):
+    return AccessSite(struct=struct, kind=kind, path=path, line=line,
+                      col=col, function=function,
+                      locks=frozenset(locks), epoch=epoch)
+
+
+class TestRacesPredicate:
+    def test_write_write_no_locks_is_self_race_not_pair(self):
+        # Both writes are individually unlocked: each is its own
+        # finding; pairing them would restate the same cause.
+        a, b = site(line=1, locks=()), site(line=2, locks=())
+        assert not rules_race._races(a, b)
+
+    def test_inconsistent_locking_pairs(self):
+        a = site(line=1, locks={"lock_a"})
+        b = site(line=2, locks={"lock_b"})
+        assert rules_race._races(a, b)
+
+    def test_common_lock_orders(self):
+        a = site(line=1, locks={"lock", "extra"})
+        b = site(line=2, locks={"lock"})
+        assert not rules_race._races(a, b)
+
+    def test_read_read_never_races(self):
+        a = site(line=1, kind="read")
+        b = site(line=2, kind="read")
+        assert not rules_race._races(a, b)
+
+    def test_locked_write_vs_unlocked_read_pairs(self):
+        a = site(line=1, kind="write", locks={"lock"})
+        b = site(line=2, kind="read", locks=())
+        assert rules_race._races(a, b)
+
+    def test_barrier_separated_phases_are_ordered(self):
+        a = site(line=1, kind="write", locks={"a"}, epoch=0)
+        b = site(line=2, kind="write", locks={"b"}, epoch=1)
+        assert not rules_race._races(a, b)
+
+    def test_different_functions_epochs_do_not_order(self):
+        # Epochs only order accesses within one function's walk.
+        a = site(line=1, function="f", locks={"a"}, epoch=0)
+        b = site(line=2, function="g", locks={"b"}, epoch=1)
+        assert rules_race._races(a, b)
+
+    def test_same_location_never_self_pairs(self):
+        a = site(line=1, locks={"x"})
+        b = site(line=1, locks={"y"})
+        assert not rules_race._races(a, b)
+
+
+def findings_for(source: str):
+    prog = EffectProgram.from_sources(
+        [("<t>", textwrap.dedent(source))])
+    return rules_race.check_program(prog)
+
+
+class TestCheckProgram:
+    def test_unlocked_write_reports_once_across_roots(self):
+        # Two entry kernels reach the same unsynchronized write: one
+        # finding, at the site.
+        findings = findings_for("""
+            def bump(ctx, table, entry):
+                table.add_refs(entry, 1)
+                yield from ctx.sleep(1)
+
+            def root_a(ctx, table, entry):
+                yield from bump(ctx, table, entry)
+
+            def root_b(ctx, table, entry):
+                yield from bump(ctx, table, entry)
+        """)
+        assert len(findings) == 1
+        [f] = findings
+        assert f.rule == "shared-race"
+        assert f.function == "bump"
+        assert "unsynchronized" in f.message
+
+    def test_locked_write_is_quiet(self):
+        findings = findings_for("""
+            def kernel(ctx, table, entry, k):
+                yield from ctx.lock(k)
+                table.add_refs(entry, 1)
+                yield from ctx.unlock(k)
+        """)
+        assert findings == []
+
+    def test_inconsistent_locks_report_a_pair(self):
+        # One root reaches both writes through helpers that take
+        # DIFFERENT locks: every write is locked, none in common.
+        findings = findings_for("""
+            def bump_a(ctx, table, entry, ka):
+                yield from ctx.lock(ka)
+                table.add_refs(entry, 1)
+                yield from ctx.unlock(ka)
+
+            def drop_b(ctx, table, entry, kb):
+                yield from ctx.lock(kb)
+                table.unref(entry)
+                yield from ctx.unlock(kb)
+
+            def kernel(ctx, table, entry, ka, kb):
+                yield from bump_a(ctx, table, entry, ka)
+                yield from drop_b(ctx, table, entry, kb)
+        """)
+        [f] = findings
+        assert "hold no common lock" in f.message
+        assert "write/write" in f.message
+
+    def test_same_lock_everywhere_is_quiet(self):
+        findings = findings_for("""
+            def bump(ctx, table, entry, k):
+                yield from ctx.lock(k)
+                table.add_refs(entry, 1)
+                yield from ctx.unlock(k)
+
+            def kernel(ctx, table, entry, k):
+                yield from bump(ctx, table, entry, k)
+                yield from ctx.lock(k)
+                table.unref(entry)
+                yield from ctx.unlock(k)
+        """)
+        assert findings == []
+
+    def test_cross_struct_accesses_never_pair(self):
+        findings = findings_for("""
+            def kernel(ctx, table, entry, cache, fid, fpn, frame, ka, kb):
+                yield from ctx.lock(ka)
+                table.add_refs(entry, 1)
+                yield from ctx.unlock(ka)
+                yield from ctx.lock(kb)
+                cache.bind(fid, fpn, frame)
+                yield from ctx.unlock(kb)
+        """)
+        assert findings == []
+
+    def test_sites_from_different_roots_never_pair(self):
+        # Pairing is per-root by design: two entry kernels that are
+        # never proven to co-run do not generate speculative pairs
+        # (each one's *own* closed context is what gets checked).
+        findings = findings_for("""
+            def kernel_a(ctx, table, entry, ka):
+                yield from ctx.lock(ka)
+                table.add_refs(entry, 1)
+                yield from ctx.unlock(ka)
+
+            def kernel_b(ctx, table, entry, kb):
+                yield from ctx.lock(kb)
+                table.unref(entry)
+                yield from ctx.unlock(kb)
+        """)
+        assert findings == []
+
+    def test_global_memory_is_excluded(self):
+        # Raw stores are the runtime torn-write detector's job.
+        findings = findings_for("""
+            def kernel(ctx, addr):
+                yield from ctx.store(addr, 1, "f4")
+        """)
+        assert findings == []
+
+    def test_barrier_phases_within_one_kernel_are_quiet(self):
+        findings = findings_for("""
+            def kernel(ctx, table, entry, k):
+                yield from ctx.lock(k)
+                entry.ready = True
+                yield from ctx.unlock(k)
+                yield from ctx.syncthreads()
+                ready = entry.ready
+                yield from ctx.sleep(ready)
+        """)
+        assert findings == []

@@ -68,6 +68,90 @@ class TestSuppressions:
         assert [f.rule for f in findings] == ["bad-suppression"]
 
 
+class TestFileLevelDirectives:
+    def test_disable_file_silences_the_rule_everywhere(self):
+        findings = _lint("""
+            # aplint: disable-file missing-yield-from
+
+            def kernel_a(ctx, addr):
+                ctx.load(addr, "f4")
+                yield from ctx.fence()
+
+            def kernel_b(ctx, addr):
+                ctx.store(addr, 0, "f4")
+                yield from ctx.fence()
+        """)
+        assert not findings
+
+    def test_disable_file_is_rule_scoped(self):
+        # Other rules on the same lines keep firing.
+        findings = _lint(_TWO_BUG_LINE.format(suffix="") +
+                         "    # aplint: disable-file uncalibrated-cost\n")
+        assert {f.rule for f in findings} == {"missing-yield-from"}
+
+    def test_disable_file_unknown_rule_is_reported(self):
+        findings = _lint("""
+            # aplint: disable-file not-a-rule
+
+            def kernel(ctx, n):
+                yield from ctx.sleep(n)
+        """)
+        assert [f.rule for f in findings] == ["bad-suppression"]
+
+    def test_there_is_no_file_wide_disable_all(self):
+        # ``disable-file`` with no rule name is malformed by design.
+        findings = _lint("""
+            # aplint: disable-file
+
+            def kernel(ctx, n):
+                yield from ctx.sleep(n)
+        """)
+        assert [f.rule for f in findings] == ["bad-suppression"]
+
+
+class TestUnusedSuppressions:
+    def test_dead_line_pragma_is_reported(self):
+        findings = _lint("""
+            def kernel(ctx, n):
+                yield from ctx.sleep(n)   # aplint: disable=missing-yield-from
+        """)
+        [f] = findings
+        assert f.rule == "unused-suppression"
+        assert "disable=missing-yield-from" in f.message
+        assert f.line == 3
+
+    def test_dead_file_pragma_is_reported(self):
+        findings = _lint("""
+            # aplint: disable-file lock-order
+
+            def kernel(ctx, n):
+                yield from ctx.sleep(n)
+        """)
+        [f] = findings
+        assert f.rule == "unused-suppression"
+        assert "disable-file lock-order" in f.message
+
+    def test_used_pragmas_are_quiet(self):
+        findings = _lint(_TWO_BUG_LINE.format(
+            suffix="   # aplint: disable=missing-yield-from,"
+                   "uncalibrated-cost"))
+        assert not findings
+
+    def test_bare_disable_that_matches_is_quiet(self):
+        findings = _lint(_TWO_BUG_LINE.format(
+            suffix="   # aplint: disable"))
+        assert not findings
+
+    def test_dead_bare_disable_is_reported(self):
+        findings = _lint("""
+            def kernel(ctx, n):
+                yield from ctx.sleep(n)   # aplint: disable
+        """)
+        [f] = findings
+        assert f.rule == "unused-suppression"
+        assert "'# aplint: disable'" in f.message
+
+
 class TestCLI:
     def _run(self, *argv):
         return subprocess.run(
@@ -107,9 +191,19 @@ class TestCLI:
 class TestRepoIsClean:
     def test_shipped_tree_lints_clean(self):
         # The acceptance gate CI enforces: the repository's own
-        # kernels, examples and benchmarks carry zero findings.
+        # kernels, examples and benchmarks carry zero findings beyond
+        # the committed baseline (shared-race is a may-analysis; the
+        # accepted per-warp-disjoint reports live in
+        # lint-baseline.json and the ratchet fails only on NEW debt).
+        from repro.analysis import baseline as baseline_mod
         result = lint_paths(["src/repro", "examples", "benchmarks"])
         assert result.files_checked > 50
         assert result.kernels_checked > 50
         assert not result.errors
-        assert result.findings == []
+        entries = baseline_mod.load("lint-baseline.json")
+        assert entries, "committed lint baseline is missing or empty"
+        new, _stale = baseline_mod.compare(result.findings, entries)
+        assert new == []
+        # Every surviving finding is shared-race debt - the other
+        # rules hold unconditionally on the shipped tree.
+        assert {f.rule for f in result.findings} <= {"shared-race"}
