@@ -20,7 +20,11 @@ import time
 import pytest
 
 from benchmarks.conftest import REGISTRY
-from repro.harness.runner import LiveOptions, run_experiment
+from repro.harness.runner import (
+    Instrumentation,
+    LiveOptions,
+    run_experiment,
+)
 
 ROUNDS = 3
 OVERHEAD_BUDGET = 0.05
@@ -31,8 +35,9 @@ def _run_table2(sampled: bool):
         if sampled else None
     started = time.perf_counter()
     report = run_experiment(REGISTRY["table2"], scale="quick", jobs=1,
-                            profile=True, trace=False, progress=False,
-                            live=live)
+                            instrument=Instrumentation(
+                                profile=True, trace=False, live=live),
+                            progress=False)
     elapsed = time.perf_counter() - started
     assert report.ok
     return elapsed, report

@@ -1,0 +1,84 @@
+"""Benchmark: the vectorized engine gate.
+
+Two claims gate here:
+
+* **Equality** — bench_table2's experiment produces *bit-identical*
+  rows under the vectorized per-SM hot loop (engine mode ``vector``)
+  and the reference event-heap engine (mode ``event``).  The
+  vectorization is an invisible optimisation; any drift is a bug, not
+  a tolerance question.
+* **Speed** — the vectorized loop must not be slower than the event
+  heap (wall-clock ratio event/vector >= ``MIN_SPEEDUP``).  Timings
+  are best-of-N minima, interleaved, to shed scheduler noise.
+
+When ``REPRO_TREND_FILE`` is set (the CI bench-smoke job), the ratio
+is amended onto the latest trend row as the tier-1 ``engine_vectorize``
+metric, so ``repro-attr --compare`` catches a vectorization speedup
+regression like any other perf rot.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import REGISTRY
+from repro.gpu.engine import engine_mode
+from repro.harness.runner import run_experiment
+
+ROUNDS = 3
+#: The vector loop may not run slower than the event heap (ratio of
+#: event wall time over vector wall time).  The floor is deliberately
+#: conservative — CI machines are noisy; the trend row tracks the
+#: actual ratio.
+MIN_SPEEDUP = 0.9
+
+
+def _timed_table2(mode: str):
+    with engine_mode(mode):
+        started = time.perf_counter()
+        report = run_experiment(REGISTRY["table2"], scale="quick",
+                                jobs=1, progress=False)
+        elapsed = time.perf_counter() - started
+    assert report.ok
+    return elapsed, report
+
+
+@pytest.mark.benchmark(group="vectorize")
+def test_vector_engine_bit_equal_and_not_slower(benchmark):
+    event_times, vector_times = [], []
+    event_report = vector_report = None
+    for _ in range(ROUNDS):
+        t, event_report = _timed_table2("event")
+        event_times.append(t)
+        t, vector_report = _timed_table2("vector")
+        vector_times.append(t)
+    # One extra vectorized run under the benchmark timer so the
+    # recorded wall time tracks the default (vector) path.
+    benchmark.pedantic(lambda: _timed_table2("vector"),
+                       rounds=1, iterations=1)
+
+    # Bit-equality: every row of the experiment, cell for cell.
+    assert vector_report.result.rows == event_report.result.rows
+    assert vector_report.result.columns == event_report.result.columns
+
+    speedup = min(event_times) / min(vector_times)
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["event_s"] = min(event_times)
+    benchmark.extra_info["vector_s"] = min(vector_times)
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized engine ran {1 / speedup:.2f}x slower than the "
+        f"event heap (event {min(event_times):.3f}s, "
+        f"vector {min(vector_times):.3f}s)")
+
+    trend_file = os.environ.get("REPRO_TREND_FILE")
+    if trend_file:
+        from repro.telemetry.trend import amend_latest
+        amend_latest(trend_file, {
+            "engine_vectorize": {
+                "metric": "table2_speedup_vs_event",
+                "value": round(speedup, 3),
+                "unit": "x",
+                "higher_is_better": True,
+                "tier1": True,
+            }})

@@ -1,4 +1,4 @@
-"""Event-driven warp scheduler.
+"""Event-driven warp scheduler with a vectorized per-SM hot loop.
 
 The engine advances one warp coroutine per event.  Each yielded request
 reserves the resources it needs:
@@ -19,13 +19,57 @@ issue server, so other resident warps run in the meantime.  With one warp
 the latency chain dominates (the paper's Table I regime); with many the
 servers saturate and only issue- or bandwidth-bound costs remain (the
 Table II / Figure 6 regime).
+
+Engine modes
+------------
+
+Two interchangeable event queues drive the loop, selected by
+``Engine(mode=...)``, :func:`set_engine_mode`, or the
+``REPRO_ENGINE_MODE`` environment variable:
+
+* ``"vector"`` (default) — warps resident on one SM share a numpy
+  structured array (:data:`EVENT_DTYPE`) of next-event times, stall
+  reasons, and outstanding-request state.  The inner loop takes the
+  minimum over a cached per-SM minima array and pops the whole
+  ready-set (every entry at the global minimum time) per SM as an
+  index array, then steps the set in sequence order.
+* ``"event"`` — the original scalar ``heapq`` of ``(time, seq, runner)``
+  entries, kept as the reference implementation.
+
+Both modes process events in identical ``(time, seq)`` order — sequence
+numbers are globally monotonic, so entries popped at one timestamp
+always precede anything scheduled while stepping them — and share every
+dispatch handler, so simulated cycles are bit-identical (asserted over
+the whole workload registry by ``tests/gpu/test_vector_equivalence.py``).
+
+The dispatch handlers are looked up by request type in a handler table
+(:attr:`Engine._handlers`) instead of an ``isinstance`` chain, and the
+tracer / profile / sampler instrumentation arrives bundled in one
+:class:`~repro.gpu.launch.EngineHooks` object, guarded by ``is not
+None`` tests so instrumented runs stay cycle-bit-identical to
+uninstrumented ones.  :meth:`Engine.launch` takes a
+:class:`~repro.gpu.launch.LaunchPlan`; the pre-PR-9 entry points
+(``Engine.run``/``Engine.run_groups``) and per-hook keyword arguments
+survive as deprecated shims that warn once.
+
+For sharded epoch execution (:mod:`repro.gpu.sharded`) the loop is also
+exposed incrementally: :meth:`Engine.begin` seeds the launch wave,
+:meth:`Engine.advance` drains events up to an epoch horizon, and
+host-compute requests can be *parked* (:meth:`Engine.gate_host`) so a
+parent process can serialise the shared host server deterministically.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import math
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+
+import numpy as np
 
 from repro.gpu.instructions import (
     AcquireLock,
@@ -41,7 +85,100 @@ from repro.gpu.instructions import (
     Sleep,
 )
 from repro.gpu.kernel import BlockContext
+from repro.gpu.launch import EngineHooks, LaunchPlan
 from repro.gpu.specs import GPUSpec
+
+_INF = math.inf
+
+# ---------------------------------------------------------------------------
+# Engine-mode selection.
+
+ENGINE_MODES = ("vector", "event")
+ENGINE_MODE_ENV = "REPRO_ENGINE_MODE"
+_mode_default = "vector"
+
+#: Deprecation warnings already emitted this process (one per key).
+_WARNED: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key not in _WARNED:
+        _WARNED.add(key)
+        warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _check_mode(mode: str) -> str:
+    if mode not in ENGINE_MODES:
+        raise ValueError(
+            f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}")
+    return mode
+
+
+def default_engine_mode() -> str:
+    """Resolve the process-wide engine mode.
+
+    ``REPRO_ENGINE_MODE`` (exported to sharded workers) wins over the
+    module default set by :func:`set_engine_mode`.
+    """
+    env = os.environ.get(ENGINE_MODE_ENV)
+    if env:
+        return _check_mode(env)
+    return _mode_default
+
+
+def set_engine_mode(mode: str) -> str:
+    """Set the module-default engine mode; returns the previous one."""
+    global _mode_default
+    old = _mode_default
+    _mode_default = _check_mode(mode)
+    return old
+
+
+@contextmanager
+def engine_mode(mode: str):
+    """Temporarily run engines in ``mode`` (``"vector"``/``"event"``)."""
+    old = set_engine_mode(mode)
+    try:
+        yield
+    finally:
+        set_engine_mode(old)
+
+
+# ---------------------------------------------------------------------------
+# Stall-reason codes stored in the per-SM event tables (vector mode).
+# The code records why the queued warp is waiting for its next event.
+
+STALL_READY = 0      # runnable, waiting only for its turn
+STALL_EXEC = 1       # issue/execution dependency chain
+STALL_MEM = 2        # blocking DRAM access or load fence
+STALL_SCRATCH = 3    # scratchpad latency
+STALL_ATOMIC = 4     # atomic address serialisation
+STALL_BARRIER = 5    # released from a block barrier
+STALL_LOCK = 6       # lock acquire/handoff latency
+STALL_IO = 7         # PCIe transfer or host compute
+STALL_SLEEP = 8      # explicit sleep / spin-wait
+
+STALL_NAMES = {
+    STALL_READY: "ready",
+    STALL_EXEC: "exec",
+    STALL_MEM: "memory",
+    STALL_SCRATCH: "scratch",
+    STALL_ATOMIC: "atomic",
+    STALL_BARRIER: "barrier",
+    STALL_LOCK: "lock",
+    STALL_IO: "io",
+    STALL_SLEEP: "sleep",
+}
+
+#: Row layout of the per-SM event table: next-event time, global
+#: sequence number (the deterministic tie-break), stall-reason code,
+#: and the completion time of the warp's outstanding async loads.
+EVENT_DTYPE = np.dtype([
+    ("time", "f8"),
+    ("seq", "i8"),
+    ("stall", "i1"),
+    ("outstanding", "f8"),
+])
 
 
 @dataclass
@@ -74,6 +211,17 @@ class EngineStats:
         if self.cycles <= 0:
             return 0.0
         return self.dram_bytes / spec.cycles_to_seconds(self.cycles)
+
+    @classmethod
+    def merged(cls, parts: list["EngineStats"]) -> "EngineStats":
+        """Merge per-shard stats: counters sum, cycles is the makespan."""
+        out = cls()
+        for part in parts:
+            for f in fields(cls):
+                setattr(out, f.name,
+                        getattr(out, f.name) + getattr(part, f.name))
+        out.cycles = max((p.cycles for p in parts), default=0.0)
+        return out
 
 
 @dataclass
@@ -108,6 +256,20 @@ class EngineProfile:
         if cycles > 0:
             self.stalls[reason] = self.stalls.get(reason, 0.0) + cycles
 
+    @classmethod
+    def merged(cls, parts: list["EngineProfile"]) -> "EngineProfile":
+        """Merge per-shard profiles: ``sm_busy`` concatenates in shard
+        order (shard *i* owns device *i*'s SMs), stall buckets and DRAM
+        queue counters sum."""
+        out = cls()
+        for part in parts:
+            out.sm_busy.extend(part.sm_busy)
+            for reason, cycles in part.stalls.items():
+                out.stalls[reason] = out.stalls.get(reason, 0.0) + cycles
+            out.dram_queue_cycles += part.dram_queue_cycles
+            out.dram_queued_accesses += part.dram_queued_accesses
+        return out
+
 
 class _WarpRunner:
     """Engine-side handle for one executing warp coroutine."""
@@ -125,24 +287,100 @@ class _WarpRunner:
         self.pending_req = None  # sliced request awaiting re-dispatch
 
 
+class _SMEventTable:
+    """Vectorized event queue shared by all warps resident on one SM.
+
+    Rows follow :data:`EVENT_DTYPE` and hold the shared warp state the
+    batch handlers and the stall census read — next-event time, stall
+    reason, outstanding-request completion; a free row holds ``time =
+    inf`` so vectorized scans need no occupancy mask.  Runner handles
+    live in a parallel Python list (coroutines cannot go in the array).
+
+    *Ordering* is kept separately in a per-SM binary heap of ``(time,
+    seq, slot)`` triples: finding the SM's next event time and popping
+    its whole ready-set are then O(log n) C-level heap operations
+    instead of per-event numpy reductions, whose call overhead
+    dominates when latency staggering makes ready-sets singletons.
+    Capacity grows geometrically and never shrinks — a launch reaches
+    its resident-warp high-water mark early and stays there.
+    """
+
+    __slots__ = ("data", "time", "seq", "stall", "outstanding",
+                 "runners", "free", "heap")
+
+    def __init__(self, capacity: int = 32):
+        self.runners: list = [None] * capacity
+        self.free = list(range(capacity - 1, -1, -1))
+        self.heap: list = []
+        self._alloc(capacity)
+
+    def _alloc(self, capacity: int) -> None:
+        data = np.zeros(capacity, dtype=EVENT_DTYPE)
+        data["time"] = _INF
+        self.data = data
+        # Cached column views: field access on a structured array
+        # builds a new view object each time, too slow for the hot loop.
+        self.time = data["time"]
+        self.seq = data["seq"]
+        self.stall = data["stall"]
+        self.outstanding = data["outstanding"]
+
+    def _grow(self) -> None:
+        old = self.data
+        cap = len(old)
+        self._alloc(cap * 2)
+        self.data[:cap] = old
+        self.runners.extend([None] * cap)
+        self.free.extend(range(cap * 2 - 1, cap - 1, -1))
+
+    def push(self, runner, time: float, seq: int, stall: int,
+             outstanding: float) -> None:
+        if not self.free:
+            self._grow()
+        slot = self.free.pop()
+        self.data[slot] = (time, seq, stall, outstanding)
+        self.runners[slot] = runner
+        heapq.heappush(self.heap, (time, seq, slot))
+
+    def min_time(self) -> float:
+        return self.heap[0][0] if self.heap else _INF
+
+    def pop_at(self, t: float) -> list:
+        """Pop every entry whose time equals ``t`` (the ready-set).
+
+        Returns ``(seq, runner)`` pairs in seq order; the engine merges
+        ready-sets across SMs and sorts once by sequence number.
+        """
+        heap = self.heap
+        runners = self.runners
+        time = self.time
+        free = self.free
+        out = []
+        while heap and heap[0][0] == t:
+            _, seq, slot = heapq.heappop(heap)
+            out.append((seq, runners[slot]))
+            runners[slot] = None
+            time[slot] = _INF
+            free.append(slot)
+        return out
+
+
 class Engine:
     """Executes a grid of threadblocks on the simulated GPU."""
 
-    def __init__(self, spec: GPUSpec, blocks_per_sm: int, tracer=None,
+    def __init__(self, spec: GPUSpec, blocks_per_sm: int,
+                 hooks: EngineHooks | None = None,
                  num_devices: int = 1,
-                 profile: EngineProfile | None = None,
-                 sampler=None):
+                 mode: str | None = None,
+                 **legacy):
+        if legacy:
+            hooks = self._fold_legacy_hooks(hooks, legacy)
         self.spec = spec
         self.blocks_per_sm = max(1, blocks_per_sm)
-        self.tracer = tracer
-        self.profile = profile
-        # Cycle-window time-series sampler
-        # (repro.telemetry.timeseries).  Guarded like ``profile``: an
-        # unsampled launch pays one pointer test per event.  The
-        # sampler only reads simulator state — it must never change
-        # simulated cycles (asserted by the telemetry tests).
-        self.sampler = sampler
+        self._set_hooks(hooks if hooks is not None else EngineHooks())
         self.num_devices = num_devices
+        self.mode = _check_mode(mode) if mode else default_engine_mode()
+        self._vector = self.mode == "vector"
         self.stats = EngineStats()
         total_sms = spec.num_sms * num_devices
         self._issue_avail = [0.0] * total_sms
@@ -152,6 +390,12 @@ class Engine:
         self._atomic_avail: dict[tuple, float] = {}
         self._heap: list = []
         self._seq = itertools.count()
+        if self._vector:
+            self._tables = [_SMEventTable() for _ in range(total_sms)]
+            # Per-SM minima as a plain Python list: the outer loop
+            # reads it once per dispatched batch, and min()/compare
+            # over a handful of floats beats numpy's call overhead.
+            self._sm_min = [_INF] * total_sms
         self._pending_groups: list = [[] for _ in range(num_devices)]
         self._resident = [0] * total_sms
         self._eff_ipc = spec.effective_issue_rate()
@@ -159,28 +403,103 @@ class Engine:
         self._dram_bpc = spec.dram_bytes_per_cycle()
         self._pcie_bpc = spec.pcie_bytes_per_cycle()
         self._end_time = 0.0
+        self._host_gated = False
+        self._parked = None      # (req, runner, arrival) awaiting grant
+        self._handlers = {
+            Compute: self._h_compute,
+            MemAccess: self._h_mem,
+            ScratchAccess: self._h_scratch,
+            AtomicOp: self._h_atomic,
+            LoadFence: self._h_fence,
+            Barrier: self._h_barrier,
+            AcquireLock: self._h_acquire,
+            ReleaseLock: self._h_release,
+            PcieTransfer: self._h_pcie,
+            HostCompute: self._h_host,
+            Sleep: self._h_sleep,
+        }
 
-    # ------------------------------------------------------------------
-    def run(self, block_factories: list) -> float:
-        """Run all blocks; each factory returns (BlockContext, [warp gens]).
+    # -- hooks ---------------------------------------------------------
+    @staticmethod
+    def _fold_legacy_hooks(hooks: EngineHooks | None,
+                           legacy: dict) -> EngineHooks:
+        values = {}
+        for name in ("tracer", "profile", "sampler"):
+            if name in legacy:
+                _warn_once(
+                    f"Engine({name}=)",
+                    f"Engine({name}=...) is deprecated; bundle "
+                    f"instrumentation into EngineHooks({name}=...) and "
+                    "pass Engine(..., hooks=...) instead")
+                values[name] = legacy.pop(name)
+        if legacy:
+            name = next(iter(legacy))
+            raise TypeError(
+                f"Engine() got an unexpected keyword argument {name!r}")
+        if hooks is None:
+            return EngineHooks(**values)
+        for name, value in values.items():
+            if value is not None and getattr(hooks, name) is not None:
+                raise TypeError(
+                    f"Engine() got both hooks.{name} and the deprecated "
+                    f"{name}= keyword")
+            if value is not None:
+                setattr(hooks, name, value)
+        return hooks
 
-        Returns total elapsed cycles.
+    def _set_hooks(self, hooks: EngineHooks) -> None:
+        self.hooks = hooks
+        # Mirrors kept as plain attributes: they are read per event in
+        # the hot loop and by external consumers (telemetry profiler).
+        self.tracer = hooks.tracer
+        self.profile = hooks.profile
+        self.sampler = hooks.sampler
+
+    # -- entry points --------------------------------------------------
+    def launch(self, plan: LaunchPlan) -> float:
+        """Run one :class:`~repro.gpu.launch.LaunchPlan` to completion.
+
+        Returns total elapsed cycles.  ``plan.blocks_per_sm`` and
+        ``plan.hooks`` override the constructor defaults when set.
         """
-        return self.run_groups([list(block_factories)])
+        if plan.blocks_per_sm is not None:
+            self.blocks_per_sm = max(1, plan.blocks_per_sm)
+        if plan.hooks is not None:
+            self._set_hooks(plan.hooks)
+        self.begin(plan.groups)
+        self.advance()
+        return self.finish()
+
+    def run(self, block_factories: list) -> float:
+        """Deprecated: use ``launch(LaunchPlan.single(factories))``."""
+        _warn_once(
+            "Engine.run",
+            "Engine.run(factories) is deprecated; use "
+            "Engine.launch(LaunchPlan.single(factories)) instead")
+        return self.launch(LaunchPlan.single(list(block_factories)))
 
     def run_groups(self, groups: list) -> float:
-        """Run one list of block factories per device, concurrently.
+        """Deprecated: use ``launch(LaunchPlan(groups=...))``."""
+        _warn_once(
+            "Engine.run_groups",
+            "Engine.run_groups(groups) is deprecated; use "
+            "Engine.launch(LaunchPlan(groups=groups)) instead")
+        return self.launch(LaunchPlan(groups=[list(g) for g in groups]))
+
+    # -- incremental interface (used by launch() and repro.gpu.sharded)
+    def begin(self, groups: list) -> None:
+        """Seed the launch: one list of block factories per device.
 
         Device *d*'s blocks execute on its own SMs and DRAM; the host
-        CPU and atomic namespaces are shared.  Returns elapsed cycles.
+        CPU is shared.  Breadth-first initial wave per device: one
+        block per SM, then a second round, as the hardware block
+        scheduler does.
         """
         if len(groups) > self.num_devices:
             raise ValueError("more groups than devices")
         self._pending_groups = [list(g) for g in groups]
         while len(self._pending_groups) < self.num_devices:
             self._pending_groups.append([])
-        # Breadth-first initial wave per device: one block per SM, then
-        # a second round, as the hardware block scheduler does.
         for dev in range(self.num_devices):
             base = dev * self.spec.num_sms
             for _ in range(self.blocks_per_sm):
@@ -188,11 +507,74 @@ class Engine:
                     if not self._pending_groups[dev]:
                         break
                     self._start_next_block(sm, 0.0)
-        while self._heap:
-            time, _, runner = heapq.heappop(self._heap)
-            self._step(runner, time)
+
+    def advance(self, horizon: float = _INF) -> float:
+        """Drain events with time ≤ ``horizon`` (all of them by default).
+
+        Stops early when a host-compute request parks (see
+        :meth:`gate_host`).  Returns the next pending event time, or
+        ``inf`` when the launch has fully drained.
+        """
+        if self._vector:
+            self._drain_vector(horizon)
+        else:
+            self._drain_event(horizon)
+        return self.peek()
+
+    def peek(self) -> float:
+        """Next pending event time (``inf`` when drained)."""
+        if self._vector:
+            return min(self._sm_min)
+        return self._heap[0][0] if self._heap else _INF
+
+    def finish(self) -> float:
+        """Record and return total elapsed cycles."""
         self.stats.cycles = self._end_time
         return self._end_time
+
+    # -- event loops ---------------------------------------------------
+    def _drain_event(self, horizon: float) -> None:
+        heap = self._heap
+        step = self._step
+        while heap and heap[0][0] <= horizon:
+            time, _, runner = heapq.heappop(heap)
+            step(runner, time)
+            if self._parked is not None:
+                return
+
+    def _drain_vector(self, horizon: float) -> None:
+        sm_min = self._sm_min
+        tables = self._tables
+        step = self._step
+        while True:
+            tmin = min(sm_min)
+            if tmin == _INF or tmin > horizon:
+                return
+            # Pop the whole ready-set: every queued entry at the global
+            # minimum time, across all SMs sitting at that minimum.
+            batch = []
+            for sm, t in enumerate(sm_min):
+                if t != tmin:
+                    continue
+                tab = tables[sm]
+                batch.extend(tab.pop_at(tmin))
+                sm_min[sm] = tab.min_time()
+            if len(batch) > 1:
+                # Sequence numbers are globally monotonic, so sorting
+                # the popped set by seq reproduces the heap's pop order
+                # exactly: anything scheduled while stepping this batch
+                # carries a larger seq and sorts after it in the next
+                # outer iteration.
+                batch.sort()
+            for i, (seq, runner) in enumerate(batch):
+                step(runner, tmin)
+                if self._parked is not None:
+                    # Strict stop for sharded host serialisation: the
+                    # unstepped remainder re-queues under its original
+                    # sequence numbers so resume order is unchanged.
+                    for seq2, runner2 in batch[i + 1:]:
+                        self._push_at(runner2, tmin, seq2)
+                    return
 
     # ------------------------------------------------------------------
     def _start_next_block(self, sm: int, time: float) -> bool:
@@ -211,9 +593,26 @@ class Engine:
             self._schedule(_WarpRunner(gen, block, w), time)
         return True
 
-    def _schedule(self, runner: _WarpRunner, time: float) -> None:
-        heapq.heappush(self._heap, (time, next(self._seq), runner))
-        self._end_time = max(self._end_time, time)
+    def _schedule(self, runner: _WarpRunner, time: float,
+                  stall: int = STALL_READY) -> None:
+        if self._vector:
+            sm = runner.block.sm_index
+            self._tables[sm].push(runner, time, next(self._seq), stall,
+                                  runner.outstanding)
+            if time < self._sm_min[sm]:
+                self._sm_min[sm] = time
+        else:
+            heapq.heappush(self._heap, (time, next(self._seq), runner))
+        if time > self._end_time:
+            self._end_time = time
+
+    def _push_at(self, runner: _WarpRunner, time: float, seq: int) -> None:
+        """Re-queue a popped-but-unstepped entry under its original seq."""
+        sm = runner.block.sm_index
+        self._tables[sm].push(runner, time, seq, STALL_READY,
+                              runner.outstanding)
+        if time < self._sm_min[sm]:
+            self._sm_min[sm] = time
 
     def _finish_warp(self, runner: _WarpRunner, time: float) -> None:
         block = runner.block
@@ -224,6 +623,53 @@ class Engine:
             sm = block.sm_index
             self._resident[sm] -= 1
             self._start_next_block(sm, time)
+
+    # -- introspection -------------------------------------------------
+    def stall_census(self) -> dict[str, int]:
+        """Queued-event counts keyed by stall reason (vector mode).
+
+        Event mode keeps no stall codes and reports the queue depth
+        under ``"queued"``.  Used by the sharded heartbeat payload.
+        """
+        if not self._vector:
+            return {"queued": len(self._heap)}
+        counts: dict[str, int] = {}
+        for tab in self._tables:
+            active = tab.time != _INF
+            if not active.any():
+                continue
+            codes, num = np.unique(tab.stall[active], return_counts=True)
+            for code, n in zip(codes.tolist(), num.tolist()):
+                name = STALL_NAMES.get(code, str(code))
+                counts[name] = counts.get(name, 0) + n
+        return counts
+
+    # -- sharded host serialisation ------------------------------------
+    def gate_host(self) -> None:
+        """Park host-compute requests instead of serving them locally.
+
+        In sharded execution the host server is owned by the parent:
+        a gated engine stops draining the moment a warp yields
+        :class:`HostCompute` (strict stop), exposes the request via
+        :meth:`parked_host`, and resumes on :meth:`grant_host`.
+        """
+        self._host_gated = True
+
+    @property
+    def parked(self) -> bool:
+        return self._parked is not None
+
+    def parked_host(self) -> tuple[float, float]:
+        """(arrival cycle, host seconds) of the parked request."""
+        req, _, now = self._parked
+        return now, req.seconds
+
+    def grant_host(self, start: float, done: float) -> None:
+        """Serve the parked host request with parent-assigned timing."""
+        req, runner, now = self._parked
+        self._parked = None
+        self._host_avail = done
+        self._complete_host(req, runner, now, start, done)
 
     # ------------------------------------------------------------------
     #: Issue-slice size (warp-instructions).  Large instruction blocks
@@ -237,9 +683,9 @@ class Engine:
 
     def _step(self, runner: _WarpRunner, now: float) -> None:
         if self.sampler is not None:
-            # Heap pops are monotonic and every interval recorded below
-            # starts at or after ``now``, so windows ending before it
-            # are complete and can stream out.
+            # Event times are monotonic and every interval recorded
+            # below starts at or after ``now``, so windows ending
+            # before it are complete and can stream out.
             self.sampler.advance(now)
         if runner.io_stalled:
             runner.io_stalled = False
@@ -336,10 +782,7 @@ class Engine:
         chain = (req.chain_length() if isinstance(req, Compute)
                  else req.chain)
         used = min(chain, self.ISSUE_SLICE)
-        if isinstance(req, Compute):
-            req.chain = chain - used
-        else:
-            req.chain = chain - used
+        req.chain = chain - used
         latency = used * spec.dependent_issue_cycles
         if self.tracer is not None:
             wake = start + max(issue_time, latency)
@@ -348,202 +791,253 @@ class Engine:
             self._stall(runner, req, "exec_dependency",
                         start + issue_time, wake)
         runner.pending_req = req
-        self._schedule(runner, start + max(issue_time, latency))
+        self._schedule(runner, start + max(issue_time, latency),
+                       STALL_EXEC)
         return True
 
+    # -- dispatch ------------------------------------------------------
     def _dispatch(self, req, runner: _WarpRunner, now: float) -> None:
+        handler = self._handlers.get(type(req))
+        if handler is None:
+            # Subclassed requests fall back to an isinstance scan once,
+            # then dispatch via the table like everything else.
+            for base, fn in list(self._handlers.items()):
+                if isinstance(req, base):
+                    self._handlers[type(req)] = handler = fn
+                    break
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown request {req!r}")
+        handler(req, runner, now)
+
+    def _h_compute(self, req: Compute, runner: _WarpRunner,
+                   now: float) -> None:
         spec = self.spec
         sm = runner.block.sm_index
-        if (isinstance(req, (Compute, MemAccess))
-                and self._slice_issue(req, runner, now, sm)):
+        if self._slice_issue(req, runner, now, sm):
             return
-        if isinstance(req, Compute):
-            start = max(now, self._issue_avail[sm])
-            issue_time = req.count / self._eff_ipc
-            self._issue_avail[sm] = start + issue_time
-            self.stats.issue_busy += issue_time
-            latency = (spec.macro_op_overhead_cycles
-                       + req.chain_length() * spec.dependent_issue_cycles)
-            self.stats.instructions += req.count
-            done = start + max(issue_time, latency)
-            if self.profile is not None:
-                self.profile.sm_busy[sm] += issue_time
-                self.profile.stall("issue_queue", start - now)
-                self.profile.stall("exec_dependency",
-                                   latency - issue_time)
-            if self.sampler is not None:
-                self.sampler.issue(sm, start, issue_time, req.count)
-                self.sampler.stall("issue_queue", start, start - now)
-                self.sampler.stall("exec_dependency", done,
-                                   latency - issue_time)
-            self._trace(runner, req, start, done)
+        start = max(now, self._issue_avail[sm])
+        issue_time = req.count / self._eff_ipc
+        self._issue_avail[sm] = start + issue_time
+        self.stats.issue_busy += issue_time
+        latency = (spec.macro_op_overhead_cycles
+                   + req.chain_length() * spec.dependent_issue_cycles)
+        self.stats.instructions += req.count
+        done = start + max(issue_time, latency)
+        if self.profile is not None:
+            self.profile.sm_busy[sm] += issue_time
+            self.profile.stall("issue_queue", start - now)
+            self.profile.stall("exec_dependency",
+                               latency - issue_time)
+        if self.sampler is not None:
+            self.sampler.issue(sm, start, issue_time, req.count)
+            self.sampler.stall("issue_queue", start, start - now)
+            self.sampler.stall("exec_dependency", done,
+                               latency - issue_time)
+        self._trace(runner, req, start, done)
+        if self.tracer is not None:
+            self._stall(runner, None, "issue_queue", now, start)
+            self._issue_ev(runner, start, start + issue_time)
+            self._stall(runner, req, "exec_dependency",
+                        start + issue_time, done)
+            tr = (req.tags.get("translation")
+                  if req.tags is not None else None)
+            if tr is not None:
+                dep = spec.dependent_issue_cycles
+                pre = min(tr[1], req.chain_length()) * dep
+                done0 = start + max(issue_time, latency - pre)
+                pre_x = done - done0
+                self._translation_ev(runner, start, done,
+                                     tr[0] / self._eff_ipc,
+                                     pre_x, pre - pre_x)
+        self._schedule(runner, done, STALL_EXEC)
+
+    def _h_scratch(self, req: ScratchAccess, runner: _WarpRunner,
+                   now: float) -> None:
+        spec = self.spec
+        sm = runner.block.sm_index
+        start = max(now, self._issue_avail[sm])
+        issue_time = req.count / self._eff_ipc
+        self._issue_avail[sm] = start + issue_time
+        self.stats.instructions += req.count
+        self.stats.scratch_accesses += req.count
+        done = start + max(issue_time, spec.scratchpad_latency_cycles)
+        if self.profile is not None:
+            self.profile.sm_busy[sm] += issue_time
+            self.profile.stall("issue_queue", start - now)
+            self.profile.stall("scratch", done - start - issue_time)
+        if self.sampler is not None:
+            self.sampler.issue(sm, start, issue_time, req.count)
+            self.sampler.stall("issue_queue", start, start - now)
+            self.sampler.stall("scratch", done,
+                               done - start - issue_time)
+        self._trace(runner, req, start, done)
+        if self.tracer is not None:
+            self._stall(runner, None, "issue_queue", now, start)
+            self._issue_ev(runner, start, start + issue_time)
+            self._stall(runner, req, "scratch",
+                        start + issue_time, done)
+        self._schedule(runner, done, STALL_SCRATCH)
+
+    def _h_atomic(self, req: AtomicOp, runner: _WarpRunner,
+                  now: float) -> None:
+        spec = self.spec
+        key = (runner.block.device_index, req.address)
+        avail = self._atomic_avail.get(key, 0.0)
+        start = max(now, avail)
+        # Pipelined: the address accepts another atomic after the
+        # issue interval; the issuing warp sees the full latency.
+        self._atomic_avail[key] = (
+            start + spec.atomic_interval_cycles)
+        self.stats.atomics += 1
+        done = start + spec.atomic_latency_cycles
+        if self.profile is not None:
+            self.profile.stall("atomic", done - now)
+        if self.sampler is not None:
+            self.sampler.stall("atomic", done, done - now)
+        self._trace(runner, req, start, done)
+        if self.tracer is not None:
+            self._stall(runner, req, "atomic", now, done)
+        self._schedule(runner, done, STALL_ATOMIC)
+
+    def _h_fence(self, req: LoadFence, runner: _WarpRunner,
+                 now: float) -> None:
+        if self.profile is not None:
+            self.profile.stall("memory", runner.outstanding - now)
+        if self.sampler is not None:
+            self.sampler.stall("memory", max(runner.outstanding,
+                                             now),
+                               runner.outstanding - now)
+        if self.tracer is not None:
+            self._stall(runner, req, "memory", now,
+                        runner.outstanding)
+        self._schedule(runner, max(now, runner.outstanding), STALL_MEM)
+
+    def _h_barrier(self, req: Barrier, runner: _WarpRunner,
+                   now: float) -> None:
+        self._dispatch_barrier(runner, now)
+
+    def _h_acquire(self, req: AcquireLock, runner: _WarpRunner,
+                   now: float) -> None:
+        spec = self.spec
+        lock = req.lock
+        lock.acquisitions += 1
+        cost = (spec.atomic_latency_cycles if lock.latency is None
+                else lock.latency)
+        if lock.holder is None:
+            lock.holder = runner
+            self.stats.lock_acquisitions += 1
             if self.tracer is not None:
-                self._stall(runner, None, "issue_queue", now, start)
-                self._issue_ev(runner, start, start + issue_time)
-                self._stall(runner, req, "exec_dependency",
-                            start + issue_time, done)
-                tr = (req.tags.get("translation")
-                      if req.tags is not None else None)
-                if tr is not None:
-                    dep = spec.dependent_issue_cycles
-                    pre = min(tr[1], req.chain_length()) * dep
-                    done0 = start + max(issue_time, latency - pre)
-                    pre_x = done - done0
-                    self._translation_ev(runner, start, done,
-                                         tr[0] / self._eff_ipc,
-                                         pre_x, pre - pre_x)
-            self._schedule(runner, done)
-        elif isinstance(req, MemAccess):
-            self._dispatch_mem(req, runner, now, sm)
-        elif isinstance(req, ScratchAccess):
-            start = max(now, self._issue_avail[sm])
-            issue_time = req.count / self._eff_ipc
-            self._issue_avail[sm] = start + issue_time
-            self.stats.instructions += req.count
-            self.stats.scratch_accesses += req.count
-            done = start + max(issue_time, spec.scratchpad_latency_cycles)
-            if self.profile is not None:
-                self.profile.sm_busy[sm] += issue_time
-                self.profile.stall("issue_queue", start - now)
-                self.profile.stall("scratch", done - start - issue_time)
-            if self.sampler is not None:
-                self.sampler.issue(sm, start, issue_time, req.count)
-                self.sampler.stall("issue_queue", start, start - now)
-                self.sampler.stall("scratch", done,
-                                   done - start - issue_time)
-            self._trace(runner, req, start, done)
-            if self.tracer is not None:
-                self._stall(runner, None, "issue_queue", now, start)
-                self._issue_ev(runner, start, start + issue_time)
-                self._stall(runner, req, "scratch",
-                            start + issue_time, done)
-            self._schedule(runner, done)
-        elif isinstance(req, AtomicOp):
-            key = (runner.block.device_index, req.address)
-            avail = self._atomic_avail.get(key, 0.0)
-            start = max(now, avail)
-            # Pipelined: the address accepts another atomic after the
-            # issue interval; the issuing warp sees the full latency.
-            self._atomic_avail[key] = (
-                start + spec.atomic_interval_cycles)
-            self.stats.atomics += 1
-            done = start + spec.atomic_latency_cycles
-            if self.profile is not None:
-                self.profile.stall("atomic", done - now)
-            if self.sampler is not None:
-                self.sampler.stall("atomic", done, done - now)
-            self._trace(runner, req, start, done)
-            if self.tracer is not None:
-                self._stall(runner, req, "atomic", now, done)
-            self._schedule(runner, done)
-        elif isinstance(req, LoadFence):
-            if self.profile is not None:
-                self.profile.stall("memory", runner.outstanding - now)
-            if self.sampler is not None:
-                self.sampler.stall("memory", max(runner.outstanding,
-                                                 now),
-                                   runner.outstanding - now)
-            if self.tracer is not None:
-                self._stall(runner, req, "memory", now,
-                            runner.outstanding)
-            self._schedule(runner, max(now, runner.outstanding))
-        elif isinstance(req, Barrier):
-            self._dispatch_barrier(runner, now)
-        elif isinstance(req, AcquireLock):
-            lock = req.lock
-            lock.acquisitions += 1
+                self._stall(runner, req, "lock", now, now + cost)
+            self._schedule(runner, now + cost, STALL_LOCK)
+        else:
+            lock.contended += 1
+            self.stats.lock_contentions += 1
+            lock.waiters.append((runner, now, req.tag))
+
+    def _h_release(self, req: ReleaseLock, runner: _WarpRunner,
+                   now: float) -> None:
+        spec = self.spec
+        lock = req.lock
+        lock.holder = None
+        if lock.waiters:
+            waiter, enqueued, wtag = lock.waiters.pop(0)
+            lock.holder = waiter
+            self.stats.lock_acquisitions += 1
             cost = (spec.atomic_latency_cycles if lock.latency is None
                     else lock.latency)
-            if lock.holder is None:
-                lock.holder = runner
-                self.stats.lock_acquisitions += 1
-                if self.tracer is not None:
-                    self._stall(runner, req, "lock", now, now + cost)
-                self._schedule(runner, now + cost)
-            else:
-                lock.contended += 1
-                self.stats.lock_contentions += 1
-                lock.waiters.append((runner, now, req.tag))
-        elif isinstance(req, ReleaseLock):
-            lock = req.lock
-            lock.holder = None
-            if lock.waiters:
-                waiter, enqueued, wtag = lock.waiters.pop(0)
-                lock.holder = waiter
-                self.stats.lock_acquisitions += 1
-                cost = (spec.atomic_latency_cycles if lock.latency is None
-                        else lock.latency)
-                if self.profile is not None:
-                    self.profile.stall("lock", now - enqueued)
-                if self.sampler is not None:
-                    self.sampler.stall("lock", now, now - enqueued)
-                if self.tracer is not None:
-                    block = waiter.block
-                    self.tracer.record(self._warp_id(waiter),
-                                       block.block_id, "stall",
-                                       enqueued, now + cost,
-                                       wtag or "lock",
-                                       sm=block.sm_index)
-                self._schedule(waiter, now + cost)
-            self._schedule(runner, now)
-        elif isinstance(req, PcieTransfer):
-            # The link is busy only while bytes move (DMA engines
-            # pipeline); the fixed latency is visible to the requesting
-            # warp but does not serialise the link.  Host-side per-batch
-            # setup costs go through HostCompute instead — that is the
-            # CPU-centric bottleneck of the paper's Figure 1.
-            dev = runner.block.device_index
-            start = max(now, self._pcie_avail[dev])
-            xfer = req.nbytes / self._pcie_bpc
-            self._pcie_avail[dev] = start + xfer
-            self.stats.pcie_busy += xfer
-            self.stats.pcie_bytes += req.nbytes
-            self.stats.pcie_transactions += 1
-            fixed = 0.0 if req.latency_free else spec.pcie_latency_cycles()
-            done = start + xfer + fixed
             if self.profile is not None:
-                self.profile.stall("io", done - now)
+                self.profile.stall("lock", now - enqueued)
             if self.sampler is not None:
-                self.sampler.pcie(start, req.nbytes, xfer)
-                self.sampler.stall("io", done, done - now)
-            self._trace(runner, req, start, done)
+                self.sampler.stall("lock", now, now - enqueued)
             if self.tracer is not None:
-                self._stall(runner, req, "io", now, done)
-            self._maybe_preempt(runner, now, done)
-            self._schedule(runner, done)
-        elif isinstance(req, HostCompute):
-            start = max(now, self._host_avail)
-            done = start + req.seconds * spec.clock_hz
-            self._host_avail = done
-            self.stats.host_seconds += req.seconds
-            if self.profile is not None:
-                self.profile.stall("io", done - now)
-            if self.sampler is not None:
-                self.sampler.stall("io", done, done - now)
-            self._trace(runner, req, start, done)
+                block = waiter.block
+                self.tracer.record(self._warp_id(waiter),
+                                   block.block_id, "stall",
+                                   enqueued, now + cost,
+                                   wtag or "lock",
+                                   sm=block.sm_index)
+            self._schedule(waiter, now + cost, STALL_LOCK)
+        self._schedule(runner, now, STALL_READY)
+
+    def _h_pcie(self, req: PcieTransfer, runner: _WarpRunner,
+                now: float) -> None:
+        # The link is busy only while bytes move (DMA engines
+        # pipeline); the fixed latency is visible to the requesting
+        # warp but does not serialise the link.  Host-side per-batch
+        # setup costs go through HostCompute instead — that is the
+        # CPU-centric bottleneck of the paper's Figure 1.
+        spec = self.spec
+        dev = runner.block.device_index
+        start = max(now, self._pcie_avail[dev])
+        xfer = req.nbytes / self._pcie_bpc
+        self._pcie_avail[dev] = start + xfer
+        self.stats.pcie_busy += xfer
+        self.stats.pcie_bytes += req.nbytes
+        self.stats.pcie_transactions += 1
+        fixed = 0.0 if req.latency_free else spec.pcie_latency_cycles()
+        done = start + xfer + fixed
+        if self.profile is not None:
+            self.profile.stall("io", done - now)
+        if self.sampler is not None:
+            self.sampler.pcie(start, req.nbytes, xfer)
+            self.sampler.stall("io", done, done - now)
+        self._trace(runner, req, start, done)
+        if self.tracer is not None:
+            self._stall(runner, req, "io", now, done)
+        self._maybe_preempt(runner, now, done)
+        self._schedule(runner, done, STALL_IO)
+
+    def _h_host(self, req: HostCompute, runner: _WarpRunner,
+                now: float) -> None:
+        if self._host_gated:
+            # Sharded execution: the parent owns the host server.
+            # Park and strict-stop; grant_host() replays completion
+            # with the parent's serialised timing.
+            self._parked = (req, runner, now)
+            return
+        start = max(now, self._host_avail)
+        done = start + req.seconds * self.spec.clock_hz
+        self._host_avail = done
+        self._complete_host(req, runner, now, start, done)
+
+    def _complete_host(self, req: HostCompute, runner: _WarpRunner,
+                       now: float, start: float, done: float) -> None:
+        self.stats.host_seconds += req.seconds
+        if self.profile is not None:
+            self.profile.stall("io", done - now)
+        if self.sampler is not None:
+            self.sampler.stall("io", done, done - now)
+        self._trace(runner, req, start, done)
+        if self.tracer is not None:
+            self._stall(runner, req, "io", now, done)
+        self._maybe_preempt(runner, now, done)
+        self._schedule(runner, done, STALL_IO)
+
+    def _h_sleep(self, req: Sleep, runner: _WarpRunner,
+                 now: float) -> None:
+        self.stats.sleep_cycles += req.cycles
+        if req.cycles:
+            self._trace(runner, req, now, now + req.cycles)
             if self.tracer is not None:
-                self._stall(runner, req, "io", now, done)
-            self._maybe_preempt(runner, now, done)
-            self._schedule(runner, done)
-        elif isinstance(req, Sleep):
-            self.stats.sleep_cycles += req.cycles
-            if req.cycles:
-                self._trace(runner, req, now, now + req.cycles)
-                if self.tracer is not None:
-                    self._stall(runner, req,
-                                "spin" if req.io_wait else "sleep",
-                                now, now + req.cycles)
-            if self.profile is not None:
-                self.profile.stall("spin" if req.io_wait else "sleep",
-                                   req.cycles)
-            if self.sampler is not None:
-                self.sampler.stall("spin" if req.io_wait else "sleep",
-                                   now + req.cycles, req.cycles)
-            if req.io_wait:
-                self._maybe_preempt(runner, now, now + req.cycles)
-            self._schedule(runner, now + req.cycles)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown request {req!r}")
+                self._stall(runner, req,
+                            "spin" if req.io_wait else "sleep",
+                            now, now + req.cycles)
+        if self.profile is not None:
+            self.profile.stall("spin" if req.io_wait else "sleep",
+                               req.cycles)
+        if self.sampler is not None:
+            self.sampler.stall("spin" if req.io_wait else "sleep",
+                               now + req.cycles, req.cycles)
+        if req.io_wait:
+            self._maybe_preempt(runner, now, now + req.cycles)
+        self._schedule(runner, now + req.cycles, STALL_SLEEP)
+
+    def _h_mem(self, req: MemAccess, runner: _WarpRunner,
+               now: float) -> None:
+        sm = runner.block.sm_index
+        if self._slice_issue(req, runner, now, sm):
+            return
+        self._dispatch_mem(req, runner, now, sm)
 
     def _dispatch_mem(self, req: MemAccess, runner: _WarpRunner,
                       now: float, sm: int) -> None:
@@ -602,7 +1096,7 @@ class Engine:
                     self._translation_ev(runner, start, resume,
                                          tr_cnt / self._eff_ipc,
                                          pre_x, pre - pre_x)
-            self._schedule(runner, resume)
+            self._schedule(runner, resume, STALL_EXEC)
             return
         self.stats.loads += 1
         data_ready = dram_start + spec.dram_latency_cycles
@@ -621,7 +1115,7 @@ class Engine:
                     self._translation_ev(runner, start, resume,
                                          tr_cnt / self._eff_ipc,
                                          pre_x, pre - pre_x)
-            self._schedule(runner, resume)
+            self._schedule(runner, resume, STALL_EXEC)
             return
         overlap_done = (pre_done
                         + req.overlap_chain * spec.dependent_issue_cycles)
@@ -650,7 +1144,7 @@ class Engine:
                                      tr_cnt / self._eff_ipc,
                                      pre_x + ov_x + post_x,
                                      (pre - pre_x) + (ov - ov_x))
-        self._schedule(runner, final)
+        self._schedule(runner, final, STALL_MEM)
 
     # ------------------------------------------------------------------
     def _maybe_preempt(self, runner: _WarpRunner, now: float,
@@ -702,4 +1196,4 @@ class Engine:
                                        release - arrived)
                 if self.tracer is not None:
                     self._stall(waiter, None, "barrier", arrived, release)
-                self._schedule(waiter, release)
+                self._schedule(waiter, release, STALL_BARRIER)

@@ -12,6 +12,11 @@ Usage::
         ClusterLaunch(device0, kernel_a, grid=4, block_threads=256),
         ClusterLaunch(device1, kernel_b, grid=4, block_threads=256),
     ])
+
+Passing ``jobs=N`` shards the cluster one-device-per-engine with a
+deterministic epoch barrier (see :mod:`repro.gpu.sharded`): ``jobs=1``
+runs the shards in-process, ``jobs>1`` spreads them over a spawn-safe
+process pool, and both produce identical merged results.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from dataclasses import dataclass
 from repro.gpu.device import Device, LaunchResult
 from repro.gpu.engine import Engine
 from repro.gpu.kernel import BlockContext, KernelFn, WarpContext
+from repro.gpu.launch import EngineHooks, LaunchPlan
 from repro.gpu.memory import Scratchpad
 from repro.gpu.occupancy import occupancy_limits
 
@@ -42,14 +48,7 @@ class ClusterLaunch:
             raise ValueError("grid and block must be positive")
 
 
-def launch_cluster(launches: list[ClusterLaunch],
-                   tracer=None) -> LaunchResult:
-    """Run all launches concurrently; returns combined timing.
-
-    Every device must share one :class:`GPUSpec` (a homogeneous
-    cluster).  The returned result's ``cycles`` is the makespan across
-    devices; ``stats`` aggregates all of them.
-    """
+def _validate_cluster(launches: list[ClusterLaunch]):
     if not launches:
         raise ValueError("no launches")
     spec = launches[0].device.spec
@@ -61,7 +60,11 @@ def launch_cluster(launches: list[ClusterLaunch],
         if id(launch.device) in seen:
             raise ValueError("one launch per device")
         seen.add(id(launch.device))
+    return spec
 
+
+def _plan_cluster(launches: list[ClusterLaunch], spec):
+    """Occupancy-check every launch and build per-device factory lists."""
     occupancies = []
     groups = []
     for launch in launches:
@@ -93,10 +96,40 @@ def launch_cluster(launches: list[ClusterLaunch],
             return factory
 
         groups.append([make_block(b) for b in range(launch.grid)])
+    return occupancies, groups
 
+
+def launch_cluster(launches: list[ClusterLaunch],
+                   tracer=None,
+                   jobs: int | None = None,
+                   epoch_cycles: float | None = None) -> LaunchResult:
+    """Run all launches concurrently; returns combined timing.
+
+    Every device must share one :class:`GPUSpec` (a homogeneous
+    cluster).  The returned result's ``cycles`` is the makespan across
+    devices; ``stats`` aggregates all of them.
+
+    ``jobs=None`` (default) runs every device inside one engine.
+    ``jobs=N`` shards the cluster one engine per device with a
+    deterministic epoch barrier — ``epoch_cycles`` bounds how far a
+    shard runs ahead between barriers (defaults to the minimum
+    cross-device interaction latency, the PCIe round-trip).  Sharded
+    runs do not support tracers (trace streams cannot cross process
+    boundaries); they are deterministic in ``jobs``.
+    """
+    spec = _validate_cluster(launches)
+    if jobs is not None:
+        if tracer is not None:
+            raise ValueError(
+                "sharded execution (jobs=...) does not support tracer=")
+        from repro.gpu.sharded import launch_cluster_sharded
+        return launch_cluster_sharded(launches, jobs=jobs,
+                                      epoch_cycles=epoch_cycles)
+    occupancies, groups = _plan_cluster(launches, spec)
     engine = Engine(spec, min(o.blocks_per_sm for o in occupancies),
-                    tracer=tracer, num_devices=len(launches))
-    cycles = engine.run_groups(groups)
+                    hooks=EngineHooks(tracer=tracer),
+                    num_devices=len(launches))
+    cycles = engine.launch(LaunchPlan(groups=groups))
     for launch in launches:
         launch.device.total_cycles += cycles
         launch.device.launches += 1

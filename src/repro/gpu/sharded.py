@@ -1,0 +1,353 @@
+"""Deterministic sharded epoch execution for multi-GPU launches.
+
+:func:`launch_cluster_sharded` runs each device of a
+:func:`repro.gpu.multigpu.launch_cluster` on its **own engine** — in
+process for ``jobs=1``, one spawn worker per device otherwise — and
+recombines the results so that the merged stats, profiles, and memory
+contents are identical regardless of the job count.
+
+Synchronisation model
+---------------------
+
+Inside one device every resource (SMs, DRAM, PCIe, atomics) is private,
+so shards never need to coordinate about them.  The only shared server
+is the **host CPU**, which the parent owns:
+
+* Every shard engine is host-gated (:meth:`Engine.gate_host`): the
+  moment a warp yields :class:`HostCompute` the shard *parks* — it
+  stops draining immediately (strict stop), so no later event consumes
+  a sequence number before the host result is known, and resuming
+  reproduces the shard-local event order of an unsharded run exactly.
+* Shards otherwise advance in **epochs** of ``epoch_cycles`` simulated
+  cycles (default: the PCIe round-trip, the minimum latency of any
+  cross-device interaction), reporting at each epoch barrier.
+* When every shard is parked, at a barrier, or finished, the parent
+  serves the globally earliest parked request — ordered by ``(arrival
+  cycle, shard index)`` — against the shared ``host_avail`` clock and
+  resumes only that shard.  The grant is conservative-safe: unparked
+  shards have drained past the barrier horizon, so none can still
+  produce an earlier host request.
+
+The decision sequence depends only on simulated time, never on wall
+clock or scheduling, which is what makes ``jobs=1`` and ``jobs=N``
+bit-identical.  Runs with no host work also match the unsharded
+single-engine result exactly; with host work the only permitted
+divergence from the unsharded path is the tie-break between host
+requests arriving on different devices at the same cycle (global
+sequence number there, ``(arrival, shard)`` here).
+
+Tracers and samplers are unsupported (event streams cannot cross
+process boundaries); per-shard :class:`EngineProfile` counters merge
+via :meth:`EngineProfile.merged`.  Worker RNGs are seeded with the
+stable per-shard :func:`repro.harness.runner.point_seed` before block
+factories run, and progress heartbeats reuse the rate-limited
+:class:`repro.harness.heartbeat.HeartbeatSender`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from queue import Empty
+
+from repro.gpu.device import LaunchResult
+from repro.gpu.engine import (
+    ENGINE_MODE_ENV,
+    Engine,
+    EngineProfile,
+    EngineStats,
+    default_engine_mode,
+)
+from repro.gpu.launch import EngineHooks
+
+#: Seconds without any worker message before the parent checks futures
+#: for crashed workers (and ultimately gives up).
+WORKER_TIMEOUT = 120.0
+
+
+def default_epoch_cycles(spec) -> float:
+    """Epoch barrier spacing: the minimum cross-device interaction
+    latency.  Devices only interact through the host, and nothing
+    reaches the host faster than one PCIe round-trip."""
+    return max(1.0, spec.pcie_latency_cycles())
+
+
+# ---------------------------------------------------------------------------
+# Shard-side execution (shared by the in-process and worker paths).
+
+
+def _build_shard(launch, blocks_per_sm: int, profile_on: bool) -> Engine:
+    """One single-device engine for one :class:`ClusterLaunch`, gated
+    on the host server and seeded with its block factories."""
+    from repro.gpu.multigpu import _plan_cluster
+
+    spec = launch.device.spec
+    _, groups = _plan_cluster([launch], spec)
+    hooks = EngineHooks(
+        profile=EngineProfile.for_sms(spec.num_sms) if profile_on
+        else None)
+    engine = Engine(spec, blocks_per_sm, hooks=hooks, num_devices=1)
+    engine.gate_host()
+    engine.begin(groups)
+    return engine
+
+
+def _shard_status(engine: Engine, horizon: float) -> tuple:
+    """Advance one shard to its next blocking point.
+
+    Returns ``("parked", arrival, seconds)``, ``("waiting",)`` (epoch
+    barrier reached), or ``("done",)``.
+    """
+    nxt = engine.advance(horizon)
+    if engine.parked:
+        arrival, seconds = engine.parked_host()
+        return ("parked", arrival, seconds)
+    if nxt == math.inf:
+        return ("done",)
+    return ("waiting",)
+
+
+def _pick_grant(status: dict) -> tuple | None:
+    """The globally earliest parked request, ordered by
+    ``(arrival cycle, shard index)`` — the deterministic stand-in for
+    the unsharded engine's global sequence tie-break."""
+    parked = [(s[1], idx, s[2]) for idx, s in status.items()
+              if s[0] == "parked"]
+    if not parked:
+        return None
+    return min(parked)
+
+
+def _shard_seed(base_seed: int, index: int) -> int:
+    from repro.harness.runner import point_seed
+    return point_seed("gpu.sharded", index, {"shard": index},
+                      base_seed=base_seed)
+
+
+# ---------------------------------------------------------------------------
+# jobs=1: every shard engine lives in this process; the state machine
+# below is the reference implementation the worker protocol mirrors.
+
+
+def _run_inprocess(launches, blocks_per_sm: int, epoch: float,
+                   base_seed: int, profile_on: bool, on_beat=None):
+    from repro.harness.runner import _seed_rngs
+
+    spec = launches[0].device.spec
+    engines = []
+    for index, launch in enumerate(launches):
+        _seed_rngs(_shard_seed(base_seed, index))
+        engines.append(_build_shard(launch, blocks_per_sm, profile_on))
+    horizon = epoch
+    host_avail = 0.0
+    status = {i: _shard_status(eng, horizon)
+              for i, eng in enumerate(engines)}
+    while True:
+        grant = _pick_grant(status)
+        if grant is not None:
+            arrival, index, seconds = grant
+            start = max(arrival, host_avail)
+            done = start + seconds * spec.clock_hz
+            host_avail = done
+            engines[index].grant_host(start, done)
+            status[index] = _shard_status(engines[index], horizon)
+            continue
+        waiting = [i for i, s in status.items() if s[0] == "waiting"]
+        if not waiting:
+            break
+        horizon += epoch
+        if on_beat is not None:
+            on_beat({"kind": "window", "horizon": horizon,
+                     "shards_waiting": len(waiting)})
+        for index in waiting:
+            status[index] = _shard_status(engines[index], horizon)
+    cycles = [eng.finish() for eng in engines]
+    stats = [eng.stats for eng in engines]
+    profiles = ([eng.profile for eng in engines] if profile_on else None)
+    return cycles, stats, profiles, None
+
+
+# ---------------------------------------------------------------------------
+# jobs>1: one spawn worker per shard, coordinated over Manager queues.
+
+
+def _shard_worker(index: int, launch, blocks_per_sm: int, epoch: float,
+                  seed: int, mode: str, profile_on: bool,
+                  cmd_q, rep_q, heartbeat_interval: float):
+    """Worker side of the epoch protocol.  Messages to the parent:
+    ``("parked", index, arrival, seconds)``, ``("waiting", index)``,
+    ``("done", index)``, ``("beat", index, payload)``; commands from
+    the parent: ``("grant", start, done)`` and ``("advance", horizon)``.
+    """
+    from repro.harness.heartbeat import HeartbeatSender
+    from repro.harness.runner import _seed_rngs
+
+    os.environ[ENGINE_MODE_ENV] = mode
+    _seed_rngs(seed)
+    engine = _build_shard(launch, blocks_per_sm, profile_on)
+    beats = HeartbeatSender(
+        lambda beat: rep_q.put(("beat", index, beat)),
+        min_interval=heartbeat_interval)
+    horizon = epoch
+    while True:
+        state = _shard_status(engine, horizon)
+        if state[0] == "parked":
+            rep_q.put(("parked", index, state[1], state[2]))
+            cmd = cmd_q.get()
+            engine.grant_host(cmd[1], cmd[2])
+            continue
+        if state[0] == "done":
+            rep_q.put(("done", index))
+            break
+        beats.send({"kind": "window", "shard": index,
+                    "horizon": horizon,
+                    "census": engine.stall_census()})
+        rep_q.put(("waiting", index))
+        cmd = cmd_q.get()
+        horizon = cmd[1]
+    cycles = engine.finish()
+    memory = launch.device.memory.data.tobytes()
+    return (index, cycles, engine.stats,
+            engine.profile if profile_on else None, memory)
+
+
+def _run_workers(launches, blocks_per_sm: int, epoch: float,
+                 base_seed: int, profile_on: bool, on_beat=None):
+    import multiprocessing
+
+    from repro.harness.runner import spawn_executor
+
+    spec = launches[0].device.spec
+    mode = default_engine_mode()
+    n = len(launches)
+    # Every shard must be live for the barrier to close, so the pool
+    # holds one worker per shard regardless of the jobs value.
+    with multiprocessing.Manager() as manager, \
+            spawn_executor(n) as pool:
+        rep_q = manager.Queue()
+        cmd_qs = [manager.Queue() for _ in range(n)]
+        futures = [
+            pool.submit(_shard_worker, i, launch, blocks_per_sm, epoch,
+                        _shard_seed(base_seed, i), mode, profile_on,
+                        cmd_qs[i], rep_q, 2.0)
+            for i, launch in enumerate(launches)]
+        status: dict[int, tuple] = {}
+        horizon = epoch
+        host_avail = 0.0
+        pending = set(range(n))     # shards we await a message from
+
+        def collect():
+            while pending:
+                try:
+                    msg = rep_q.get(timeout=WORKER_TIMEOUT)
+                except Empty:
+                    for fut in futures:
+                        if fut.done():
+                            fut.result()  # surfaces worker tracebacks
+                    raise TimeoutError(
+                        "sharded workers made no progress for "
+                        f"{WORKER_TIMEOUT}s")
+                if msg[0] == "beat":
+                    if on_beat is not None:
+                        on_beat(msg[2])
+                    continue
+                index = msg[1]
+                pending.discard(index)
+                if msg[0] == "parked":
+                    status[index] = ("parked", msg[2], msg[3])
+                elif msg[0] == "waiting":
+                    status[index] = ("waiting",)
+                else:
+                    status[index] = ("done",)
+
+        while True:
+            collect()
+            grant = _pick_grant(status)
+            if grant is not None:
+                arrival, index, seconds = grant
+                start = max(arrival, host_avail)
+                done = start + seconds * spec.clock_hz
+                host_avail = done
+                cmd_qs[index].put(("grant", start, done))
+                pending.add(index)
+                continue
+            waiting = [i for i, s in status.items()
+                       if s[0] == "waiting"]
+            if not waiting:
+                break
+            horizon += epoch
+            for index in waiting:
+                cmd_qs[index].put(("advance", horizon))
+                pending.add(index)
+
+        results = [fut.result() for fut in futures]
+    results.sort()
+    cycles = [r[1] for r in results]
+    stats = [r[2] for r in results]
+    profiles = [r[3] for r in results] if profile_on else None
+    memories = [r[4] for r in results]
+    return cycles, stats, profiles, memories
+
+
+# ---------------------------------------------------------------------------
+
+
+def launch_cluster_sharded(launches, jobs: int = 1,
+                           epoch_cycles: float | None = None,
+                           base_seed: int = 0,
+                           profile: bool = False,
+                           on_beat=None) -> LaunchResult:
+    """Run one engine per device with the deterministic epoch barrier.
+
+    ``jobs=1`` drives every shard in this process; any larger value
+    spawns one worker per device (the protocol needs every shard live
+    to close its barrier, so the pool is sized by the cluster, not by
+    ``jobs``).  Results are bit-identical across job counts.
+    """
+    from repro.gpu.multigpu import _validate_cluster
+    from repro.gpu.occupancy import occupancy_limits
+
+    spec = _validate_cluster(launches)
+    occupancies = [
+        occupancy_limits(spec, launch.block_threads,
+                         launch.regs_per_thread,
+                         launch.scratchpad_bytes)
+        for launch in launches]
+    for occ in occupancies:
+        if not occ.is_schedulable:
+            raise ValueError(
+                f"unschedulable kernel: {occ.limiting_factor}")
+    blocks_per_sm = min(o.blocks_per_sm for o in occupancies)
+    epoch = (default_epoch_cycles(spec) if epoch_cycles is None
+             else float(epoch_cycles))
+    if epoch <= 0:
+        raise ValueError("epoch_cycles must be positive")
+
+    if jobs <= 1 or len(launches) == 1:
+        cycles, stats, profiles, memories = _run_inprocess(
+            launches, blocks_per_sm, epoch, base_seed, profile, on_beat)
+    else:
+        cycles, stats, profiles, memories = _run_workers(
+            launches, blocks_per_sm, epoch, base_seed, profile, on_beat)
+
+    if memories is not None:
+        # Worker shards mutated their own copy of device memory; fold
+        # the bytes back into the parent's devices.
+        import numpy as np
+        for launch, memory in zip(launches, memories):
+            data = launch.device.memory.data
+            data[:] = np.frombuffer(memory, dtype=np.uint8)
+
+    makespan = max(cycles)
+    for launch in launches:
+        launch.device.total_cycles += makespan
+        launch.device.launches += 1
+    result = LaunchResult(
+        cycles=makespan,
+        seconds=spec.cycles_to_seconds(makespan),
+        stats=EngineStats.merged(stats),
+        occupancy=occupancies[0],
+    )
+    if profile:
+        result.profile = EngineProfile.merged(profiles)
+    return result

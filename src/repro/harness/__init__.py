@@ -7,27 +7,12 @@ module-level point function — executed by the parallel runner
 ``repro-experiments`` (:mod:`repro.harness.cli`) runs them and renders
 text tables next to the paper's published values.
 
-The pre-registry one-function-per-figure API (``table1()``, ...) is
-still exported but deprecated; the functions delegate to the runner.
+The pre-registry one-function-per-figure API (``table1()``, ...) was
+removed after its deprecation cycle; use ``REGISTRY``/``run_experiment``
+(or the serial ``ALL_EXPERIMENTS`` callables) instead.
 """
 
-from repro.harness.experiments import (
-    ALL_EXPERIMENTS,
-    ablation_batching,
-    ablation_eviction,
-    ablation_future_hw,
-    ablation_io_preemption,
-    ablation_prefetch,
-    ablation_readahead,
-    ablation_registers,
-    figure6,
-    figure7,
-    figure9,
-    table1,
-    table2,
-    table3,
-    unaligned_access,
-)
+from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.registry import (
     REGISTRY,
     Column,
@@ -38,6 +23,7 @@ from repro.harness.registry import (
 from repro.harness.reporting import format_result
 from repro.harness.runner import (
     ExperimentPointError,
+    Instrumentation,
     RunReport,
     point_seed,
     run_experiment,
@@ -50,25 +36,12 @@ __all__ = [
     "Experiment",
     "ExperimentPointError",
     "ExperimentResult",
+    "Instrumentation",
     "REGISTRY",
     "RunReport",
     "experiment",
     "point_seed",
     "run_experiment",
     "run_named",
-    "table1",
-    "table2",
-    "table3",
-    "figure6",
-    "figure7",
-    "figure9",
-    "unaligned_access",
-    "ablation_prefetch",
-    "ablation_batching",
-    "ablation_registers",
-    "ablation_eviction",
-    "ablation_readahead",
-    "ablation_future_hw",
-    "ablation_io_preemption",
     "format_result",
 ]

@@ -167,13 +167,15 @@ def main(argv=None) -> int:
                             live_dir=(os.path.join(args.live_dir, name)
                                       if args.live_dir else None),
                             window_cycles=args.window_cycles)
+                    from repro.harness.runner import Instrumentation
                     report = run_experiment(
                         exp, scale=args.scale, jobs=jobs,
                         options={"eviction_policy":
                                  args.eviction_policy},
-                        profile=bool(args.profile_dir),
-                        attribution=args.attribute,
-                        live=live,
+                        instrument=Instrumentation(
+                            profile=bool(args.profile_dir),
+                            attribution=args.attribute,
+                            live=live),
                         progress=(False if args.no_progress
                                   else None),
                         executor=executor)

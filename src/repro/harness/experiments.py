@@ -11,15 +11,15 @@ Each experiment is three module-level pieces — a parameter ``grid``
 alongside measured ones so reports always show the comparison.
 
 The legacy one-function-per-figure API (``table1()``, ``figure6()``,
-...) survives as thin deprecated wrappers at the bottom of the module;
-new code should go through :data:`~repro.harness.registry.REGISTRY`
-and :func:`repro.harness.runner.run_experiment`, which can fan the
-grid points out across worker processes (``repro-experiments --jobs``).
+...) was removed after its deprecation cycle; go through
+:data:`~repro.harness.registry.REGISTRY` and
+:func:`repro.harness.runner.run_experiment`, which can fan the grid
+points out across worker processes (``repro-experiments --jobs``), or
+the serial ``ALL_EXPERIMENTS`` callables.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Optional
 
 from repro.collage import (
@@ -1134,120 +1134,20 @@ def syscall_graphwalk_point(*, scale: str, tlb: bool) -> list:
 
 
 # ----------------------------------------------------------------------
-# Legacy API: one function per table/figure (deprecated)
+# Registry-backed callables (the per-table/figure wrapper functions of
+# the pre-registry harness were removed after their deprecation cycle;
+# use REGISTRY / ALL_EXPERIMENTS with the parallel runner instead)
 # ----------------------------------------------------------------------
 def _run_registered(name: str, scale: str,
                     options: Optional[dict] = None) -> ExperimentResult:
     """Serial, fail-fast execution of one registry entry (what the
-    deprecated wrappers and ``ALL_EXPERIMENTS`` callables delegate to).
-    """
+    ``ALL_EXPERIMENTS`` callables delegate to)."""
     from repro.harness.runner import ExperimentPointError, run_experiment
     report = run_experiment(REGISTRY[name], scale=scale,
                             options=options, progress=False)
     if report.result.errors:
         raise ExperimentPointError(name, report.result.errors)
     return report.result
-
-
-def _warn_deprecated(fn_name: str, target: str) -> None:
-    warnings.warn(
-        f"repro.harness.{fn_name}() is deprecated; use "
-        f"REGISTRY[{target!r}] with repro.harness.runner."
-        f"run_experiment() (parallel via --jobs) instead",
-        DeprecationWarning, stacklevel=3)
-
-
-def table1(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``table1``."""
-    _warn_deprecated("table1", "table1")
-    return _run_registered("table1", scale)
-
-
-def table2(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``table2``."""
-    _warn_deprecated("table2", "table2")
-    return _run_registered("table2", scale)
-
-
-def table3(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``table3``."""
-    _warn_deprecated("table3", "table3")
-    return _run_registered("table3", scale)
-
-
-def figure6(scale: str = "quick", width: int = 4,
-            with_gpufs: bool = False) -> ExperimentResult:
-    """Deprecated wrapper for ``figure6a``/``figure6b``/``figure6c``."""
-    name = ("figure6c" if with_gpufs
-            else "figure6a" if width == 4 else "figure6b")
-    _warn_deprecated("figure6", name)
-    return _run_registered(name, scale)
-
-
-def figure7(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``figure7``."""
-    _warn_deprecated("figure7", "figure7")
-    return _run_registered("figure7", scale)
-
-
-def figure9(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``figure9``."""
-    _warn_deprecated("figure9", "figure9")
-    return _run_registered("figure9", scale)
-
-
-def unaligned_access(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``unaligned``."""
-    _warn_deprecated("unaligned_access", "unaligned")
-    return _run_registered("unaligned", scale)
-
-
-def ablation_prefetch(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``ablation_prefetch``."""
-    _warn_deprecated("ablation_prefetch", "ablation_prefetch")
-    return _run_registered("ablation_prefetch", scale)
-
-
-def ablation_batching(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``ablation_batching``."""
-    _warn_deprecated("ablation_batching", "ablation_batching")
-    return _run_registered("ablation_batching", scale)
-
-
-def ablation_registers(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``ablation_registers``."""
-    _warn_deprecated("ablation_registers", "ablation_registers")
-    return _run_registered("ablation_registers", scale)
-
-
-def ablation_eviction(scale: str = "quick",
-                      eviction_policy: Optional[str] = None
-                      ) -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``ablation_eviction``."""
-    _warn_deprecated("ablation_eviction", "ablation_eviction")
-    return _run_registered("ablation_eviction", scale,
-                           {"eviction_policy": eviction_policy})
-
-
-def ablation_readahead(scale: str = "quick",
-                       eviction_policy: Optional[str] = None
-                       ) -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``ablation_readahead``."""
-    _warn_deprecated("ablation_readahead", "ablation_readahead")
-    return _run_registered("ablation_readahead", scale,
-                           {"eviction_policy": eviction_policy})
-
-
-def ablation_future_hw(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for registry entry ``ablation_future_hw``."""
-    _warn_deprecated("ablation_future_hw", "ablation_future_hw")
-    return _run_registered("ablation_future_hw", scale)
-
-
-def ablation_io_preemption(scale: str = "quick") -> ExperimentResult:
-    """Deprecated wrapper for ``ablation_io_preemption``."""
-    _warn_deprecated("ablation_io_preemption", "ablation_io_preemption")
-    return _run_registered("ablation_io_preemption", scale)
 
 
 def _registry_callable(name: str) -> Callable[..., ExperimentResult]:

@@ -57,6 +57,17 @@ from repro.harness.registry import Experiment, ExperimentResult
 DEFAULT_BASE_SEED = 0x5EED
 
 
+#: Deprecation warnings already emitted this process (one per key).
+_WARNED: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    import warnings
+    if key not in _WARNED:
+        _WARNED.add(key)
+        warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
 @dataclass(frozen=True)
 class LiveOptions:
     """Live-telemetry configuration for a run (implies profiling).
@@ -74,6 +85,36 @@ class LiveOptions:
     timeseries: bool = True
     window_cycles: Optional[float] = None     # None = sampler default
     heartbeat_interval: float = DEFAULT_MIN_INTERVAL
+
+
+@dataclass(frozen=True)
+class Instrumentation:
+    """Everything a run can observe, in one bundle.
+
+    The runner-side sibling of :class:`repro.gpu.launch.EngineHooks`:
+    where ``EngineHooks`` carries live hook *objects* into one engine
+    launch, ``Instrumentation`` carries picklable *switches* for a
+    whole experiment run — the runner builds the per-launch hook
+    objects from them in whichever process executes the point.
+
+    * ``profile`` — collect per-launch profiles and a merged suite
+      profile (implied by either of the next two).
+    * ``trace`` — keep Chrome-trace event streams (in-process runs
+      only; ``None`` means "trace iff profiling").
+    * ``attribution`` — run the cycle-attribution analyzer on every
+      launch (:mod:`repro.telemetry.attribution`).
+    * ``live`` — a :class:`LiveOptions`: cycle-window sampling with
+      streaming export and heartbeats.
+    """
+
+    profile: bool = False
+    trace: Optional[bool] = None
+    attribution: bool = False
+    live: Optional[LiveOptions] = None
+
+    @classmethod
+    def off(cls) -> "Instrumentation":
+        return cls()
 
 
 class ExperimentPointError(RuntimeError):
@@ -233,13 +274,11 @@ def resolve_jobs(jobs: int) -> int:
 
 def run_experiment(exp: Experiment, *, scale: str = "quick",
                    jobs: int = 1, options: Optional[dict] = None,
-                   profile: bool = False, trace: Optional[bool] = None,
-                   attribution: bool = False,
+                   instrument: Optional[Instrumentation] = None,
                    base_seed: int = DEFAULT_BASE_SEED,
                    progress: Optional[bool] = None,
-                   live: Optional[LiveOptions] = None,
                    executor: Optional[ProcessPoolExecutor] = None,
-                   ) -> RunReport:
+                   **legacy) -> RunReport:
     """Run every grid point of ``exp``; return a :class:`RunReport`.
 
     ``jobs=1`` runs in-process; ``jobs>1`` fans points out over a
@@ -247,14 +286,25 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
     experiments — spawn startup is paid once).  ``options`` are
     filtered against ``exp.options`` before reaching the grid, so
     harness-wide flags (``--eviction-policy``) can be offered to every
-    experiment and only land where declared.  ``attribution=True``
-    implies profiling and runs the cycle-attribution analyzer on every
-    launch (see :mod:`repro.telemetry.attribution`).  ``live`` (a
-    :class:`LiveOptions`) also implies profiling and turns on
-    cycle-window sampling with streaming export and heartbeats.
+    experiment and only land where declared.
+
+    ``instrument`` (an :class:`Instrumentation`) bundles every
+    observation switch: profiling, tracing, cycle attribution, and
+    live telemetry.  ``attribution`` and ``live`` imply profiling.
+    The pre-PR-9 per-switch keywords (``profile=``, ``trace=``,
+    ``attribution=``, ``live=``) survive as deprecated shims that
+    warn once.
     """
+    if legacy:
+        instrument = _fold_legacy_instrument(instrument, legacy)
+    if instrument is None:
+        instrument = Instrumentation.off()
+    trace = instrument.trace
+    attribution = instrument.attribution
+    live = instrument.live
     started = time.time()
-    profile = profile or attribution or (live is not None)
+    profile = (instrument.profile or attribution
+               or (live is not None))
     jobs = resolve_jobs(jobs)
     opts = {k: v for k, v in (options or {}).items()
             if k in exp.options and v is not None}
@@ -374,6 +424,36 @@ def run_experiment(exp: Experiment, *, scale: str = "quick",
     return RunReport(result=result, outcomes=outcomes,
                      profiles=profiles, tracers=tracers, merged=merged,
                      jobs=jobs, elapsed=time.time() - started)
+
+
+def _fold_legacy_instrument(instrument: Optional[Instrumentation],
+                            legacy: dict) -> Instrumentation:
+    """Fold deprecated per-switch keywords into one Instrumentation."""
+    values = {}
+    for name in ("profile", "trace", "attribution", "live"):
+        if name in legacy:
+            _warn_once(
+                f"run_experiment({name}=)",
+                f"run_experiment({name}=...) is deprecated; bundle "
+                "observation switches into "
+                f"Instrumentation({name}=...) and pass "
+                "run_experiment(..., instrument=...) instead")
+            values[name] = legacy.pop(name)
+    if legacy:
+        name = next(iter(legacy))
+        raise TypeError(
+            f"run_experiment() got an unexpected keyword argument "
+            f"{name!r}")
+    if instrument is None:
+        return Instrumentation(**values)
+    defaults = Instrumentation.off()
+    for name, value in values.items():
+        if getattr(instrument, name) != getattr(defaults, name):
+            raise TypeError(
+                f"run_experiment() got both instrument.{name} and the "
+                f"deprecated {name}= keyword")
+    import dataclasses
+    return dataclasses.replace(instrument, **values)
 
 
 def run_named(name: str, **kwargs) -> RunReport:

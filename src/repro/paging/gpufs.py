@@ -19,7 +19,6 @@ introduction proposes for a CryptFS-style encrypted GPU file system.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -56,13 +55,16 @@ MAJOR_FAULT_EXTRA_INSTRS = 250.0
 class GPUfsConfig:
     """Configuration of the paging subsystem.
 
-    Construct with keyword arguments only — positional construction is
-    deprecated (one release of ``DeprecationWarning``, then it becomes
-    an error): the field list has grown PR over PR and positional call
-    sites silently change meaning when a field lands in the middle.
-    ``to_dict()`` / ``from_dict()`` round-trip the config through plain
-    JSON-able dicts (how the parallel runner ships configs to spawn
-    workers, and how profiles could embed them).
+    Construct with keyword arguments only — positional construction
+    raises ``TypeError`` (its ``DeprecationWarning`` release was PR 4
+    through PR 8): the field list has grown PR over PR and positional
+    call sites silently change meaning when a field lands in the
+    middle.  The **only sanctioned serialization** of a config is the
+    :meth:`to_dict` / :meth:`from_dict` round-trip through plain
+    JSON-able dicts — it is how the parallel runner ships configs to
+    spawn workers and how profiles embed them; anything else (pickled
+    instances, positional tuples, ad-hoc field lists) breaks when a
+    field is added.
     """
 
     page_size: int = 4096
@@ -106,25 +108,22 @@ class GPUfsConfig:
         return cls(**data)
 
 
-def _deprecate_positional_init(cls):
-    """Warn (once per call site) on positional GPUfsConfig construction.
+def _reject_positional_init(cls):
+    """Make positional GPUfsConfig construction a ``TypeError``.
 
-    ``kw_only=True`` would turn existing positional callers into hard
-    errors immediately; this wrapper gives them one release of
-    ``DeprecationWarning`` first while keyword construction stays
-    warning-free.
+    The deprecation cycle is over (positional args warned from PR 4);
+    keyword construction and the ``to_dict``/``from_dict`` round-trip
+    are the only supported ways to build a config.
     """
     generated = cls.__init__
 
     def __init__(self, *args, **kwargs):
         if args:
-            warnings.warn(
-                "positional GPUfsConfig arguments are deprecated and "
-                "will become an error; pass fields by keyword "
-                "(GPUfsConfig(num_frames=..., ...))",
-                DeprecationWarning, stacklevel=2)
-            names = [f.name for f in dataclasses.fields(cls)]
-            kwargs.update(zip(names, args))
+            raise TypeError(
+                "positional GPUfsConfig arguments were removed after "
+                "their deprecation cycle; pass fields by keyword "
+                "(GPUfsConfig(num_frames=..., ...)) or use "
+                "GPUfsConfig.from_dict(...)")
         generated(self, **kwargs)
 
     __init__.__wrapped__ = generated
@@ -132,7 +131,7 @@ def _deprecate_positional_init(cls):
     return cls
 
 
-_deprecate_positional_init(GPUfsConfig)
+_reject_positional_init(GPUfsConfig)
 
 
 @dataclass

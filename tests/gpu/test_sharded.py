@@ -1,0 +1,165 @@
+"""Deterministic sharded epoch execution (repro.gpu.sharded).
+
+The contract under test: ``jobs=1`` and ``jobs=N`` are bit-identical
+(stats, profiles, memory); host-free clusters additionally match the
+unsharded single-engine result cycle for cycle; clusters with host
+work keep cycles and integer counters identical to the unsharded path
+(float-summed counters may differ in the last bits — accumulation
+order — as documented in the module docstring).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, K80_SPEC
+from repro.gpu.multigpu import ClusterLaunch, launch_cluster
+from repro.gpu.sharded import (
+    default_epoch_cycles,
+    launch_cluster_sharded,
+)
+
+
+def make_devices(n=2, mem=8 * 1024 * 1024):
+    return [Device(spec=K80_SPEC, memory_bytes=mem) for _ in range(n)]
+
+
+#: Synthetic instruction counts — arbitrary but named so the
+#: calibration linter can audit that they are deliberate test loads,
+#: not drifted hardware estimates.
+COMPUTE_BLOCK = 500
+COMPUTE_CHAIN = 20
+WRITER_BLOCK = 100
+WRITER_CHAIN = 10
+RPC_PROLOGUE = 200
+RPC_EPILOGUE = 50
+
+
+def compute_kernel(ctx):
+    yield from ctx.compute(COMPUTE_BLOCK, chain=COMPUTE_CHAIN)
+
+
+def writer_kernel(ctx, base, value):
+    yield from ctx.compute(WRITER_BLOCK, chain=WRITER_CHAIN)
+    yield from ctx.store(base + ctx.lane * 4,
+                         np.full(32, value, np.uint32), "u4")
+
+
+def rpc_kernel(ctx, base):
+    yield from ctx.compute(RPC_PROLOGUE, chain=WRITER_CHAIN)
+    yield from ctx.host_compute(1e-6)
+    yield from ctx.compute(RPC_EPILOGUE)
+    yield from ctx.host_compute(2e-6)
+    yield from ctx.store(base + ctx.lane * 4,
+                         np.full(32, ctx.warp_id + 1, np.uint32), "u4")
+
+
+def _cluster(devices, kernel, extra_args=lambda d, i: ()):
+    return [ClusterLaunch(d, kernel, 2, 64, args=extra_args(d, i))
+            for i, d in enumerate(devices)]
+
+
+class TestEpochDefaults:
+    def test_default_epoch_is_pcie_latency(self):
+        assert default_epoch_cycles(K80_SPEC) \
+            == max(1.0, K80_SPEC.pcie_latency_cycles())
+
+    def test_nonpositive_epoch_rejected(self):
+        devices = make_devices(2)
+        with pytest.raises(ValueError, match="epoch_cycles"):
+            launch_cluster_sharded(_cluster(devices, compute_kernel),
+                                   epoch_cycles=0.0)
+
+    def test_tracer_with_jobs_rejected(self):
+        from repro.gpu import Tracer
+        devices = make_devices(2)
+        with pytest.raises(ValueError, match="tracer"):
+            launch_cluster(_cluster(devices, compute_kernel),
+                           tracer=Tracer(), jobs=2)
+
+
+class TestHostFreeEquivalence:
+    def test_sharded_matches_unsharded_cycles(self):
+        ref = launch_cluster(_cluster(make_devices(3), compute_kernel))
+        shard = launch_cluster_sharded(
+            _cluster(make_devices(3), compute_kernel))
+        assert shard.cycles == ref.cycles
+        assert shard.stats.instructions == ref.stats.instructions
+
+    def test_memory_effects_match(self):
+        ref_devices = make_devices(2)
+        launch_cluster(_cluster(
+            ref_devices, writer_kernel,
+            lambda d, i: (d.alloc(4096), i + 1)))
+        shard_devices = make_devices(2)
+        launch_cluster_sharded(_cluster(
+            shard_devices, writer_kernel,
+            lambda d, i: (d.alloc(4096), i + 1)))
+        for ref, shard in zip(ref_devices, shard_devices):
+            assert bytes(ref.memory.data) == bytes(shard.memory.data)
+
+
+class TestHostGatedEquivalence:
+    """Clusters with host RPCs: the shared-host grant protocol must
+    reproduce the unsharded cycle count and every integer counter."""
+
+    def _run(self, launcher):
+        devices = make_devices(3)
+        bases = [d.alloc(4096) for d in devices]
+        launches = [ClusterLaunch(d, rpc_kernel, 2, 64, args=(b,))
+                    for d, b in zip(devices, bases)]
+        result = launcher(launches)
+        return result, [bytes(d.memory.data) for d in devices]
+
+    def test_sharded_matches_unsharded(self):
+        ref, ref_mem = self._run(launch_cluster)
+        shard, shard_mem = self._run(launch_cluster_sharded)
+        assert shard.cycles == ref.cycles
+        assert shard.stats.instructions == ref.stats.instructions
+        assert shard.stats.dram_bytes == ref.stats.dram_bytes
+        assert shard.stats.stores == ref.stats.stores
+        assert shard_mem == ref_mem
+        # Float-summed counters agree to accumulation-order noise.
+        assert shard.stats.host_seconds \
+            == pytest.approx(ref.stats.host_seconds, rel=1e-12)
+
+    def test_jobs_1_profile_merges(self):
+        devices = make_devices(2)
+        bases = [d.alloc(4096) for d in devices]
+        launches = [ClusterLaunch(d, rpc_kernel, 2, 64, args=(b,))
+                    for d, b in zip(devices, bases)]
+        result = launch_cluster_sharded(launches, profile=True)
+        assert result.profile is not None
+        # One sm_busy slot per SM per shard, concatenated in shard order.
+        assert len(result.profile.sm_busy) \
+            == K80_SPEC.num_sms * len(launches)
+
+
+class TestCrossProcessDeterminism:
+    def test_jobs_1_and_jobs_n_bit_identical(self):
+        def run(jobs):
+            devices = make_devices(2)
+            bases = [d.alloc(4096) for d in devices]
+            launches = [ClusterLaunch(d, rpc_kernel, 2, 64, args=(b,))
+                        for d, b in zip(devices, bases)]
+            result = launch_cluster_sharded(launches, jobs=jobs,
+                                            profile=True)
+            return result, [bytes(d.memory.data) for d in devices]
+
+        serial, serial_mem = run(jobs=1)
+        parallel, parallel_mem = run(jobs=2)
+        assert parallel.cycles == serial.cycles
+        assert parallel.stats == serial.stats
+        assert parallel.profile.sm_busy == serial.profile.sm_busy
+        assert parallel.profile.stalls == serial.profile.stalls
+        assert parallel_mem == serial_mem
+
+    def test_multigpu_jobs_kwarg_routes_to_sharded(self):
+        def build():
+            devices = make_devices(2)
+            bases = [d.alloc(4096) for d in devices]
+            return [ClusterLaunch(d, rpc_kernel, 2, 64, args=(b,))
+                    for d, b in zip(devices, bases)]
+
+        ref = launch_cluster(build())
+        result = launch_cluster(build(), jobs=1)
+        assert result.cycles == ref.cycles

@@ -1,0 +1,274 @@
+"""Vectorized engine ≡ event-heap engine, bit for bit.
+
+The vectorized per-SM hot loop (``engine mode "vector"``) must be an
+*observationally invisible* optimisation: for every workload in the
+registry — including the write-capable syscall workloads under the
+runtime sanitizer — cycles, stats, and memory effects must be
+bit-identical to the reference event-heap engine (mode ``"event"``).
+Instrumented runs (tracer on) must not perturb timing either.
+"""
+
+import warnings
+
+import pytest
+
+from repro.gpu import Device, K80_SPEC, Tracer
+from repro.gpu.engine import (
+    ENGINE_MODE_ENV,
+    default_engine_mode,
+    engine_mode,
+    set_engine_mode,
+)
+from repro.workloads import WORKLOADS
+from repro.workloads.base import run_workload
+
+
+def _run_suite_workload(workload, *, use_apointers):
+    device = Device(spec=K80_SPEC, memory_bytes=16 * 1024 * 1024)
+    return run_workload(workload, device,
+                        use_apointers=use_apointers,
+                        nblocks=2, warps_per_block=2,
+                        iters_per_thread=2)
+
+
+class TestModeSelection:
+    def test_default_is_vector(self):
+        assert default_engine_mode() == "vector"
+
+    def test_context_manager_restores(self):
+        before = default_engine_mode()
+        with engine_mode("event"):
+            assert default_engine_mode() == "event"
+        assert default_engine_mode() == before
+
+    def test_env_var_wins(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_MODE_ENV, "event")
+        assert default_engine_mode() == "event"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine mode"):
+            set_engine_mode("turbo")
+        with pytest.raises(ValueError, match="unknown engine mode"):
+            with engine_mode("scalar"):
+                pass  # pragma: no cover
+
+
+class TestWorkloadRegistryEquivalence:
+    """Every §VI-B workload, raw pointers and apointers, both modes."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS,
+                             ids=[w.name for w in WORKLOADS])
+    def test_apointer_run_bit_identical(self, workload):
+        with engine_mode("event"):
+            ref = _run_suite_workload(workload, use_apointers=True)
+        with engine_mode("vector"):
+            vec = _run_suite_workload(workload, use_apointers=True)
+        assert ref.verified and vec.verified
+        assert vec.cycles == ref.cycles
+        assert vec.seconds == ref.seconds
+        assert vec.dram_bytes == ref.dram_bytes
+        assert vec.instructions == ref.instructions
+
+    @pytest.mark.parametrize("workload", WORKLOADS[:2],
+                             ids=[w.name for w in WORKLOADS[:2]])
+    def test_raw_pointer_run_bit_identical(self, workload):
+        with engine_mode("event"):
+            ref = _run_suite_workload(workload, use_apointers=False)
+        with engine_mode("vector"):
+            vec = _run_suite_workload(workload, use_apointers=False)
+        assert vec.cycles == ref.cycles
+        assert vec.instructions == ref.instructions
+
+
+class TestSyscallWorkloadEquivalence:
+    """Write-capable syscall workloads, runtime sanitizer on."""
+
+    def test_kvstore_sanitized_bit_identical(self):
+        from repro.workloads import run_kvstore
+        kwargs = dict(nwarps=2, records_per_warp=32, ops_per_warp=4,
+                      sanitize=True)
+        with engine_mode("event"):
+            ref = run_kvstore(**kwargs)
+        with engine_mode("vector"):
+            vec = run_kvstore(**kwargs)
+        assert ref.verified and vec.verified
+        assert vec.cycles == ref.cycles
+        assert (vec.preads, vec.pwrites, vec.msyncs) \
+            == (ref.preads, ref.pwrites, ref.msyncs)
+        assert vec.writeback_bytes == ref.writeback_bytes
+
+    def test_grepscan_sanitized_bit_identical(self):
+        from repro.workloads import run_grepscan
+        kwargs = dict(nwarps=2, pages_per_warp=2, sanitize=True)
+        with engine_mode("event"):
+            ref = run_grepscan(**kwargs)
+        with engine_mode("vector"):
+            vec = run_grepscan(**kwargs)
+        assert ref.verified and vec.verified
+        assert vec.cycles == ref.cycles
+        assert vec.bytes_scanned == ref.bytes_scanned
+
+    def test_graphwalk_sanitized_bit_identical(self):
+        from repro.workloads import run_graphwalk
+        kwargs = dict(nwarps=2, steps=4, nnodes=8 * 1024, sanitize=True)
+        with engine_mode("event"):
+            ref = run_graphwalk(**kwargs)
+        with engine_mode("vector"):
+            vec = run_graphwalk(**kwargs)
+        assert ref.verified and vec.verified
+        assert vec.cycles == ref.cycles
+        assert vec.edges == ref.edges
+
+
+def _contended_kernel_device():
+    """A kernel mixing the stall classes the tables track: compute
+    chains, loads, atomics, and barriers."""
+    device = Device(memory_bytes=8 * 1024 * 1024)
+    src = device.alloc(256 * 1024)
+    counter = device.alloc(64)
+
+    # Named so the calibration linter can see these are deliberate
+    # synthetic loads, not drifted hardware estimates.
+    charge_block = 10
+    tail_block = 30
+
+    def kern(ctx):
+        for i in range(3):
+            ctx.charge(charge_block, chain=charge_block)
+            _ = yield from ctx.load(src + ctx.global_tid * 4, "f4")
+        yield from ctx.atomic_add(counter, 1)
+        yield from ctx.syncthreads()
+        yield from ctx.compute(tail_block)
+
+    return device, kern
+
+
+class TestInstrumentationInvisible:
+    def test_traced_equals_untraced_in_vector_mode(self):
+        with engine_mode("vector"):
+            device, kern = _contended_kernel_device()
+            plain = device.launch(kern, grid=2, block_threads=64)
+            device2, kern2 = _contended_kernel_device()
+            tracer = Tracer()
+            traced = device2.launch(kern2, grid=2, block_threads=64,
+                                    tracer=tracer)
+        assert traced.cycles == plain.cycles
+        assert traced.stats == plain.stats
+        assert tracer.events
+
+    def test_contended_kernel_bit_identical_across_modes(self):
+        with engine_mode("event"):
+            device, kern = _contended_kernel_device()
+            ref = device.launch(kern, grid=4, block_threads=128)
+        with engine_mode("vector"):
+            device, kern = _contended_kernel_device()
+            vec = device.launch(kern, grid=4, block_threads=128)
+        assert vec.cycles == ref.cycles
+        assert vec.stats == ref.stats
+
+
+class TestStallCensus:
+    def test_vector_census_uses_stall_names(self):
+        from repro.gpu.engine import Engine, STALL_NAMES
+        with engine_mode("vector"):
+            engine = Engine(K80_SPEC, 1)
+            census = engine.stall_census()
+        assert set(census) <= set(STALL_NAMES.values())
+
+    def test_event_census_reports_queue_depth(self):
+        from repro.gpu.engine import Engine
+        with engine_mode("event"):
+            engine = Engine(K80_SPEC, 1)
+            assert engine.stall_census() == {"queued": 0}
+
+
+class TestExperimentRegistryEquivalence:
+    """A full registered experiment produces identical rows per mode."""
+
+    def test_table2_rows_identical(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        with engine_mode("event"):
+            ref = ALL_EXPERIMENTS["table2"](scale="quick")
+        with engine_mode("vector"):
+            vec = ALL_EXPERIMENTS["table2"](scale="quick")
+        assert vec.rows == ref.rows
+
+
+def _assert_warns_exactly_once(trigger, match):
+    """``trigger()`` warns DeprecationWarning on the first call and is
+    silent on the second (the warn-once contract)."""
+    with pytest.warns(DeprecationWarning, match=match):
+        trigger()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        trigger()
+
+
+class TestDeprecatedEngineShims:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        from repro.gpu import engine as engine_mod
+        saved = set(engine_mod._WARNED)
+        engine_mod._WARNED.clear()
+        yield
+        engine_mod._WARNED.clear()
+        engine_mod._WARNED.update(saved)
+
+    def test_engine_run_warns_once(self):
+        from repro.gpu.engine import Engine
+        _assert_warns_exactly_once(
+            lambda: Engine(K80_SPEC, 1).run([]),
+            match="Engine.run")
+
+    def test_engine_run_groups_warns_once(self):
+        from repro.gpu.engine import Engine
+        _assert_warns_exactly_once(
+            lambda: Engine(K80_SPEC, 1).run_groups([[]]),
+            match="Engine.run_groups")
+
+    def test_engine_tracer_kwarg_warns_once(self):
+        from repro.gpu.engine import Engine
+        _assert_warns_exactly_once(
+            lambda: Engine(K80_SPEC, 1, tracer=Tracer()),
+            match="EngineHooks")
+
+    def test_unknown_engine_kwarg_rejected(self):
+        from repro.gpu.engine import Engine
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            Engine(K80_SPEC, 1, profiler=object())
+
+    def test_hooks_and_legacy_kwarg_conflict(self):
+        from repro.gpu.engine import Engine
+        from repro.gpu.launch import EngineHooks
+        with pytest.raises(TypeError, match="both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                Engine(K80_SPEC, 1, hooks=EngineHooks(tracer=Tracer()),
+                       tracer=Tracer())
+
+    def test_run_shim_matches_launch(self):
+        from repro.gpu.engine import Engine
+        device, kern = _contended_kernel_device()
+        via_launch = device.launch(kern, grid=2, block_threads=64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cycles = Engine(K80_SPEC, 1).run([])
+        assert cycles == 0.0
+        assert via_launch.cycles > 0
+
+
+class TestLaunchPlanValidation:
+    def test_single_wraps_factories(self):
+        from repro.gpu.launch import LaunchPlan
+        plan = LaunchPlan.single([lambda: None])
+        assert plan.num_groups == 1
+
+    def test_flat_factory_list_rejected(self):
+        from repro.gpu.launch import LaunchPlan
+        with pytest.raises(TypeError, match="groups"):
+            LaunchPlan(groups=[lambda: None])
+
+    def test_callable_groups_rejected(self):
+        from repro.gpu.launch import LaunchPlan
+        with pytest.raises(TypeError):
+            LaunchPlan(groups=lambda: None)

@@ -3,14 +3,7 @@ sweeps run in benchmarks/)."""
 
 import pytest
 
-from repro.harness import (
-    ALL_EXPERIMENTS,
-    ablation_batching,
-    ablation_prefetch,
-    format_result,
-    table1,
-    table2,
-)
+from repro.harness import ALL_EXPERIMENTS, format_result
 from repro.harness.experiments import TABLE1_PAPER, ExperimentResult
 from repro.harness.reporting import format_markdown
 
@@ -33,7 +26,7 @@ class TestRegistry:
 class TestTable1:
     @pytest.fixture(scope="class")
     def result(self):
-        return table1()
+        return ALL_EXPERIMENTS["table1"]()
 
     def test_has_all_paper_cells(self, result):
         assert len(result.rows) == len(TABLE1_PAPER)
@@ -54,35 +47,38 @@ class TestTable1:
 
 class TestAblations:
     def test_prefetch_helps_latency(self):
-        result = ablation_prefetch()
+        result = ALL_EXPERIMENTS["ablation_prefetch"]()
         pf = result.row_by(variant="prefetching")
         ptx = result.row_by(variant="optimized_ptx")
         assert pf["read_latency_cycles"] < ptx["read_latency_cycles"]
 
     def test_batching_helps(self):
-        result = ablation_batching()
+        result = ALL_EXPERIMENTS["ablation_batching"]()
         on = result.row_by(batching=True)
         off = result.row_by(batching=False)
         assert on["cycles"] < off["cycles"]
 
     def test_register_pressure_halves_occupancy(self):
-        from repro.harness import ablation_registers
-        result = ablation_registers()
+        result = ALL_EXPERIMENTS["ablation_registers"]()
         assert result.row_by(regs_per_thread=128)["blocks_per_sm"] == 1
         assert result.row_by(regs_per_thread=128)["slowdown_vs_64"] > 1.2
 
     def test_future_hw_cuts_increment_cost(self):
-        from repro.harness import ablation_future_hw
-        result = ablation_future_hw()
+        result = ALL_EXPERIMENTS["ablation_future_hw"]()
         hw = result.row_by(variant="hw_assisted")
         sw = result.row_by(variant="prefetching")
         assert hw["inc_latency_cycles"] < sw["inc_latency_cycles"] / 2
+
+    def test_removed_wrapper_names_are_gone(self):
+        import repro.harness as harness
+        for name in ("table1", "figure7", "ablation_prefetch"):
+            assert not hasattr(harness, name)
 
 
 class TestReporting:
     @pytest.fixture(scope="class")
     def result(self):
-        return table1()
+        return ALL_EXPERIMENTS["table1"]()
 
     def test_text_table_contains_all_rows(self, result):
         text = format_result(result)

@@ -11,7 +11,11 @@ from repro.harness.heartbeat import (
     cache_hit_rate,
     make_heartbeat,
 )
-from repro.harness.runner import LiveOptions, run_experiment
+from repro.harness.runner import (
+    Instrumentation,
+    LiveOptions,
+    run_experiment,
+)
 from repro.telemetry import validate_profile
 from repro.telemetry.top import Dashboard
 from repro.telemetry.top import main as top_main
@@ -126,7 +130,8 @@ class TestLiveRuns:
     def test_serial_live_run_writes_streaming_layout(self, tmp_path):
         live = LiveOptions(live_dir=str(tmp_path), window_cycles=2000.0)
         report = run_experiment(REGISTRY["table2"], jobs=1,
-                                progress=False, live=live)
+                                progress=False,
+                                instrument=Instrumentation(live=live))
         assert report.ok
         # live implies profiling: merged suite profile is schema v6
         # with the concatenated series.
@@ -157,14 +162,16 @@ class TestLiveRuns:
         plain = run_experiment(SYNTH, jobs=1, progress=False)
         live = run_experiment(
             SYNTH, jobs=1, progress=False,
-            live=LiveOptions(live_dir=str(tmp_path)))
+            instrument=Instrumentation(
+                live=LiveOptions(live_dir=str(tmp_path))))
         assert plain.result.rows == live.result.rows
 
     def test_parallel_live_run_heartbeats_cross_process(self, tmp_path):
         live = LiveOptions(live_dir=str(tmp_path), window_cycles=2000.0,
                            heartbeat_interval=0.0)
         report = run_experiment(REGISTRY["table2"], jobs=2,
-                                progress=False, live=live)
+                                progress=False,
+                                instrument=Instrumentation(live=live))
         assert report.ok and report.jobs == 2
         validate_profile(report.merged)
         beats = [json.loads(line) for line in
@@ -186,7 +193,7 @@ class TestLiveRuns:
         live = LiveOptions(live_dir=str(tmp_path), window_cycles=2000.0,
                            heartbeat_interval=0.0)
         run_experiment(REGISTRY["table2"], jobs=2, progress=False,
-                       live=live)
+                       instrument=Instrumentation(live=live))
         rc = top_main([str(tmp_path), "--once"])
         assert rc == 0
         out = capsys.readouterr().out

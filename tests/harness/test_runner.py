@@ -7,6 +7,9 @@ package, so the module imports cleanly in a fresh interpreter).
 """
 
 import json
+import warnings
+
+import pytest
 
 from repro.harness import cli
 from repro.harness.experiments import ALL_EXPERIMENTS
@@ -14,6 +17,7 @@ from repro.harness.registry import REGISTRY, Column, Experiment
 from repro.harness.runner import (
     DEFAULT_BASE_SEED,
     ExperimentPointError,
+    Instrumentation,
     point_seed,
     run_experiment,
 )
@@ -81,9 +85,10 @@ class TestDeterminism:
 
     def test_jobs_1_and_4_identical_on_real_experiment(self):
         exp = REGISTRY["table1"]
-        serial = run_experiment(exp, jobs=1, profile=True,
-                                trace=False, progress=False)
-        parallel = run_experiment(exp, jobs=4, profile=True,
+        instrument = Instrumentation(profile=True, trace=False)
+        serial = run_experiment(exp, jobs=1, instrument=instrument,
+                                progress=False)
+        parallel = run_experiment(exp, jobs=4, instrument=instrument,
                                   progress=False)
         assert serial.result.rows == parallel.result.rows
         assert serial.result.columns == parallel.result.columns
@@ -183,3 +188,49 @@ class TestSuiteProfileOnDisk:
         assert workers["points"] == len(REGISTRY["table1"].grid("quick"))
         assert workers["launches"] >= workers["points"]
         assert workers["errors"] == 0
+
+
+class TestLegacyInstrumentKwargs:
+    """The deprecated per-switch keywords warn exactly once, still
+    work, and conflict loudly with the Instrumentation bundle."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        from repro.harness import runner
+        saved = set(runner._WARNED)
+        runner._WARNED.clear()
+        yield
+        runner._WARNED.clear()
+        runner._WARNED.update(saved)
+
+    def test_profile_kwarg_warns_once_and_works(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"run_experiment\(profile=") :
+            report = run_experiment(SYNTH, jobs=1, progress=False,
+                                    profile=True)
+        assert report.ok
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_experiment(SYNTH, jobs=1, progress=False, profile=True)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            run_experiment(SYNTH, jobs=1, progress=False,
+                           tracer=object())
+
+    def test_conflict_with_bundle_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                run_experiment(SYNTH, jobs=1, progress=False,
+                               instrument=Instrumentation(profile=True),
+                               profile=True)
+
+    def test_legacy_matches_bundle(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_experiment(SYNTH, jobs=1, progress=False,
+                                    profile=True)
+        bundled = run_experiment(SYNTH, jobs=1, progress=False,
+                                 instrument=Instrumentation(profile=True))
+        assert legacy.result.rows == bundled.result.rows

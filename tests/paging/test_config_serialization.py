@@ -29,23 +29,19 @@ class TestDictRoundTrip:
         assert cfg.page_size == GPUfsConfig().page_size
 
 
-class TestPositionalDeprecation:
+class TestPositionalRemoval:
     def test_keyword_construction_is_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             GPUfsConfig(page_size=4096, num_frames=8)
 
-    def test_positional_construction_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            cfg = GPUfsConfig(4096, 8)
-        assert cfg.page_size == 4096
-        assert cfg.num_frames == 8
+    def test_positional_construction_raises(self):
+        with pytest.raises(TypeError, match="positional"):
+            GPUfsConfig(4096, 8)
 
-    def test_mixed_positional_and_keyword(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = GPUfsConfig(4096, batching=False)
-        assert cfg.page_size == 4096
-        assert cfg.batching is False
+    def test_mixed_positional_and_keyword_raises(self):
+        with pytest.raises(TypeError, match="keyword"):
+            GPUfsConfig(4096, batching=False)
 
     def test_frozen_semantics_survive_the_wrapper(self):
         cfg = GPUfsConfig(num_frames=8)
