@@ -1,0 +1,104 @@
+"""Benchmark: causal request-span overhead and span fidelity.
+
+Tracing itself (recording every engine macro-op) has a real,
+pre-existing cost — that total is reported as ``extra_info`` for the
+trend file but not gated here.  What this benchmark gates is the
+marginal price of the *request-span* machinery layered onto the traced
+path: minting a request id at fault/syscall entry
+(:meth:`WarpContext.begin_request`) and stamping it onto every span.
+
+Two claims:
+
+* **Overhead** — running bench_table2's workload traced with request
+  spans costs at most 5% wall time over the same traced run with
+  minting disabled (monkeypatched to a no-op, restoring the pre-span
+  tracer behaviour: every span carries ``req=""``).  Minting is two
+  integer ops and one f-string per fault entry, so the difference
+  must stay in the noise.  Timings are best-of-N minima, interleaved.
+* **Fidelity** — simulated cycles are bit-identical traced vs
+  untraced (the tracer observes, it never steers), and the traced
+  profiles carry a populated ``components.spans`` section while
+  untraced profiles keep it present but all zero (the v8 schema is
+  stable either way).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import REGISTRY
+from repro.gpu.kernel import WarpContext
+from repro.harness.runner import Instrumentation, run_experiment
+
+ROUNDS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _run_table2(traced: bool):
+    started = time.perf_counter()
+    report = run_experiment(REGISTRY["table2"], scale="quick", jobs=1,
+                            instrument=Instrumentation(
+                                profile=True, trace=traced),
+                            progress=False)
+    elapsed = time.perf_counter() - started
+    assert report.ok
+    return elapsed, report
+
+
+def _run_traced_without_minting(monkeypatch_cls=WarpContext):
+    """The traced run as it was before request spans existed."""
+    saved = (monkeypatch_cls.begin_request, monkeypatch_cls.end_request)
+    monkeypatch_cls.begin_request = lambda self: None
+    monkeypatch_cls.end_request = lambda self: None
+    try:
+        return _run_table2(traced=True)
+    finally:
+        monkeypatch_cls.begin_request = saved[0]
+        monkeypatch_cls.end_request = saved[1]
+
+
+@pytest.mark.benchmark(group="tracing")
+def test_request_span_overhead_and_fidelity(benchmark):
+    unminted_times, minted_times, plain_times = [], [], []
+    plain = traced = None
+    for _ in range(ROUNDS):
+        t, plain = _run_table2(traced=False)
+        plain_times.append(t)
+        t, _ = _run_traced_without_minting()
+        unminted_times.append(t)
+        t, traced = _run_table2(traced=True)
+        minted_times.append(t)
+    # One extra full traced run under the benchmark timer so the trend
+    # record tracks the traced-path wall time.
+    benchmark.pedantic(lambda: _run_table2(traced=True),
+                       rounds=1, iterations=1)
+
+    overhead = (min(minted_times) - min(unminted_times)) \
+        / min(unminted_times)
+    benchmark.extra_info["span_overhead"] = overhead
+    benchmark.extra_info["tracing_overhead"] = \
+        (min(minted_times) - min(plain_times)) / min(plain_times)
+    benchmark.extra_info["plain_s"] = min(plain_times)
+    benchmark.extra_info["traced_s"] = min(minted_times)
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"request-span overhead {overhead:.1%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget "
+        f"(traced sans minting {min(unminted_times):.3f}s, "
+        f"with {min(minted_times):.3f}s)")
+
+    # Zero perturbation: per-launch simulated cycles are bit-identical.
+    plain_cycles = [p["launch"]["cycles"] for p in plain.profiles]
+    traced_cycles = [p["launch"]["cycles"] for p in traced.profiles]
+    assert plain_cycles == traced_cycles
+
+    # The traced run minted causal request spans: apointer launches
+    # fault, faults begin requests, requests stamp spans.
+    spans = [p["components"]["spans"] for p in traced.profiles]
+    assert any(s["requests"] for s in spans), spans
+    for s in spans:
+        assert s["spans"] >= s["requests"]
+        assert s["span_cycles"] >= 0.0
+    # Untraced profiles keep the section, all zero.
+    for p in plain.profiles:
+        assert p["components"]["spans"] \
+            == {"requests": 0, "spans": 0, "span_cycles": 0.0}

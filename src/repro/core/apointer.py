@@ -288,35 +288,41 @@ class APtr:
         faulting = (~self.valid) & active
         self.avm.stats.translation_faults += int(faulting.sum())
         t0 = ctx.now
-        ctx.push_activity("translation")
+        ctx.begin_request()
         try:
-            while True:
-                ballot = wp.ballot(~self.valid, active)
-                ctx.charge(2)                  # __ballot + __ffs
-                leader = wp.ffs(ballot) - 1
-                if leader < 0:
-                    break
-                self.avm.stats.fault_groups += 1
-                # Broadcast the leader's backing-store address; lanes
-                # bound for the same page are handled together.
-                leader_xpage = int(wp.shfl(xpages, leader)[0])
-                same = (~self.valid) & active & (xpages == leader_xpage)
-                refs = wp.popc(wp.ballot(same))
-                ctx.charge(cm.fault_setup_count)
-                frame_addr, via_tlb = yield from self._resolve(
-                    ctx, leader_xpage, refs, write)
-                self.frame_addr[same] = frame_addr
-                self.linked_xpage[same] = leader_xpage
-                self.tlb_backed[same] = via_tlb
-                self.linked_write[same] = write
-                self.valid |= same
-                ctx.charge(cm.fault_link_count)
-                self.avm.stats.links += refs
+            ctx.push_activity("translation")
+            try:
+                while True:
+                    ballot = wp.ballot(~self.valid, active)
+                    ctx.charge(2)              # __ballot + __ffs
+                    leader = wp.ffs(ballot) - 1
+                    if leader < 0:
+                        break
+                    self.avm.stats.fault_groups += 1
+                    # Broadcast the leader's backing-store address;
+                    # lanes bound for the same page are handled
+                    # together.
+                    leader_xpage = int(wp.shfl(xpages, leader)[0])
+                    same = ((~self.valid) & active
+                            & (xpages == leader_xpage))
+                    refs = wp.popc(wp.ballot(same))
+                    ctx.charge(cm.fault_setup_count)
+                    frame_addr, via_tlb = yield from self._resolve(
+                        ctx, leader_xpage, refs, write)
+                    self.frame_addr[same] = frame_addr
+                    self.linked_xpage[same] = leader_xpage
+                    self.tlb_backed[same] = via_tlb
+                    self.linked_write[same] = write
+                    self.valid |= same
+                    ctx.charge(cm.fault_link_count)
+                    self.avm.stats.links += refs
+            finally:
+                ctx.pop_activity()
+            if ctx.tracer is not None:
+                ctx.trace_span("translation_fault", t0, ctx.now,
+                               f"lanes={int(faulting.sum())}")
         finally:
-            ctx.pop_activity()
-        if ctx.tracer is not None:
-            ctx.trace_span("translation_fault", t0, ctx.now,
-                           f"lanes={int(faulting.sum())}")
+            ctx.end_request()
         if write:
             self._mark_dirty(active)
 

@@ -51,6 +51,14 @@ class LaunchResult:
     #: Populated when a profiler observed the launch (explicitly passed
     #: or ambient via ``repro.telemetry.capture``).
     profile: Optional[Any] = None
+    #: Merged execution trace of a sharded cluster launch
+    #: (:func:`repro.gpu.sharded.launch_cluster_sharded` with tracing
+    #: on); ``None`` elsewhere — single-device launches hand the tracer
+    #: back to its owner instead.
+    tracer: Optional[Any] = None
+    #: Merged ``components.timeseries`` section of a sharded cluster
+    #: launch with sampling on; ``None`` elsewhere.
+    series: Optional[dict] = None
 
     def dram_bandwidth(self, spec: GPUSpec) -> float:
         return self.stats.dram_bandwidth(spec)

@@ -100,6 +100,13 @@ class WarpContext:
         # charge per tag so the engine can decompose it later.
         self._activity: list[str] = []
         self._pending_tags: dict[str, list] = {}
+        # Causal request spans: ``begin_request`` mints a deterministic
+        # id at warp fault / syscall entry; every span recorded until
+        # the matching ``end_request`` carries it, linking translation,
+        # fault handling, readahead and staging for one logical request.
+        self._request_depth = 0
+        self._request_seq = 0
+        self._request_id = ""
         self.now = 0.0
 
     # ------------------------------------------------------------------
@@ -127,7 +134,37 @@ class WarpContext:
         if self.tracer is None:
             return
         self.tracer.record(self.warp_id, self.block_id, kind, start, end,
-                           detail, sm=self.block.sm_index)
+                           detail, sm=self.block.sm_index,
+                           req=self._request_id)
+
+    def begin_request(self) -> None:
+        """Open a causal request scope (pair with :meth:`end_request`,
+        ideally via ``try/finally``).
+
+        At the outermost entry a request id ``"<device>:<warp>:<seq>"``
+        is minted from simulated state only — deterministic across
+        reruns and across ``jobs=1``/``jobs=N`` sharding.  Nested
+        begins (a syscall whose page loop faults, a fault whose
+        handler issues readahead) reuse the outer id, so every span a
+        warp records until the matching end shares one request.  No-op
+        without a tracer — zero-cost when tracing is off.
+        """
+        if self.tracer is None:
+            return
+        if self._request_depth == 0:
+            self._request_id = (f"{self.block.device_index}:"
+                                f"{self.warp_id}:{self._request_seq}")
+            self._request_seq += 1
+        self._request_depth += 1
+
+    def end_request(self) -> None:
+        """Close the innermost causal request scope."""
+        if self.tracer is None:
+            return
+        if self._request_depth > 0:
+            self._request_depth -= 1
+            if self._request_depth == 0:
+                self._request_id = ""
 
     def push_activity(self, tag: str) -> None:
         """Enter an attribution activity (pair with :meth:`pop_activity`,

@@ -63,8 +63,13 @@ def _validate_cluster(launches: list[ClusterLaunch]):
     return spec
 
 
-def _plan_cluster(launches: list[ClusterLaunch], spec):
-    """Occupancy-check every launch and build per-device factory lists."""
+def _plan_cluster(launches: list[ClusterLaunch], spec, tracer=None):
+    """Occupancy-check every launch and build per-device factory lists.
+
+    ``tracer`` threads into every :class:`WarpContext`, so layer-level
+    spans (translation faults, page-ins, syscalls) land in cluster
+    traces just as they do for single-device launches.
+    """
     occupancies = []
     groups = []
     for launch in launches:
@@ -90,7 +95,7 @@ def _plan_cluster(launches: list[ClusterLaunch], spec):
                 gens = []
                 for w in range(warps_per_block):
                     ctx = WarpContext(spec, launch.device.memory,
-                                      block, w)
+                                      block, w, tracer=tracer)
                     gens.append(launch.kernel(ctx, *launch.args))
                 return block, gens
             return factory
@@ -114,18 +119,17 @@ def launch_cluster(launches: list[ClusterLaunch],
     deterministic epoch barrier — ``epoch_cycles`` bounds how far a
     shard runs ahead between barriers (defaults to the minimum
     cross-device interaction latency, the PCIe round-trip).  Sharded
-    runs do not support tracers (trace streams cannot cross process
-    boundaries); they are deterministic in ``jobs``.
+    runs trace through per-shard spill files merged back into
+    ``tracer`` (see :mod:`repro.gpu.sharded`); they are deterministic
+    in ``jobs``.
     """
     spec = _validate_cluster(launches)
     if jobs is not None:
-        if tracer is not None:
-            raise ValueError(
-                "sharded execution (jobs=...) does not support tracer=")
         from repro.gpu.sharded import launch_cluster_sharded
         return launch_cluster_sharded(launches, jobs=jobs,
-                                      epoch_cycles=epoch_cycles)
-    occupancies, groups = _plan_cluster(launches, spec)
+                                      epoch_cycles=epoch_cycles,
+                                      tracer=tracer)
+    occupancies, groups = _plan_cluster(launches, spec, tracer=tracer)
     engine = Engine(spec, min(o.blocks_per_sm for o in occupancies),
                     hooks=EngineHooks(tracer=tracer),
                     num_devices=len(launches))

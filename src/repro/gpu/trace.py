@@ -43,6 +43,14 @@ class TraceEvent:
     end: float
     detail: str = ""
     sm: int = -1           # SM the warp was resident on (-1 = unknown)
+    #: Causal request id ('' = none): minted at warp fault / syscall
+    #: entry (:meth:`repro.gpu.kernel.WarpContext.begin_request`) and
+    #: stamped on every span recorded while the request is open, so the
+    #: translation loop, GPUfs fault handling, readahead, and the
+    #: PCIe/staging transfer of one logical request share one id.
+    #: Format ``"<device>:<warp>:<seq>"`` — deterministic, never wall
+    #: clock.  ``repro-spans`` reconstructs request trees from it.
+    req: str = ""
 
     @property
     def duration(self) -> float:
@@ -53,7 +61,7 @@ class TraceEvent:
 #: the engine's macro-op kinds).  Used to categorise Chrome-trace events.
 PAGING_SPAN_KINDS = frozenset({
     "minor_fault", "major_fault", "page_in", "page_out",
-    "filter_in", "filter_out", "translation_fault",
+    "filter_in", "filter_out", "translation_fault", "pcie_staging",
 })
 
 #: Event kinds recorded for the cycle-attribution analyzer
@@ -79,12 +87,13 @@ class Tracer:
         self.dropped = 0
 
     def record(self, warp: int, block: int, kind: str, start: float,
-               end: float, detail: str = "", sm: int = -1) -> None:
+               end: float, detail: str = "", sm: int = -1,
+               req: str = "") -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
         self.events.append(TraceEvent(warp, block, kind, start, end,
-                                      detail, sm))
+                                      detail, sm, req))
 
     def record_counter(self, name: str, t: float, value: float) -> None:
         """Record one named counter sample at time ``t`` (a point, not
@@ -169,6 +178,8 @@ class Tracer:
             args: dict = {"block": e.block}
             if e.detail:
                 args["detail"] = e.detail
+            if e.req:
+                args["req"] = e.req
             if e.kind in PAGING_SPAN_KINDS:
                 cat = "paging"
             elif e.kind in ATTRIBUTION_KINDS:
@@ -240,6 +251,7 @@ def events_from_chrome_trace(trace: dict) -> tuple[list[TraceEvent], int]:
             end=(rec["ts"] + rec.get("dur", 0.0)) / scale,
             detail=str(args.get("detail", "")),
             sm=int(rec.get("pid", 0)) - 1,
+            req=str(args.get("req", "")),
         ))
     return events, int(other.get("dropped", 0))
 

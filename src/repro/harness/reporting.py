@@ -113,6 +113,21 @@ def format_profile(profile) -> str:
         shown = ", ".join(f"{k}={_cell(v)}"
                           for k, v in sorted(counters.items()) if v)
         lines.append(f"{kind}: {shown or '(all zero)'}")
+    # Silent data loss must not stay silent: truncated traces fail
+    # repro-attr much later, and capped series quietly thin out.
+    trace = doc.get("trace") or {}
+    if trace.get("dropped"):
+        lines.append(
+            f"WARNING: trace dropped {trace['dropped']} events at "
+            f"record time (raise max_trace_events); attribution and "
+            f"request-span reports will be incomplete")
+    series = (doc.get("components") or {}).get("timeseries") or {}
+    if series.get("dropped_windows"):
+        lines.append(
+            f"WARNING: timeseries dropped {series['dropped_windows']} "
+            f"windows past the in-profile retention cap (widen "
+            f"window_cycles or raise max_windows); the streamed sink "
+            f"kept them")
     return "\n".join(lines)
 
 

@@ -265,12 +265,14 @@ class GPUfs:
         address.  Minor faults are table hits; major faults transfer the
         page from the host.
         """
+        ctx.begin_request()
         ctx.push_activity("fault_wait")
         try:
             return (yield from self._handle_fault(ctx, file_id, fpn,
                                                   refs, write))
         finally:
             ctx.pop_activity()
+            ctx.end_request()
 
     def _handle_fault(self, ctx: WarpContext, file_id: int, fpn: int,
                       refs: int, write: bool):

@@ -91,6 +91,7 @@ class TransferBatcher:
         data = handle.pread(file_offset, nbytes)
         self.stats.transfers += 1
         self.stats.bytes_moved += nbytes
+        t0 = ctx.now
         joined = (self.enabled
                   and ctx.now <= self._window_end
                   and self._window_count < self.max_batch)
@@ -119,6 +120,10 @@ class TransferBatcher:
                                          dst_addr, nbytes)
         finally:
             self._slot_busy[slot] = False
+        if ctx.tracer is not None:
+            ctx.trace_span("pcie_staging", t0, ctx.now,
+                           f"bytes={nbytes} "
+                           f"{'joined' if joined else 'batch'}")
 
     def fetch_async(self, now: float, handle, file_offset: int,
                     nbytes: int, dst_addr: int) -> float:

@@ -496,6 +496,7 @@ class SyscallLayer:
         """Timed: common call prologue — count, charge, maybe fence."""
         setattr(self.stats, spec.name,
                 getattr(self.stats, spec.name) + 1)
+        ctx.begin_request()
         ctx.push_activity("syscall")
         ctx.charge(SYSCALL_INSTRS)
         if spec.ordering == ORDER_STRONG:
@@ -511,6 +512,7 @@ class SyscallLayer:
         if ctx.tracer is not None:
             ctx.trace_span("syscall", t0, ctx.now, spec.name)
         ctx.pop_activity()
+        ctx.end_request()
 
     def _for_each_page(self, ctx: WarpContext, file_id: int, offset: int,
                        nbytes: int, buf_addr: int, write: bool):

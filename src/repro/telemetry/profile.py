@@ -37,11 +37,15 @@ SCHEMA_NAME = "repro.telemetry/launch-profile"
 #: layer, :mod:`repro.syscalls`): per-syscall invocation counts,
 #: cycles spent blocked inside blocking calls, and bytes written back
 #: to the host through the PCIe model.
-SCHEMA_VERSION = 7
+#: v8 added the ``components.spans`` section (causal request spans,
+#: :mod:`repro.telemetry.spans`): distinct request ids minted at warp
+#: fault / syscall entry, the count of trace spans carrying one, and
+#: their summed span-cycles.  All zero when no tracer was attached.
+SCHEMA_VERSION = 8
 
 #: Versions ``validate_profile`` accepts: current plus archived ones
 #: whose required sections are a subset of what we still emit.
-ACCEPTED_VERSIONS = frozenset({2, 3, 4, 5, 6, SCHEMA_VERSION})
+ACCEPTED_VERSIONS = frozenset({2, 3, 4, 5, 6, 7, SCHEMA_VERSION})
 
 #: Required integer counters of ``run.workers`` when a ``run`` section
 #: is present (v4+).
@@ -64,6 +68,7 @@ _COMPONENT_KEYS = (
     ("syscalls", 7, ("pread", "pwrite", "msync", "madvise",
                      "ftruncate", "blocked_cycles",
                      "writeback_bytes")),
+    ("spans", 8, ("requests", "spans", "span_cycles")),
 )
 
 

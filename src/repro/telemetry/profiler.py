@@ -170,10 +170,111 @@ class Profiler:
         )
         if sampler is not None:
             profile.components["timeseries"] = sampler.to_component()
+        if tracer is not None:
+            from repro.telemetry.spans import spans_component
+            profile.components["spans"] = spans_component(tracer.events)
         if self.attribution and tracer is not None \
                 and not tracer.dropped:
             # A truncated trace is refused by the analyzer; the profile
             # then keeps the zeroed section with ``attributed == 0``.
+            from repro.telemetry.attribution import attribute_tracer
+            report = attribute_tracer(tracer, launch_cycles=cycles)
+            profile.components["attribution"] = report.to_component()
+        self.profiles.append(profile)
+        self.traces.append(tracer)
+        return profile
+
+    def record_cluster(self, *, spec, launches, occ, cycles, stats,
+                       engine_profile=None, tracer=None,
+                       series=None) -> LaunchProfile:
+        """Reduce one merged sharded cluster launch to a
+        :class:`LaunchProfile`.
+
+        The sharded launcher (:mod:`repro.gpu.sharded`) calls this with
+        already-merged engine stats/profile, the merged tracer, and the
+        merged ``components.timeseries`` section — so ambient profiling
+        (:func:`capture`) covers ``launch_cluster(jobs=N)`` exactly as
+        it covers single-device launches.  ``sms`` spans every shard's
+        SM range in shard order.
+        """
+        seconds = spec.cycles_to_seconds(cycles)
+        sms = []
+        if engine_profile is not None:
+            for sm, busy in enumerate(engine_profile.sm_busy):
+                sms.append({
+                    "sm": sm,
+                    "busy_cycles": busy,
+                    "idle_cycles": max(cycles - busy, 0.0),
+                    "utilization": busy / cycles if cycles else 0.0,
+                })
+        total_sms = max(len(sms), 1)
+        dram_accesses = (engine_profile.dram_queued_accesses
+                         if engine_profile is not None else 0)
+        name = getattr(launches[0].kernel, "__name__", "kernel")
+        if len(launches) > 1:
+            name = f"{name}+{len(launches) - 1}"
+        profile = LaunchProfile(
+            index=len(self.profiles),
+            name=name,
+            spec={
+                "name": spec.name,
+                "num_sms": spec.num_sms,
+                "clock_hz": spec.clock_hz,
+                "warp_size": spec.warp_size,
+            },
+            launch={
+                "grid": sum(launch.grid for launch in launches),
+                "block_threads": max(launch.block_threads
+                                     for launch in launches),
+                "blocks_per_sm": occ.blocks_per_sm,
+                "cycles": cycles,
+                "seconds": seconds,
+            },
+            engine=_engine_dict(stats),
+            issue={
+                "slot_utilization": (stats.issue_busy
+                                     / (cycles * total_sms)
+                                     if cycles else 0.0),
+                "instructions_per_cycle": (stats.instructions / cycles
+                                           if cycles else 0.0),
+            },
+            sms=sms,
+            dram={
+                "bytes": stats.dram_bytes,
+                "transactions": stats.dram_transactions,
+                "bandwidth_gbs": stats.dram_bandwidth(spec) / 1e9,
+                "occupancy": (stats.dram_busy / cycles
+                              if cycles else 0.0),
+                "queue_cycles": (engine_profile.dram_queue_cycles
+                                 if engine_profile is not None
+                                 else 0.0),
+                "queued_accesses": dram_accesses,
+                "mean_queue_cycles": (
+                    engine_profile.dram_queue_cycles / dram_accesses
+                    if engine_profile is not None and dram_accesses
+                    else 0.0),
+            },
+            pcie={
+                "bytes": stats.pcie_bytes,
+                "transactions": stats.pcie_transactions,
+                "busy_cycles": stats.pcie_busy,
+                "occupancy": (stats.pcie_busy / cycles
+                              if cycles else 0.0),
+            },
+            stalls=(dict(engine_profile.stalls)
+                    if engine_profile is not None else {}),
+            components=_merge_components(self.registry.collect()),
+            trace=({"events": len(tracer.events),
+                    "dropped": tracer.dropped}
+                   if tracer is not None else None),
+        )
+        if series is not None:
+            profile.components["timeseries"] = series
+        if tracer is not None:
+            from repro.telemetry.spans import spans_component
+            profile.components["spans"] = spans_component(tracer.events)
+        if self.attribution and tracer is not None \
+                and not tracer.dropped:
             from repro.telemetry.attribution import attribute_tracer
             report = attribute_tracer(tracer, launch_cycles=cycles)
             profile.components["attribution"] = report.to_component()
@@ -285,6 +386,11 @@ def _merge_components(collected: dict) -> dict:
             "windows": 0,
             "dropped_windows": 0,
             "series": [],
+        },
+        "spans": {
+            "requests": 0,
+            "spans": 0,
+            "span_cycles": 0.0,
         },
     }
     for kind, counters in collected.items():

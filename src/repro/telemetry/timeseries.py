@@ -319,6 +319,10 @@ class TimeseriesSampler:
             self.windows.append(record)
         else:
             self.dropped_windows += 1
+            # Overflow records still stream; stamping the running drop
+            # count (only on them — retained records stay unmutated)
+            # lets live consumers like repro-top surface the loss.
+            record["dropped_windows"] = self.dropped_windows
         if self.sink is not None:
             self.sink(record)
         if self.tracer is not None:

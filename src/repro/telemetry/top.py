@@ -61,6 +61,9 @@ class Dashboard:
         self._point_t1: dict = {}            # (experiment, point) -> t1
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        # (experiment, point) -> highest cumulative dropped-window
+        # count seen (overflow records stamp a running total).
+        self._dropped: dict = {}
 
     # ------------------------------------------------------------------
     # Ingest
@@ -133,6 +136,9 @@ class Dashboard:
             self.counters[name] = self.counters.get(name, 0) + value
         for name, value in record.get("gauges", {}).items():
             self.gauges[name] = value
+        dropped = record.get("dropped_windows", 0)
+        if dropped:
+            self._dropped[key] = max(self._dropped.get(key, 0), dropped)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -214,6 +220,13 @@ class Dashboard:
         lines.append(f"{self.windows} windows sampled across "
                      f"{len(self._point_t1)} point(s), "
                      f"{len(self.worker_pids)} worker(s) heard")
+        if self._dropped:
+            total = sum(self._dropped.values())
+            lines.append(
+                f"WARNING: {total} window(s) past the in-profile "
+                f"retention cap on {len(self._dropped)} point(s) — "
+                f"profiles are truncated (widen window_cycles or "
+                f"raise max_windows); this stream kept them")
         return "\n".join(lines)
 
 

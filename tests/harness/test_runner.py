@@ -96,7 +96,7 @@ class TestDeterminism:
         # (worker counts legitimately differ).
         for report in (serial, parallel):
             validate_profile(report.merged)
-            assert report.merged["version"] == 7
+            assert report.merged["version"] == 8
         s, p = dict(serial.merged), dict(parallel.merged)
         s_run, p_run = s.pop("run"), p.pop("run")
         assert s == p
@@ -182,7 +182,7 @@ class TestSuiteProfileOnDisk:
         path = tmp_path / "table1" / "suite-profile.json"
         doc = json.loads(path.read_text())
         validate_profile(doc)
-        assert doc["version"] == 7
+        assert doc["version"] == 8
         workers = doc["run"]["workers"]
         assert workers["jobs"] == 2
         assert workers["points"] == len(REGISTRY["table1"].grid("quick"))

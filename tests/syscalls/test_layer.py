@@ -369,7 +369,7 @@ class TestTelemetry:
 
             drive(device, kern)
         doc = prof.profiles[0].to_dict()
-        assert doc["version"] == 7
+        assert doc["version"] == 8
         sy = doc["components"]["syscalls"]
         assert sy["pread"] == 1
         assert sy["pwrite"] == 1

@@ -36,7 +36,7 @@ class TestMerge:
     def test_merged_doc_is_current_schema(self, launch_docs):
         merged = merge_profiles(launch_docs, name="memcpy suite")
         validate_profile(merged)
-        assert merged["version"] == 7
+        assert merged["version"] == 8
         assert merged["name"] == "memcpy suite"
 
     def test_attribution_hidden_fraction_recomputed(self, launch_docs):

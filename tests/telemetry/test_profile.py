@@ -83,11 +83,12 @@ class TestSchemaVersioning:
     FIXTURE = "tests/telemetry/fixtures/profile-v2.json"
     FIXTURE_V5 = "tests/telemetry/fixtures/profile-v5.json"
     FIXTURE_V6 = "tests/telemetry/fixtures/profile-v6.json"
+    FIXTURE_V7 = "tests/telemetry/fixtures/profile-v7.json"
 
     def test_live_profiles_are_current_version(self, memcpy_profile):
         from repro.telemetry.profile import SCHEMA_VERSION
         doc = memcpy_profile.profiles[0].to_dict()
-        assert doc["version"] == SCHEMA_VERSION == 7
+        assert doc["version"] == SCHEMA_VERSION == 8
 
     def test_v5_requires_attribution_component(self, memcpy_profile):
         doc = memcpy_profile.profiles[0].to_dict()
@@ -192,10 +193,36 @@ class TestSchemaVersioning:
         with pytest.raises(ValueError, match="syscalls"):
             validate_profile(doc)
 
+    def test_v8_requires_spans_component(self, memcpy_profile):
+        doc = memcpy_profile.profiles[0].to_dict()
+        spans = doc["components"]["spans"]
+        for key in ("requests", "spans", "span_cycles"):
+            assert key in spans
+        broken = json.loads(json.dumps(doc))
+        broken["components"].pop("spans")
+        with pytest.raises(ValueError, match="spans"):
+            validate_profile(broken)
+
+    def test_archived_v7_profile_still_validates(self):
+        # Regression gate for the v7 -> v8 bump: profiles written
+        # before the spans component existed must keep loading.
+        with open(self.FIXTURE_V7) as f:
+            doc = json.load(f)
+        assert doc["version"] == 7
+        assert "spans" not in doc["components"]
+        validate_profile(doc)
+
+    def test_v7_document_claiming_v8_is_rejected(self):
+        with open(self.FIXTURE_V7) as f:
+            doc = json.load(f)
+        doc["version"] = 8
+        with pytest.raises(ValueError, match="spans"):
+            validate_profile(doc)
+
     def test_unknown_versions_rejected(self):
         with open(self.FIXTURE) as f:
             doc = json.load(f)
-        for version in (1, 8, "2", None):
+        for version in (1, 9, "2", None):
             doc["version"] = version
             with pytest.raises(ValueError, match="version"):
                 validate_profile(doc)

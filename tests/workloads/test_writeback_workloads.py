@@ -61,7 +61,7 @@ class TestProfileIntegration:
                             ops_per_warp=8)
             assert r.verified
         doc = prof.profiles[0].to_dict()
-        assert doc["version"] == 7
+        assert doc["version"] == 8
         sy = doc["components"]["syscalls"]
         assert sy["pread"] == 16
         assert sy["pwrite"] == 16
